@@ -1,0 +1,26 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all test bench repro lint examples
+
+all: test
+
+test:
+	go build ./... && go vet ./... && go test ./...
+
+# Full bench harness: one benchmark per table/figure plus ablations.
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper.
+repro:
+	go run ./examples/fullpaper
+
+lint:
+	gofmt -l . && go vet ./...
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/memoization
+	go run ./examples/reusebuffer
+	go run ./examples/inputsense
+	go run ./examples/inlining

@@ -1,0 +1,241 @@
+// Command instrep reproduces the experiments of "An Empirical Analysis
+// of Instruction Repetition" (Sodani & Sohi, ASPLOS 1998).
+//
+// Usage:
+//
+//	instrep list
+//	    List the benchmark workload analogs.
+//
+//	instrep run [-bench NAME] [-experiment ID] [-skip N] [-measure N]
+//	            [-instances N] [-reuse-entries N] [-reuse-assoc N]
+//	    Run the analysis pipeline and print the requested tables and
+//	    figures ("all" runs every benchmark / renders everything).
+//
+//	instrep exec [-input FILE] [-max N] PROGRAM.c
+//	    Compile a MiniC program and execute it on the simulator,
+//	    echoing its output (a development aid for writing workloads).
+//
+//	instrep asm PROGRAM.c
+//	    Compile a MiniC program and print the generated assembly.
+//
+//	instrep disasm PROGRAM.c | -workload NAME
+//	    Disassemble a compiled program or workload: function
+//	    boundaries, encodings, mnemonics, resolved targets.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/cpu"
+	"repro/internal/minic"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "exec":
+		err = cmdExec(os.Args[2:])
+	case "asm":
+		err = cmdAsm(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "instrep:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: instrep <command> [flags]
+
+commands:
+  list    list benchmark workloads
+  run     run the repetition analyses and print tables/figures
+  exec    compile and run a MiniC program
+  asm     compile a MiniC program to assembly
+  disasm  disassemble a compiled MiniC program or workload`)
+}
+
+func cmdList() error {
+	fmt.Printf("%-8s %-10s %s\n", "name", "analog", "description")
+	for _, w := range repro.WorkloadInfos() {
+		fmt.Printf("%-8s %-10s %s\n", w.Name, w.Analog, w.Description)
+	}
+	fmt.Println("\nexperiments:", strings.Join(repro.Experiments(), " "))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	bench := fs.String("bench", "all", "workload name or 'all'")
+	experiment := fs.String("experiment", "all", "experiment id (table1..table10, fig1..fig6) or 'all'")
+	skip := fs.Uint64("skip", 1_000_000, "instructions to skip before measuring")
+	measure := fs.Uint64("measure", 5_000_000, "instructions to measure (0 = to completion)")
+	instances := fs.Int("instances", 0, "per-instruction instance buffer limit (0 = paper's 2000)")
+	reuseEntries := fs.Int("reuse-entries", 0, "reuse buffer entries (0 = paper's 8192)")
+	reuseAssoc := fs.Int("reuse-assoc", 0, "reuse buffer associativity (0 = paper's 4)")
+	variant := fs.Int("input-variant", 1, "workload input data set (1 = standard, 2 = alternate)")
+	asJSON := fs.Bool("json", false, "emit the raw reports as JSON instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := repro.Config{
+		SkipInstructions:    *skip,
+		MeasureInstructions: *measure,
+		MaxInstances:        *instances,
+		ReuseEntries:        *reuseEntries,
+		ReuseAssoc:          *reuseAssoc,
+		InputVariant:        *variant,
+	}
+
+	var reports []*repro.Report
+	if *bench == "all" {
+		var err error
+		reports, err = repro.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		r, err := repro.RunWorkload(*bench, cfg)
+		if err != nil {
+			return err
+		}
+		reports = []*repro.Report{r}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	if *experiment == "all" {
+		fmt.Print(repro.FormatAll(reports))
+		return nil
+	}
+	for _, e := range strings.Split(*experiment, ",") {
+		s, err := repro.Format(strings.TrimSpace(e), reports)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+	}
+	return nil
+}
+
+func cmdExec(args []string) error {
+	fs := flag.NewFlagSet("exec", flag.ExitOnError)
+	inputFile := fs.String("input", "", "file with program input bytes")
+	max := fs.Uint64("max", 100_000_000, "instruction budget (0 = unlimited)")
+	trace := fs.Uint64("trace", 0, "write an execution trace of the first N instructions to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("exec wants one MiniC source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var input []byte
+	if *inputFile != "" {
+		input, err = os.ReadFile(*inputFile)
+		if err != nil {
+			return err
+		}
+	}
+	im, err := minic.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	m := cpu.New(im, input)
+	if *trace > 0 {
+		m.Attach(cpu.NewTracer(os.Stderr, *trace))
+	}
+	n, err := m.Run(*max)
+	os.Stdout.Write(m.Output.Bytes())
+	if err != nil {
+		return fmt.Errorf("after %d instructions: %w", n, err)
+	}
+	if m.Halted {
+		fmt.Fprintf(os.Stderr, "[exit %d after %d instructions]\n", m.ExitCode, n)
+	} else {
+		fmt.Fprintf(os.Stderr, "[instruction budget exhausted after %d]\n", n)
+	}
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	fs := flag.NewFlagSet("disasm", flag.ExitOnError)
+	workload := fs.String("workload", "", "disassemble a bundled workload instead of a file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var im *program.Image
+	if *workload != "" {
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			return fmt.Errorf("unknown workload %q", *workload)
+		}
+		var err error
+		im, err = w.Image()
+		if err != nil {
+			return err
+		}
+	} else {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("disasm wants one MiniC source file or -workload NAME")
+		}
+		src, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		im, err = minic.Compile(string(src))
+		if err != nil {
+			return err
+		}
+	}
+	return program.Disassemble(im, os.Stdout)
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("asm wants one MiniC source file")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	text, err := minic.CompileToAsm(string(src))
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	return nil
+}

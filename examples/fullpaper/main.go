@@ -1,0 +1,37 @@
+// Fullpaper regenerates every table and figure of the paper across all
+// eight workload analogs. With the default window (1M skip + 5M
+// measured per workload) it takes on the order of ten seconds.
+//
+// Usage: go run ./examples/fullpaper [-skip N] [-measure N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	skip := flag.Uint64("skip", 1_000_000, "instructions to skip per workload")
+	measure := flag.Uint64("measure", 5_000_000, "instructions to measure per workload")
+	flag.Parse()
+
+	cfg := repro.Config{
+		SkipInstructions:    *skip,
+		MeasureInstructions: *measure,
+	}
+
+	start := time.Now()
+	reports, err := repro.RunAll(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ran %d workloads x %d instructions in %v\n",
+		len(reports), *measure, time.Since(start).Round(time.Millisecond))
+
+	fmt.Print(repro.FormatAll(reports))
+}

@@ -1,0 +1,48 @@
+// Quickstart: run the repetition census on one benchmark analog and
+// print the headline numbers (Table 1 row, global sources, reuse
+// capture).
+//
+// Usage: go run ./examples/quickstart [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	name := "m88k"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+
+	cfg := repro.QuickConfig() // 100k skip + 500k measured instructions
+	r, err := repro.RunWorkload(name, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s: measured %d instructions (after skipping %d)\n\n",
+		r.Benchmark, r.MeasuredInstructions, r.SkippedInstructions)
+
+	fmt.Printf("instruction repetition:   %5.1f%% of dynamic instructions\n", r.DynRepeatedPct)
+	fmt.Printf("static instructions:      %d executed of %d (%.1f%%), %.1f%% of executed repeat\n",
+		r.StaticExecuted, r.StaticTotal, r.StaticExecPct, r.StaticRepeatPct)
+	fmt.Printf("unique repeatable values: %d instances, %.0f repeats each on average\n\n",
+		r.UniqueInstances, r.AvgRepeats)
+
+	fmt.Println("where the values come from (global analysis):")
+	labels := []string{"uninit", "program internals", "global init data", "external input"}
+	for i, l := range labels {
+		fmt.Printf("  %-18s %5.1f%% of instructions, %5.1f%% of which repeat\n",
+			l, r.Table3.OverallPct[i], r.Table3.PropensityPct[i])
+	}
+
+	fmt.Printf("\nfunction calls: %d, all-argument repetition %.1f%%, memoizable %.1f%%\n",
+		r.Table4.DynCalls, r.Table4.AllArgsPct, r.Table8.PureOfAllPct)
+	fmt.Printf("8K 4-way reuse buffer captures %.1f%% of all instructions (%.1f%% of repetition)\n",
+		r.ReusePctAll, r.ReusePctRepeated)
+}

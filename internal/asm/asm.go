@@ -1,0 +1,349 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// relocation kinds for instruction operands and data words.
+type relKind uint8
+
+const (
+	relNone   relKind = iota
+	relBranch         // signed word offset from pc+4
+	relJump           // absolute word address (26-bit region)
+	relHi             // %hi(sym+addend), carry-adjusted
+	relLo             // %lo(sym+addend)
+	relGP             // sym+addend - GPValue, must fit signed 16 bits
+)
+
+type protoInst struct {
+	inst   isa.Inst
+	rel    relKind
+	sym    string
+	addend int64
+	line   int
+}
+
+type dataFixup struct {
+	off    int // byte offset into data
+	sym    string
+	addend int64
+	line   int
+}
+
+// Assembler assembles one or more source units into a program.Image.
+type Assembler struct {
+	text    []protoInst
+	data    []byte // initialized data section
+	bss     int    // uninitialized section size in bytes
+	symbols map[string]uint32
+	bssSyms map[string]uint32 // offsets within bss, rebased later
+	fixups  []dataFixup
+	funcs   []program.Func
+	curFunc int // index into funcs, -1 if none
+	section int // 0 text, 1 data, 2 bss
+}
+
+// New returns an empty assembler.
+func New() *Assembler {
+	return &Assembler{
+		symbols: make(map[string]uint32),
+		bssSyms: make(map[string]uint32),
+		curFunc: -1,
+	}
+}
+
+// Assemble is a convenience wrapper: assemble a single source unit and
+// link it.
+func Assemble(src string) (*program.Image, error) {
+	a := New()
+	if err := a.AddSource(src); err != nil {
+		return nil, err
+	}
+	return a.Link()
+}
+
+func (a *Assembler) textAddr() uint32 {
+	return program.TextBase + uint32(len(a.text))*4
+}
+
+func (a *Assembler) dataAddr() uint32 {
+	return program.DataBase + uint32(len(a.data))
+}
+
+// AddSource assembles one source unit into the image being built.
+// Symbols are global across units.
+func (a *Assembler) AddSource(src string) error {
+	lines, err := scan(src)
+	if err != nil {
+		return err
+	}
+	for _, ln := range lines {
+		if err := a.statement(ln); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *Assembler) define(name string, n int) error {
+	if _, dup := a.symbols[name]; dup {
+		return errf(n, "duplicate symbol %q", name)
+	}
+	if _, dup := a.bssSyms[name]; dup {
+		return errf(n, "duplicate symbol %q", name)
+	}
+	switch a.section {
+	case 0:
+		a.symbols[name] = a.textAddr()
+	case 1:
+		a.symbols[name] = a.dataAddr()
+	default:
+		a.bssSyms[name] = uint32(a.bss)
+	}
+	return nil
+}
+
+func (a *Assembler) statement(ln line) error {
+	if ln.label != "" {
+		if err := a.define(ln.label, ln.n); err != nil {
+			return err
+		}
+	}
+	if ln.mnem == "" {
+		return nil
+	}
+	if strings.HasPrefix(ln.mnem, ".") {
+		return a.directive(ln)
+	}
+	if a.section != 0 {
+		return errf(ln.n, "instruction outside .text")
+	}
+	return a.instruction(ln)
+}
+
+func (a *Assembler) directive(ln line) error {
+	switch ln.mnem {
+	case ".text":
+		a.section = 0
+	case ".data":
+		a.section = 1
+	case ".bss":
+		a.section = 2
+	case ".globl", ".global", ".ent", ".end", ".set":
+		// Accepted and ignored; symbols are global already.
+	case ".align":
+		if len(ln.args) != 1 {
+			return errf(ln.n, ".align wants one argument")
+		}
+		p, ok := parseInt(ln.args[0])
+		if !ok || p < 0 || p > 12 {
+			return errf(ln.n, "bad .align %q", ln.args[0])
+		}
+		a.alignData(1 << uint(p))
+	case ".word":
+		a.alignData(4)
+		for _, arg := range ln.args {
+			if v, ok := parseInt(arg); ok {
+				a.emitData32(uint32(v))
+				continue
+			}
+			sym, addend, err := parseSymExpr(arg, ln.n)
+			if err != nil {
+				return err
+			}
+			a.fixups = append(a.fixups, dataFixup{off: len(a.data), sym: sym, addend: addend, line: ln.n})
+			a.emitData32(0)
+		}
+	case ".half":
+		a.alignData(2)
+		for _, arg := range ln.args {
+			v, ok := parseInt(arg)
+			if !ok {
+				return errf(ln.n, "bad .half operand %q", arg)
+			}
+			a.data = append(a.data, byte(v), byte(v>>8))
+		}
+	case ".byte":
+		for _, arg := range ln.args {
+			v, ok := parseInt(arg)
+			if !ok {
+				return errf(ln.n, "bad .byte operand %q", arg)
+			}
+			a.data = append(a.data, byte(v))
+		}
+	case ".ascii":
+		a.data = append(a.data, ln.strArg...)
+	case ".asciiz":
+		a.data = append(a.data, ln.strArg...)
+		a.data = append(a.data, 0)
+	case ".space":
+		if len(ln.args) != 1 {
+			return errf(ln.n, ".space wants one argument")
+		}
+		v, ok := parseInt(ln.args[0])
+		if !ok || v < 0 {
+			return errf(ln.n, "bad .space %q", ln.args[0])
+		}
+		switch a.section {
+		case 1:
+			a.data = append(a.data, make([]byte, v)...)
+		case 2:
+			a.bss += int(v)
+		default:
+			return errf(ln.n, ".space in .text")
+		}
+	case ".func":
+		// Operands may be space- or comma-separated.
+		args := strings.Fields(strings.Join(ln.args, " "))
+		ln.args = args
+		if len(ln.args) != 2 {
+			return errf(ln.n, ".func wants NAME NARGS")
+		}
+		nargs, ok := parseInt(ln.args[1])
+		if !ok || nargs < 0 || nargs > 16 {
+			return errf(ln.n, "bad .func nargs %q", ln.args[1])
+		}
+		a.funcs = append(a.funcs, program.Func{
+			Name:  ln.args[0],
+			Entry: a.textAddr(),
+			NArgs: int(nargs),
+		})
+		a.curFunc = len(a.funcs) - 1
+	case ".endfunc":
+		if a.curFunc < 0 {
+			return errf(ln.n, ".endfunc without .func")
+		}
+		a.funcs[a.curFunc].End = a.textAddr()
+		a.curFunc = -1
+	default:
+		return errf(ln.n, "unknown directive %s", ln.mnem)
+	}
+	return nil
+}
+
+func (a *Assembler) alignData(to int) {
+	if a.section == 2 {
+		for a.bss%to != 0 {
+			a.bss++
+		}
+		return
+	}
+	for len(a.data)%to != 0 {
+		a.data = append(a.data, 0)
+	}
+}
+
+func (a *Assembler) emitData32(v uint32) {
+	a.data = append(a.data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// parseSymExpr parses "sym", "sym+N", or "sym-N".
+func parseSymExpr(s string, n int) (sym string, addend int64, err error) {
+	s = strings.TrimSpace(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			v, ok := parseInt(s[i:])
+			if !ok {
+				return "", 0, errf(n, "bad symbol expression %q", s)
+			}
+			sym = s[:i]
+			if !validSymbol(sym) {
+				return "", 0, errf(n, "bad symbol %q", sym)
+			}
+			return sym, v, nil
+		}
+	}
+	if !validSymbol(s) {
+		return "", 0, errf(n, "bad symbol %q", s)
+	}
+	return s, 0, nil
+}
+
+// Link resolves symbols and fixups and returns the final image.
+func (a *Assembler) Link() (*program.Image, error) {
+	if a.curFunc >= 0 {
+		return nil, fmt.Errorf("asm: unterminated .func %s", a.funcs[a.curFunc].Name)
+	}
+	// Rebase bss symbols after the initialized data (word-aligned).
+	initLen := len(a.data)
+	bssBase := uint32((initLen + 3) &^ 3)
+	for name, off := range a.bssSyms {
+		if _, dup := a.symbols[name]; dup {
+			return nil, fmt.Errorf("asm: duplicate symbol %q", name)
+		}
+		a.symbols[name] = program.DataBase + bssBase + off
+	}
+	totalData := int(bssBase) + a.bss
+
+	im := &program.Image{
+		Data:           make([]byte, totalData),
+		InitializedLen: initLen,
+		Symbols:        a.symbols,
+		Funcs:          a.funcs,
+	}
+	copy(im.Data, a.data)
+
+	// Data fixups.
+	for _, fx := range a.fixups {
+		v, ok := a.symbols[fx.sym]
+		if !ok {
+			return nil, fmt.Errorf("asm: line %d: undefined symbol %q", fx.line, fx.sym)
+		}
+		w := v + uint32(fx.addend)
+		im.Data[fx.off] = byte(w)
+		im.Data[fx.off+1] = byte(w >> 8)
+		im.Data[fx.off+2] = byte(w >> 16)
+		im.Data[fx.off+3] = byte(w >> 24)
+	}
+
+	// Instruction relocations.
+	im.Text = make([]isa.Inst, len(a.text))
+	for i, pi := range a.text {
+		in := pi.inst
+		if pi.rel != relNone {
+			v, ok := a.symbols[pi.sym]
+			if !ok {
+				return nil, fmt.Errorf("asm: line %d: undefined symbol %q", pi.line, pi.sym)
+			}
+			target := int64(v) + pi.addend
+			pc := int64(program.TextBase) + int64(i)*4
+			switch pi.rel {
+			case relBranch:
+				off := (target - (pc + 4)) / 4
+				if off < -32768 || off > 32767 {
+					return nil, fmt.Errorf("asm: line %d: branch to %q out of range", pi.line, pi.sym)
+				}
+				in.Imm = int32(off)
+			case relJump:
+				in.Imm = int32(uint32(target) >> 2 & (1<<26 - 1))
+			case relHi:
+				in.Imm = int32((uint32(target) + 0x8000) >> 16)
+			case relLo:
+				in.Imm = int32(int16(uint32(target) & 0xffff))
+			case relGP:
+				off := target - int64(program.GPValue)
+				if off < -32768 || off > 32767 {
+					return nil, fmt.Errorf("asm: line %d: %%gp(%s) offset %d out of range", pi.line, pi.sym, off)
+				}
+				in.Imm = int32(off)
+			}
+		}
+		im.Text[i] = in
+	}
+
+	// Entry point.
+	if e, ok := a.symbols["__start"]; ok {
+		im.Entry = e
+	} else if e, ok := a.symbols["main"]; ok {
+		im.Entry = e
+	} else {
+		im.Entry = program.TextBase
+	}
+	im.Finalize()
+	return im, nil
+}

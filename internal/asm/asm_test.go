@@ -1,0 +1,329 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func mustAssemble(t *testing.T, src string) *program.Image {
+	t.Helper()
+	im, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return im
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	im := mustAssemble(t, `
+		.text
+main:
+		li $t0, 3
+loop:
+		addiu $t0, $t0, -1
+		bne $t0, $zero, loop
+		jr $ra
+	`)
+	if im.Entry != program.TextBase {
+		t.Errorf("entry = %#x, want %#x", im.Entry, program.TextBase)
+	}
+	if len(im.Text) != 4 {
+		t.Fatalf("text = %d instructions, want 4", len(im.Text))
+	}
+	// bne at index 2 targets index 1: offset = 1 - 3 = -2.
+	if im.Text[2].Op != isa.OpBNE || im.Text[2].Imm != -2 {
+		t.Errorf("bne = %+v, want offset -2", im.Text[2])
+	}
+}
+
+func TestPseudoLI(t *testing.T) {
+	cases := []struct {
+		src  string
+		insn int
+	}{
+		{"li $t0, 0", 1},
+		{"li $t0, 100", 1},
+		{"li $t0, -1", 1},
+		{"li $t0, 0x8000", 1},     // ori
+		{"li $t0, 0xffff", 1},     // ori
+		{"li $t0, 0x10000", 1},    // lui only
+		{"li $t0, 0x12345678", 2}, // lui+ori
+		{"li $t0, -100000", 2},    // lui+ori
+		{"li $t0, 0xffffffff", 1}, // addiu -1
+	}
+	for _, c := range cases {
+		im := mustAssemble(t, ".text\nmain:\n"+c.src+"\n")
+		if len(im.Text) != c.insn {
+			t.Errorf("%s expanded to %d instructions, want %d: %v", c.src, len(im.Text), c.insn, im.Text)
+		}
+	}
+}
+
+func TestLIValueSemantics(t *testing.T) {
+	// Verify that the expansion reconstructs the constant.
+	vals := []int64{0, 1, -1, 32767, -32768, 32768, 65535, 65536,
+		0x12345678, -100000, 0x7fffffff, -0x80000000}
+	for _, v := range vals {
+		im := mustAssemble(t, ".text\nmain:\nli $t0, "+itoa(v)+"\n")
+		var r uint32
+		for _, in := range im.Text {
+			switch in.Op {
+			case isa.OpADDIU:
+				r += uint32(in.Imm)
+			case isa.OpORI:
+				r |= uint32(in.Imm)
+			case isa.OpLUI:
+				r = uint32(in.Imm) << 16
+			default:
+				t.Fatalf("li %d produced unexpected %v", v, in)
+			}
+		}
+		if r != uint32(v) {
+			t.Errorf("li %d reconstructs %#x, want %#x", v, r, uint32(v))
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v < 10 {
+		return string(rune('0' + v))
+	}
+	return itoa(v/10) + string(rune('0'+v%10))
+}
+
+func TestDataDirectives(t *testing.T) {
+	im := mustAssemble(t, `
+		.data
+w:		.word 1, 2, 0x10
+h:		.half 7, 8
+b:		.byte 1
+s:		.asciiz "hi\n"
+		.align 2
+after:	.word w
+		.bss
+buf:	.space 16
+		.text
+main:	jr $ra
+	`)
+	sym := func(name string) uint32 {
+		v, ok := im.Symbols[name]
+		if !ok {
+			t.Fatalf("missing symbol %q", name)
+		}
+		return v
+	}
+	if got := sym("w"); got != program.DataBase {
+		t.Errorf("w at %#x", got)
+	}
+	if got := sym("h"); got != program.DataBase+12 {
+		t.Errorf("h at %#x, want +12", got)
+	}
+	// b follows the two halves at +16.
+	if got := sym("b"); got != program.DataBase+16 {
+		t.Errorf("b at %#x, want +16", got)
+	}
+	// s at +17, "hi\n\0" is 4 bytes -> next aligned word at +24.
+	wAfter := sym("after")
+	if wAfter != program.DataBase+24 {
+		t.Errorf("after at %#x, want +24", wAfter)
+	}
+	// .word w fixup: little-endian value of symbol w.
+	off := wAfter - program.DataBase
+	got := uint32(im.Data[off]) | uint32(im.Data[off+1])<<8 |
+		uint32(im.Data[off+2])<<16 | uint32(im.Data[off+3])<<24
+	if got != program.DataBase {
+		t.Errorf(".word w = %#x, want %#x", got, program.DataBase)
+	}
+	// bss symbol lands after initialized data, word aligned.
+	if sym("buf") < program.DataBase+uint32(im.InitializedLen) {
+		t.Errorf("buf inside initialized data")
+	}
+	if len(im.Data) < im.InitializedLen+16 {
+		t.Errorf("data segment too small for bss")
+	}
+}
+
+func TestGPRelative(t *testing.T) {
+	im := mustAssemble(t, `
+		.data
+v:		.word 42
+		.text
+main:
+		lw $t0, %gp(v)
+		sw $t0, %gp(v)
+		addiu $t1, $gp, %gp(v)
+		jr $ra
+	`)
+	want := int32(int64(program.DataBase) - int64(program.GPValue))
+	for i := 0; i < 3; i++ {
+		if im.Text[i].Imm != want {
+			t.Errorf("inst %d imm = %d, want %d", i, im.Text[i].Imm, want)
+		}
+	}
+	if im.Text[0].Rs != isa.RegGP {
+		t.Errorf("lw base = %v, want $gp", isa.RegName(int(im.Text[0].Rs)))
+	}
+}
+
+func TestHiLoRelocation(t *testing.T) {
+	im := mustAssemble(t, `
+		.data
+		.space 0x9000
+v:		.word 7
+		.text
+main:
+		la $t0, v
+		lw $t1, v
+		jr $ra
+	`)
+	addr := im.Symbols["v"]
+	// la: lui+addiu must reconstruct addr.
+	hi := uint32(im.Text[0].Imm) << 16
+	lo := uint32(int32(im.Text[1].Imm))
+	if hi+lo != addr {
+		t.Errorf("la reconstructs %#x, want %#x", hi+lo, addr)
+	}
+	// lw via $at.
+	hi2 := uint32(im.Text[2].Imm) << 16
+	lo2 := uint32(int32(im.Text[3].Imm))
+	if hi2+lo2 != addr {
+		t.Errorf("lw sym reconstructs %#x, want %#x", hi2+lo2, addr)
+	}
+	if im.Text[3].Rs != isa.RegAT {
+		t.Errorf("lw base should be $at")
+	}
+}
+
+func TestFuncDirective(t *testing.T) {
+	im := mustAssemble(t, `
+		.text
+		.func foo 2
+foo:	addu $v0, $a0, $a1
+		jr $ra
+		.endfunc
+		.func main 0
+main:	jal foo
+		jr $ra
+		.endfunc
+	`)
+	if len(im.Funcs) != 2 {
+		t.Fatalf("got %d funcs", len(im.Funcs))
+	}
+	f := im.FuncByEntry(im.Symbols["foo"])
+	if f == nil || f.Name != "foo" || f.NArgs != 2 || f.Size() != 2 {
+		t.Errorf("foo metadata wrong: %+v", f)
+	}
+	if got := im.FuncAt(im.Symbols["main"] + 4); got == nil || got.Name != "main" {
+		t.Errorf("FuncAt(main+4) = %+v", got)
+	}
+}
+
+func TestConditionalBranchPseudos(t *testing.T) {
+	im := mustAssemble(t, `
+		.text
+main:
+		blt $t0, $t1, out
+		bge $t0, $t1, out
+		bgt $t0, $t1, out
+		ble $t0, $t1, out
+		bltu $t0, $t1, out
+out:	jr $ra
+	`)
+	// Each pseudo expands to slt(u)+branch.
+	if len(im.Text) != 11 {
+		t.Fatalf("got %d instructions, want 11", len(im.Text))
+	}
+	if im.Text[0].Op != isa.OpSLT || im.Text[1].Op != isa.OpBNE {
+		t.Errorf("blt expands to %v %v", im.Text[0].Op, im.Text[1].Op)
+	}
+	if im.Text[2].Op != isa.OpSLT || im.Text[3].Op != isa.OpBEQ {
+		t.Errorf("bge expands to %v %v", im.Text[2].Op, im.Text[3].Op)
+	}
+	if im.Text[8].Op != isa.OpSLTU {
+		t.Errorf("bltu uses %v", im.Text[8].Op)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := []string{
+		"bogus $t0",
+		".text\nlw $t0",
+		".text\nfoo: foo: jr $ra\nfoo: nop",
+		".text\nbne $t0, $zero, missing",
+		".data\nx: .word 1\n.text\naddu $t0, $t1",
+		".word notasymbol!",
+		".func f\n.endfunc",
+		".text\n.endfunc",
+		`.data` + "\n" + `s: .asciiz "unterminated`,
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) should fail", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	im := mustAssemble(t, `
+	# full line comment
+	.text
+main:	li $t0, '#'    # not a comment start inside char literal
+		jr $ra         ; alt comment
+	`)
+	if len(im.Text) != 2 {
+		t.Fatalf("got %d instructions", len(im.Text))
+	}
+	if im.Text[0].Imm != '#' {
+		t.Errorf("char literal '#' = %d", im.Text[0].Imm)
+	}
+}
+
+func TestMultipleUnits(t *testing.T) {
+	a := New()
+	if err := a.AddSource(".text\n.func main 0\nmain: jal helper\njr $ra\n.endfunc\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddSource(".text\n.func helper 0\nhelper: jr $ra\n.endfunc\n"); err != nil {
+		t.Fatal(err)
+	}
+	im, err := a.Link()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.Funcs) != 2 {
+		t.Errorf("got %d funcs", len(im.Funcs))
+	}
+	// Cross-unit jal resolved.
+	if im.Text[0].Op != isa.OpJAL {
+		t.Fatalf("first inst %v", im.Text[0])
+	}
+	target := uint32(im.Text[0].Imm) << 2
+	if target != im.Symbols["helper"] {
+		t.Errorf("jal target %#x, want %#x", target, im.Symbols["helper"])
+	}
+}
+
+func TestStringDecoding(t *testing.T) {
+	im := mustAssemble(t, ".data\ns: .asciiz \"a\\tb\\\\c\\\"d\\0e\"\n.text\nmain: jr $ra\n")
+	want := "a\tb\\c\"d\x00e\x00"
+	got := string(im.Data[:len(want)])
+	if got != want {
+		t.Errorf("decoded string = %q, want %q", got, want)
+	}
+}
+
+func TestUnterminatedFunc(t *testing.T) {
+	a := New()
+	if err := a.AddSource(".text\n.func f 0\nf: jr $ra\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Link(); err == nil || !strings.Contains(err.Error(), "unterminated") {
+		t.Errorf("Link should report unterminated .func, got %v", err)
+	}
+}

@@ -1,0 +1,557 @@
+package asm
+
+import (
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// operand is a parsed instruction operand.
+type operand struct {
+	isReg  bool
+	reg    int
+	isImm  bool
+	imm    int64
+	isSym  bool // symbol expression (label)
+	sym    string
+	addend int64
+	isMem  bool // imm(reg) or sym / %gp(sym) memory reference
+	memRel relKind
+}
+
+func (a *Assembler) emit(in isa.Inst, n int) {
+	a.text = append(a.text, protoInst{inst: in, line: n})
+}
+
+func (a *Assembler) emitRel(in isa.Inst, rel relKind, sym string, addend int64, n int) {
+	a.text = append(a.text, protoInst{inst: in, rel: rel, sym: sym, addend: addend, line: n})
+}
+
+func parseOperand(s string, n int) (operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, errf(n, "empty operand")
+	}
+	// Register.
+	if s[0] == '$' {
+		if r, ok := isa.RegByName(s); ok {
+			return operand{isReg: true, reg: r}, nil
+		}
+		return operand{}, errf(n, "unknown register %q", s)
+	}
+	// %hi(expr) / %lo(expr) / %gp(expr)
+	if s[0] == '%' {
+		open := strings.IndexByte(s, '(')
+		if open < 0 || s[len(s)-1] != ')' {
+			return operand{}, errf(n, "malformed %%-operand %q", s)
+		}
+		kindName := s[1:open]
+		sym, addend, err := parseSymExpr(s[open+1:len(s)-1], n)
+		if err != nil {
+			return operand{}, err
+		}
+		var rel relKind
+		switch kindName {
+		case "hi":
+			rel = relHi
+		case "lo":
+			rel = relLo
+		case "gp":
+			rel = relGP
+		default:
+			return operand{}, errf(n, "unknown relocation %%%s", kindName)
+		}
+		return operand{isSym: true, sym: sym, addend: addend, memRel: rel}, nil
+	}
+	// Memory operand imm(reg).
+	if open := strings.IndexByte(s, '('); open >= 0 && strings.HasSuffix(s, ")") {
+		regPart := s[open+1 : len(s)-1]
+		r, ok := isa.RegByName(regPart)
+		if !ok {
+			return operand{}, errf(n, "bad base register %q", regPart)
+		}
+		offPart := strings.TrimSpace(s[:open])
+		var off int64
+		if offPart != "" {
+			v, ok := parseInt(offPart)
+			if !ok {
+				return operand{}, errf(n, "bad memory offset %q", offPart)
+			}
+			off = v
+		}
+		return operand{isMem: true, reg: r, imm: off}, nil
+	}
+	// Numeric immediate.
+	if v, ok := parseInt(s); ok {
+		return operand{isImm: true, imm: v}, nil
+	}
+	// Symbol expression.
+	sym, addend, err := parseSymExpr(s, n)
+	if err != nil {
+		return operand{}, err
+	}
+	return operand{isSym: true, sym: sym, addend: addend}, nil
+}
+
+func (a *Assembler) instruction(ln line) error {
+	ops := make([]operand, len(ln.args))
+	for i, arg := range ln.args {
+		o, err := parseOperand(arg, ln.n)
+		if err != nil {
+			return err
+		}
+		ops[i] = o
+	}
+	n := ln.n
+
+	reg := func(i int) (uint8, error) {
+		if i >= len(ops) || !ops[i].isReg {
+			return 0, errf(n, "%s: operand %d must be a register", ln.mnem, i+1)
+		}
+		return uint8(ops[i].reg), nil
+	}
+	need := func(k int) error {
+		if len(ops) != k {
+			return errf(n, "%s: want %d operands, got %d", ln.mnem, k, len(ops))
+		}
+		return nil
+	}
+
+	// Real instructions first.
+	if op, ok := isa.OpByName(ln.mnem); ok {
+		return a.realInst(op, ln, ops, reg, need)
+	}
+
+	// Pseudo-instructions.
+	switch ln.mnem {
+	case "nop":
+		a.emit(isa.Nop(), n)
+		return nil
+	case "li":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if !ops[1].isImm {
+			return errf(n, "li: operand 2 must be an immediate")
+		}
+		a.emitLI(rt, ops[1].imm, n)
+		return nil
+	case "la":
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if !ops[1].isSym || ops[1].memRel != relNone {
+			return errf(n, "la: operand 2 must be a symbol")
+		}
+		a.emitRel(isa.Inst{Op: isa.OpLUI, Rt: rt}, relHi, ops[1].sym, ops[1].addend, n)
+		a.emitRel(isa.Inst{Op: isa.OpADDIU, Rt: rt, Rs: rt}, relLo, ops[1].sym, ops[1].addend, n)
+		return nil
+	case "move":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpADDU, Rd: rd, Rs: rs, Rt: isa.RegZero}, n)
+		return nil
+	case "not":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpNOR, Rd: rd, Rs: rs, Rt: isa.RegZero}, n)
+		return nil
+	case "neg":
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpSUBU, Rd: rd, Rs: isa.RegZero, Rt: rs}, n)
+		return nil
+	case "b":
+		if err := need(1); err != nil {
+			return err
+		}
+		if !ops[0].isSym {
+			return errf(n, "b: operand must be a label")
+		}
+		a.emitRel(isa.Inst{Op: isa.OpBEQ}, relBranch, ops[0].sym, ops[0].addend, n)
+		return nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if !ops[1].isSym {
+			return errf(n, "%s: operand 2 must be a label", ln.mnem)
+		}
+		op := isa.OpBEQ
+		if ln.mnem == "bnez" {
+			op = isa.OpBNE
+		}
+		a.emitRel(isa.Inst{Op: op, Rs: rs}, relBranch, ops[1].sym, ops[1].addend, n)
+		return nil
+	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
+		if err := need(3); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if !ops[2].isSym {
+			return errf(n, "%s: operand 3 must be a label", ln.mnem)
+		}
+		slt := isa.OpSLT
+		base := ln.mnem
+		if strings.HasSuffix(ln.mnem, "u") {
+			slt = isa.OpSLTU
+			base = ln.mnem[:len(ln.mnem)-1]
+		}
+		// blt: at = rs<rt; bne at      bge: at = rs<rt; beq at
+		// bgt: at = rt<rs; bne at      ble: at = rt<rs; beq at
+		x, y := rs, rt
+		br := isa.OpBNE
+		switch base {
+		case "bgt":
+			x, y = rt, rs
+		case "ble":
+			x, y = rt, rs
+			br = isa.OpBEQ
+		case "bge":
+			br = isa.OpBEQ
+		}
+		a.emit(isa.Inst{Op: slt, Rd: isa.RegAT, Rs: x, Rt: y}, n)
+		a.emitRel(isa.Inst{Op: br, Rs: isa.RegAT, Rt: isa.RegZero}, relBranch, ops[2].sym, ops[2].addend, n)
+		return nil
+	case "mul", "rem":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return err
+		}
+		if ln.mnem == "mul" {
+			a.emit(isa.Inst{Op: isa.OpMULT, Rs: rs, Rt: rt}, n)
+			a.emit(isa.Inst{Op: isa.OpMFLO, Rd: rd}, n)
+		} else {
+			a.emit(isa.Inst{Op: isa.OpDIV, Rs: rs, Rt: rt}, n)
+			a.emit(isa.Inst{Op: isa.OpMFHI, Rd: rd}, n)
+		}
+		return nil
+	case "seq", "sne":
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: isa.OpSUBU, Rd: rd, Rs: rs, Rt: rt}, n)
+		if ln.mnem == "seq" {
+			a.emit(isa.Inst{Op: isa.OpSLTIU, Rt: rd, Rs: rd, Imm: 1}, n)
+		} else {
+			a.emit(isa.Inst{Op: isa.OpSLTU, Rd: rd, Rs: isa.RegZero, Rt: rd}, n)
+		}
+		return nil
+	}
+	return errf(n, "unknown mnemonic %q", ln.mnem)
+}
+
+// emitLI expands "li rt, v".
+func (a *Assembler) emitLI(rt uint8, v int64, n int) {
+	v32 := uint32(v)
+	sv := int64(int32(v32)) // treat large unsigned literals as their 32-bit two's complement
+	switch {
+	case sv >= -32768 && sv <= 32767:
+		a.emit(isa.Inst{Op: isa.OpADDIU, Rt: rt, Rs: isa.RegZero, Imm: int32(sv)}, n)
+	case sv >= 0 && sv <= 0xffff:
+		a.emit(isa.Inst{Op: isa.OpORI, Rt: rt, Rs: isa.RegZero, Imm: int32(v32)}, n)
+	default:
+		a.emit(isa.Inst{Op: isa.OpLUI, Rt: rt, Imm: int32(v32 >> 16)}, n)
+		if lo := v32 & 0xffff; lo != 0 {
+			a.emit(isa.Inst{Op: isa.OpORI, Rt: rt, Rs: rt, Imm: int32(lo)}, n)
+		}
+	}
+}
+
+// realInst assembles a line whose mnemonic is a hardware instruction.
+func (a *Assembler) realInst(op isa.Op, ln line, ops []operand,
+	reg func(int) (uint8, error), need func(int) error) error {
+	n := ln.n
+	switch isa.OpKind(op) {
+	case isa.KindALU3:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		// Variable shifts use "sllv rd, rt, rs" operand order.
+		if op == isa.OpSLLV || op == isa.OpSRLV || op == isa.OpSRAV {
+			rt, err := reg(1)
+			if err != nil {
+				return err
+			}
+			rs, err := reg(2)
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}, n)
+			return nil
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}, n)
+		return nil
+
+	case isa.KindShift:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if !ops[2].isImm || ops[2].imm < 0 || ops[2].imm > 31 {
+			return errf(n, "%s: bad shift amount", op)
+		}
+		a.emit(isa.Inst{Op: op, Rd: rd, Rt: rt, Imm: int32(ops[2].imm)}, n)
+		return nil
+
+	case isa.KindMulDiv:
+		if err := need(2); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op, Rs: rs, Rt: rt}, n)
+		return nil
+
+	case isa.KindMoveHL:
+		if err := need(1); err != nil {
+			return err
+		}
+		r, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if op == isa.OpMFHI || op == isa.OpMFLO {
+			a.emit(isa.Inst{Op: op, Rd: r}, n)
+		} else {
+			a.emit(isa.Inst{Op: op, Rs: r}, n)
+		}
+		return nil
+
+	case isa.KindALUImm:
+		if err := need(3); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return err
+		}
+		if ops[2].isImm {
+			a.emit(isa.Inst{Op: op, Rt: rt, Rs: rs, Imm: int32(ops[2].imm)}, n)
+			return nil
+		}
+		if ops[2].isSym && (ops[2].memRel == relLo || ops[2].memRel == relGP) {
+			a.emitRel(isa.Inst{Op: op, Rt: rt, Rs: rs}, ops[2].memRel, ops[2].sym, ops[2].addend, n)
+			return nil
+		}
+		return errf(n, "%s: operand 3 must be an immediate", op)
+
+	case isa.KindLUI:
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		if ops[1].isImm {
+			a.emit(isa.Inst{Op: op, Rt: rt, Imm: int32(ops[1].imm & 0xffff)}, n)
+			return nil
+		}
+		if ops[1].isSym && ops[1].memRel == relHi {
+			a.emitRel(isa.Inst{Op: op, Rt: rt}, relHi, ops[1].sym, ops[1].addend, n)
+			return nil
+		}
+		return errf(n, "lui: operand 2 must be an immediate or %%hi(sym)")
+
+	case isa.KindLoad, isa.KindStore:
+		if err := need(2); err != nil {
+			return err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return err
+		}
+		m := ops[1]
+		switch {
+		case m.isMem:
+			a.emit(isa.Inst{Op: op, Rt: rt, Rs: uint8(m.reg), Imm: int32(m.imm)}, n)
+		case m.isSym && m.memRel == relGP:
+			a.emitRel(isa.Inst{Op: op, Rt: rt, Rs: isa.RegGP}, relGP, m.sym, m.addend, n)
+		case m.isSym && m.memRel == relNone:
+			// Expand via $at: lui $at, %hi; op rt, %lo($at).
+			a.emitRel(isa.Inst{Op: isa.OpLUI, Rt: isa.RegAT}, relHi, m.sym, m.addend, n)
+			a.emitRel(isa.Inst{Op: op, Rt: rt, Rs: isa.RegAT}, relLo, m.sym, m.addend, n)
+		default:
+			return errf(n, "%s: bad memory operand", op)
+		}
+		return nil
+
+	case isa.KindBranch:
+		wantRegs := 1
+		if op == isa.OpBEQ || op == isa.OpBNE {
+			wantRegs = 2
+		}
+		if err := need(wantRegs + 1); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return err
+		}
+		in := isa.Inst{Op: op, Rs: rs}
+		if wantRegs == 2 {
+			rt, err := reg(1)
+			if err != nil {
+				return err
+			}
+			in.Rt = rt
+		}
+		tgt := ops[wantRegs]
+		if !tgt.isSym {
+			return errf(n, "%s: target must be a label", op)
+		}
+		a.emitRel(in, relBranch, tgt.sym, tgt.addend, n)
+		return nil
+
+	case isa.KindJump:
+		if err := need(1); err != nil {
+			return err
+		}
+		if !ops[0].isSym {
+			return errf(n, "%s: target must be a label", op)
+		}
+		a.emitRel(isa.Inst{Op: op}, relJump, ops[0].sym, ops[0].addend, n)
+		return nil
+
+	case isa.KindJumpReg:
+		if op == isa.OpJR {
+			if err := need(1); err != nil {
+				return err
+			}
+			rs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: op, Rs: rs}, n)
+			return nil
+		}
+		// jalr rs  |  jalr rd, rs
+		switch len(ops) {
+		case 1:
+			rs, err := reg(0)
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: op, Rd: isa.RegRA, Rs: rs}, n)
+		case 2:
+			rd, err := reg(0)
+			if err != nil {
+				return err
+			}
+			rs, err := reg(1)
+			if err != nil {
+				return err
+			}
+			a.emit(isa.Inst{Op: op, Rd: rd, Rs: rs}, n)
+		default:
+			return errf(n, "jalr: want 1 or 2 operands")
+		}
+		return nil
+
+	default: // syscall / break
+		if err := need(0); err != nil {
+			return err
+		}
+		a.emit(isa.Inst{Op: op}, n)
+		return nil
+	}
+}

@@ -1,0 +1,276 @@
+// Package asm implements a two-pass assembler for the MIPS-I-like ISA
+// in internal/isa. It supports the directives and pseudo-instructions
+// that the MiniC compiler emits, and produces a program.Image.
+//
+// Source syntax (one statement per line):
+//
+//	label:  mnemonic op1, op2, op3   # comment
+//	        .directive args
+//
+// Directives: .text .data .bss .word .half .byte .ascii .asciiz .space
+// .align .globl .func NAME NARGS .endfunc
+//
+// Pseudo-instructions: li la move b nop not neg blt bgt ble bge bltu
+// bgeu beqz bnez seq sne mul div rem subi
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// line is one source statement after scanning.
+type line struct {
+	n      int    // 1-based line number
+	label  string // leading "label:" if any
+	mnem   string // mnemonic or directive (with dot), lower-cased
+	args   []string
+	strArg string // decoded string literal for .ascii/.asciiz
+}
+
+// scanError records a scan/parse failure with its line.
+type scanError struct {
+	line int
+	msg  string
+}
+
+func (e *scanError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+func errf(n int, format string, args ...any) error {
+	return &scanError{line: n, msg: fmt.Sprintf(format, args...)}
+}
+
+// scan splits source into statements. A line may carry a label, a
+// statement, both, or neither.
+func scan(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		n := i + 1
+		s := stripComment(raw)
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		var ln line
+		ln.n = n
+		// Leading label(s). Multiple labels on one line each get
+		// their own entry so they alias the same address.
+		for {
+			idx := labelEnd(s)
+			if idx < 0 {
+				break
+			}
+			name := strings.TrimSpace(s[:idx])
+			if !validSymbol(name) {
+				return nil, errf(n, "invalid label %q", name)
+			}
+			if ln.label != "" {
+				out = append(out, line{n: n, label: ln.label})
+			}
+			ln.label = name
+			s = strings.TrimSpace(s[idx+1:])
+		}
+		if s == "" {
+			if ln.label != "" {
+				out = append(out, ln)
+			}
+			continue
+		}
+		// Mnemonic is the first whitespace-delimited token.
+		sp := strings.IndexAny(s, " \t")
+		if sp < 0 {
+			ln.mnem = strings.ToLower(s)
+		} else {
+			ln.mnem = strings.ToLower(s[:sp])
+			rest := strings.TrimSpace(s[sp+1:])
+			if ln.mnem == ".ascii" || ln.mnem == ".asciiz" {
+				dec, err := decodeString(rest)
+				if err != nil {
+					return nil, errf(n, "%v", err)
+				}
+				ln.strArg = dec
+			} else if rest != "" {
+				ln.args = splitArgs(rest)
+			}
+		}
+		out = append(out, ln)
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing comment introduced by '#' (or ';'),
+// honouring character and string literals.
+func stripComment(s string) string {
+	inStr, inChr := false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case inChr:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '\'':
+			inChr = true
+		case c == '#' || c == ';':
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// labelEnd returns the index of a leading label's ':' or -1. A ':' only
+// terminates a label if everything before it is a symbol.
+func labelEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == ':' {
+			return i
+		}
+		if !symbolChar(c) {
+			return -1
+		}
+	}
+	return -1
+}
+
+func symbolChar(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func validSymbol(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] >= '0' && s[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !symbolChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// splitArgs splits a comma-separated operand list, honouring char
+// literals and parentheses.
+func splitArgs(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	inChr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inChr:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChr = false
+			}
+		case c == '\'':
+			inChr = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// decodeString decodes a double-quoted string literal with the escapes
+// \n \t \r \0 \\ \" \'.
+func decodeString(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("malformed string literal %s", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in %s", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\', '"', '\'':
+			b.WriteByte(body[i])
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// parseInt parses a numeric literal: decimal, hex (0x), binary (0b),
+// negative forms, and character literals 'c' / '\n'.
+func parseInt(s string) (int64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	if s[0] == '\'' {
+		if len(s) >= 3 && s[len(s)-1] == '\'' {
+			body := s[1 : len(s)-1]
+			if len(body) == 1 {
+				return int64(body[0]), true
+			}
+			if len(body) == 2 && body[0] == '\\' {
+				switch body[1] {
+				case 'n':
+					return '\n', true
+				case 't':
+					return '\t', true
+				case 'r':
+					return '\r', true
+				case '0':
+					return 0, true
+				case '\\', '\'', '"':
+					return int64(body[1]), true
+				}
+			}
+		}
+		return 0, false
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Values like 0xffffffff overflow int64? No—they fit. But
+		// allow unsigned 32-bit range explicitly.
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, false
+		}
+		return int64(u), true
+	}
+	return v, true
+}

@@ -1,0 +1,116 @@
+package asm
+
+import "testing"
+
+func TestStripComment(t *testing.T) {
+	cases := map[string]string{
+		"addu $t0, $t1, $t2 # comment":   "addu $t0, $t1, $t2 ",
+		"li $t0, '#'":                    "li $t0, '#'",
+		`.asciiz "a # b" # real comment`: `.asciiz "a # b" `,
+		"jr $ra ; alt":                   "jr $ra ",
+		"no comment here":                "no comment here",
+		`.asciiz "semi ; colon"`:         `.asciiz "semi ; colon"`,
+	}
+	for in, want := range cases {
+		if got := stripComment(in); got != want {
+			t.Errorf("stripComment(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"$t0, $t1, $t2", []string{"$t0", "$t1", "$t2"}},
+		{"$t0, 8($sp)", []string{"$t0", "8($sp)"}},
+		{"$t0, %gp(sym+4)", []string{"$t0", "%gp(sym+4)"}},
+		{"$t0, ','", []string{"$t0", "','"}},
+		{"single", []string{"single"}},
+	}
+	for _, c := range cases {
+		got := splitArgs(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitArgs(%q) = %v", c.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitArgs(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestParseIntForms(t *testing.T) {
+	cases := map[string]int64{
+		"0": 0, "42": 42, "-7": -7, "0x10": 16, "0xff": 255,
+		"'A'": 65, `'\n'`: 10, `'\0'`: 0, `'\\'`: 92, "0b101": 5,
+		"0xffffffff": 0xffffffff,
+	}
+	for in, want := range cases {
+		got, ok := parseInt(in)
+		if !ok || got != want {
+			t.Errorf("parseInt(%q) = %d,%v want %d", in, got, ok, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "'", "'ab'", "12x"} {
+		if _, ok := parseInt(bad); ok {
+			t.Errorf("parseInt(%q) should fail", bad)
+		}
+	}
+}
+
+func TestScanLabels(t *testing.T) {
+	lines, err := scan("a: b: nop\nc:\n  nop\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a (alias line), b+nop, c, nop.
+	var labels []string
+	for _, ln := range lines {
+		if ln.label != "" {
+			labels = append(labels, ln.label)
+		}
+	}
+	if len(labels) != 3 || labels[0] != "a" || labels[1] != "b" || labels[2] != "c" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestScanBadLabel(t *testing.T) {
+	if _, err := scan("9bad: nop\n"); err == nil {
+		t.Error("numeric-leading label should fail")
+	}
+}
+
+func TestValidSymbol(t *testing.T) {
+	good := []string{"a", "_x", "foo.bar", "L1", ".L9", "$tmp"}
+	for _, s := range good {
+		if !validSymbol(s) {
+			t.Errorf("validSymbol(%q) = false", s)
+		}
+	}
+	bad := []string{"", "1x", "a-b", "a b"}
+	for _, s := range bad {
+		if validSymbol(s) {
+			t.Errorf("validSymbol(%q) = true", s)
+		}
+	}
+}
+
+func TestDecodeStringEscapes(t *testing.T) {
+	got, err := decodeString(`"a\tb\nc\0d\"e"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "a\tb\nc\x00d\"e" {
+		t.Errorf("decoded = %q", got)
+	}
+	for _, bad := range []string{`"unterminated`, `"bad \q escape"`, `noquotes`} {
+		if _, err := decodeString(bad); err == nil {
+			t.Errorf("decodeString(%q) should fail", bad)
+		}
+	}
+}

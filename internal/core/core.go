@@ -1,0 +1,330 @@
+// Package core wires the analyses together: it runs a program on the
+// functional simulator with the repetition tracker, global (taint)
+// analysis, function-level analysis, local analysis, and reuse buffer
+// attached, and collects every table and figure of the paper into a
+// Report.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/funcanal"
+	"repro/internal/local"
+	"repro/internal/program"
+	"repro/internal/repetition"
+	"repro/internal/reuse"
+	"repro/internal/taint"
+	"repro/internal/vpred"
+	"repro/internal/vprofile"
+)
+
+// Config controls one experiment run.
+type Config struct {
+	// SkipInstructions are executed before the analyses attach,
+	// mirroring the paper's fast-forward past initialization.
+	SkipInstructions uint64
+	// MeasureInstructions bounds the analyzed window (0 = to
+	// completion).
+	MeasureInstructions uint64
+	// MaxInstances is the per-static-instruction unique-instance
+	// buffer limit (0 = the paper's 2000).
+	MaxInstances int
+	// ReuseEntries/ReuseAssoc size the reuse buffer (0 = the paper's
+	// 8K, 4-way).
+	ReuseEntries int
+	ReuseAssoc   int
+	// VPredEntries sizes the value-predictor tables (0 = 8192).
+	VPredEntries int
+	// InputVariant selects the workload input data set (0 or 1 = the
+	// standard inputs, 2+ = alternates) — the paper's input
+	// sensitivity check (Section 3).
+	InputVariant int
+	// Analyses toggles; a zero Config enables everything.
+	DisableTaint bool
+	DisableLocal bool
+	DisableFunc  bool
+	DisableReuse bool
+	DisableVPred bool
+	DisableVProf bool
+}
+
+// Pipeline dispatches simulator events to the enabled analyses in the
+// order the measurements require: the repetition verdict for each
+// instruction feeds the category analyses and the reuse comparison.
+type Pipeline struct {
+	Rep   *repetition.Tracker
+	Taint *taint.Analysis
+	Local *local.Analysis
+	Funcs *funcanal.Analysis
+	Reuse *reuse.Buffer
+	VPred *vpred.Predictor
+	VProf *vprofile.Profiler
+
+	counting          bool
+	reuseHits         uint64
+	reuseHitsRepeated uint64
+}
+
+// SetCounting opens (or closes) the measurement window. While closed,
+// dataflow state (taint tags, local frames, call stacks) still
+// propagates so the analyses are correct when the window opens, but no
+// statistics accumulate and no instance buffers fill — the paper's
+// skip-then-measure methodology.
+func (p *Pipeline) SetCounting(on bool) {
+	p.counting = on
+	if p.Taint != nil {
+		p.Taint.Counting = on
+	}
+	if p.Local != nil {
+		p.Local.Counting = on
+	}
+	if p.Funcs != nil {
+		p.Funcs.Counting = on
+	}
+}
+
+// NewPipeline builds the analysis pipeline for an image.
+func NewPipeline(im *program.Image, cfg Config) *Pipeline {
+	p := &Pipeline{Rep: repetition.NewTracker()}
+	if cfg.MaxInstances > 0 {
+		p.Rep.MaxInstances = cfg.MaxInstances
+	}
+	if !cfg.DisableTaint {
+		p.Taint = taint.New(im)
+	}
+	if !cfg.DisableLocal {
+		p.Local = local.New(im)
+	}
+	if !cfg.DisableFunc {
+		p.Funcs = funcanal.New(im)
+	}
+	if !cfg.DisableReuse {
+		p.Reuse = reuse.New(cfg.ReuseEntries, cfg.ReuseAssoc)
+	}
+	if !cfg.DisableVPred {
+		p.VPred = vpred.New(cfg.VPredEntries)
+	}
+	if !cfg.DisableVProf {
+		p.VProf = vprofile.New()
+	}
+	return p
+}
+
+// OnInst implements cpu.Observer.
+func (p *Pipeline) OnInst(ev *cpu.Event) {
+	repeated := false
+	if p.counting {
+		repeated = p.Rep.Observe(ev)
+	}
+	if p.Taint != nil {
+		p.Taint.Observe(ev, repeated)
+	}
+	if p.Local != nil {
+		p.Local.Observe(ev, repeated)
+	}
+	if p.Funcs != nil {
+		p.Funcs.Observe(ev, repeated)
+	}
+	if p.Reuse != nil && p.counting {
+		if p.Reuse.Observe(ev, repeated) {
+			p.reuseHits++
+			if repeated {
+				p.reuseHitsRepeated++
+			}
+		}
+	}
+	if p.VPred != nil && p.counting {
+		p.VPred.Observe(ev)
+	}
+	if p.VProf != nil && p.counting {
+		p.VProf.Observe(ev)
+	}
+}
+
+// OnCall implements cpu.CallObserver.
+func (p *Pipeline) OnCall(ev *cpu.CallEvent) {
+	if p.Local != nil {
+		p.Local.OnCall(ev)
+	}
+	if p.Funcs != nil {
+		p.Funcs.OnCall(ev)
+	}
+}
+
+// OnReturn implements cpu.CallObserver.
+func (p *Pipeline) OnReturn(ev *cpu.RetEvent) {
+	if p.Local != nil {
+		p.Local.OnReturn(ev)
+	}
+	if p.Funcs != nil {
+		p.Funcs.OnReturn(ev)
+	}
+}
+
+// CoverageTargets are the repetition-coverage percentages reported for
+// the Figure 1 and Figure 4 curves.
+var CoverageTargets = []float64{50, 60, 70, 80, 90, 95, 99, 100}
+
+// Report collects every measurement of the paper for one benchmark.
+type Report struct {
+	Benchmark string
+
+	// Run accounting.
+	SkippedInstructions  uint64
+	MeasuredInstructions uint64
+	ProgramExited        bool
+	ExitCode             int32
+
+	// Table 1.
+	DynTotal        uint64
+	DynRepeatedPct  float64
+	StaticTotal     int
+	StaticExecuted  int
+	StaticExecPct   float64
+	StaticRepeatPct float64 // % of executed static insts that repeat
+
+	// Figure 1: % of repeated static instructions covering each of
+	// CoverageTargets percent of repetition.
+	Fig1Targets []float64
+	Fig1        []float64
+
+	// Figure 3 buckets.
+	Fig3 [5]float64
+
+	// Table 2.
+	UniqueInstances uint64
+	AvgRepeats      float64
+
+	// Figure 4.
+	Fig4Targets []float64
+	Fig4        []float64
+
+	// Table 3 (nil-safe zero value when disabled).
+	Table3 taint.Result
+
+	// Table 4.
+	Table4 funcanal.Table4
+
+	// Tables 5-7.
+	Local local.Result
+
+	// Table 8.
+	Table8 funcanal.Table8
+
+	// Figure 5: coverage by top 1..5 argument sets.
+	Fig5 []float64
+
+	// Table 9.
+	Table9         []local.PERow
+	Table9Coverage float64
+
+	// Figure 6: coverage by top 1..5 load values.
+	Fig6 []float64
+
+	// Table 10.
+	ReusePctAll      float64
+	ReusePctRepeated float64
+
+	// Extension: per-instruction-class census (the typed total
+	// analysis Section 2 mentions but the paper omits).
+	TypeOverallPct    [repetition.NumClasses]float64
+	TypePropensityPct [repetition.NumClasses]float64
+
+	// Extension: value-prediction accuracy (Section 7's other
+	// exploitation mechanism).
+	VPred vpred.Result
+
+	// Extension: per-function profile — self instruction counts with
+	// per-function repetition (drill-down behind Tables 4/9).
+	Profile []funcanal.FuncRow
+
+	// Extension: Calder-style output-value invariance (the paper's
+	// reference [3], contrasted with input+output repetition).
+	VProfile vprofile.Result
+}
+
+// Collect gathers the report after a run.
+func (p *Pipeline) Collect(im *program.Image, name string) *Report {
+	r := &Report{
+		Benchmark:   name,
+		Fig1Targets: CoverageTargets,
+		Fig4Targets: CoverageTargets,
+	}
+	t := p.Rep
+	r.DynTotal = t.DynamicInstructions()
+	r.DynRepeatedPct = t.RepeatedPercent()
+	r.StaticTotal = im.StaticInstructions()
+	r.StaticExecuted = t.StaticExecuted()
+	if r.StaticTotal > 0 {
+		r.StaticExecPct = 100 * float64(r.StaticExecuted) / float64(r.StaticTotal)
+	}
+	if r.StaticExecuted > 0 {
+		r.StaticRepeatPct = 100 * float64(t.StaticRepeated()) / float64(r.StaticExecuted)
+	}
+	r.Fig1 = t.StaticCoverage(CoverageTargets)
+	r.Fig3 = t.InstanceBuckets().Percents()
+	r.UniqueInstances, r.AvgRepeats = t.UniqueRepeatableInstances()
+	r.Fig4 = t.InstanceCoverage(CoverageTargets)
+
+	if p.Taint != nil {
+		r.Table3 = p.Taint.Result()
+	}
+	if p.Funcs != nil {
+		r.Table4 = p.Funcs.Table4()
+		r.Table8 = p.Funcs.Table8()
+		r.Fig5 = p.Funcs.TopArgSetCoverage(5)
+		r.Profile = p.Funcs.PerFunction()
+	}
+	if p.Local != nil {
+		r.Local = p.Local.Result()
+		r.Table9, r.Table9Coverage = p.Local.TopPrologueEpilogue(5)
+		r.Fig6 = p.Local.TopLoadValueCoverage(5)
+	}
+	if p.Reuse != nil {
+		r.ReusePctAll = p.Reuse.HitPercent()
+		rep := t.RepeatedInstructions()
+		if rep > 0 {
+			r.ReusePctRepeated = 100 * float64(p.reuseHitsRepeated) / float64(rep)
+		}
+	}
+	r.TypeOverallPct = t.Types.OverallPct()
+	r.TypePropensityPct = t.Types.PropensityPct()
+	if p.VPred != nil {
+		r.VPred = p.VPred.Result(t.DynamicInstructions())
+	}
+	if p.VProf != nil {
+		r.VProfile = p.VProf.Result()
+	}
+	return r
+}
+
+// Run executes a full experiment: fast-forward, attach the pipeline,
+// measure, and collect the report.
+func Run(im *program.Image, input []byte, name string, cfg Config) (*Report, error) {
+	m := cpu.New(im, input)
+	p := NewPipeline(im, cfg)
+	m.Attach(p)
+	var skipped uint64
+	if cfg.SkipInstructions > 0 {
+		// Warmup: the pipeline propagates dataflow state (so tags
+		// from initialization-time input reads survive) but counts
+		// nothing.
+		var err error
+		skipped, err = m.Run(cfg.SkipInstructions)
+		if err != nil {
+			return nil, fmt.Errorf("core: warmup: %w", err)
+		}
+	}
+	p.SetCounting(true)
+	measured, err := m.Run(cfg.MeasureInstructions)
+	if err != nil {
+		return nil, fmt.Errorf("core: measure: %w", err)
+	}
+	r := p.Collect(im, name)
+	r.SkippedInstructions = skipped
+	r.MeasuredInstructions = measured
+	r.ProgramExited = m.Halted
+	r.ExitCode = m.ExitCode
+	return r, nil
+}

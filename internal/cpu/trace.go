@@ -1,0 +1,99 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Tracer is an Observer that writes a human-readable execution trace:
+// one line per retired instruction, with register writes, memory
+// traffic, and function entry/exit markers. It is a development aid
+// for writing workloads and debugging the compiler
+// (cmd/instrep exec -trace).
+type Tracer struct {
+	W io.Writer
+	// Limit stops output after this many lines (0 = unlimited).
+	Limit uint64
+
+	lines uint64
+	depth int
+}
+
+// NewTracer builds a tracer writing to w, stopping after limit lines.
+func NewTracer(w io.Writer, limit uint64) *Tracer {
+	return &Tracer{W: w, Limit: limit}
+}
+
+// OnInst implements Observer.
+func (t *Tracer) OnInst(ev *Event) {
+	if t.Limit > 0 && t.lines >= t.Limit {
+		return
+	}
+	t.lines++
+	fmt.Fprintf(t.W, "%8d  %08x  %-28s", ev.Index, ev.PC, ev.Inst.String())
+	if ev.Dst >= 0 {
+		fmt.Fprintf(t.W, "  %s=%#x", regName(ev.Dst), ev.DstVal)
+	}
+	if ev.Aux >= 0 {
+		fmt.Fprintf(t.W, " %s=%#x", regName(ev.Aux), ev.AuxVal)
+	}
+	switch {
+	case ev.IsLoad:
+		fmt.Fprintf(t.W, "  [%#x]->%#x", ev.Addr, ev.MemVal)
+	case ev.IsStore:
+		fmt.Fprintf(t.W, "  [%#x]<-%#x", ev.Addr, ev.MemVal)
+	case ev.IsBranch:
+		if ev.Taken {
+			fmt.Fprintf(t.W, "  taken->%#x", ev.NextPC)
+		} else {
+			fmt.Fprint(t.W, "  not-taken")
+		}
+	}
+	fmt.Fprintln(t.W)
+}
+
+// OnCall implements CallObserver.
+func (t *Tracer) OnCall(ev *CallEvent) {
+	if t.Limit > 0 && t.lines >= t.Limit {
+		return
+	}
+	t.depth++
+	name := "?"
+	nargs := 0
+	if ev.Callee != nil {
+		name = ev.Callee.Name
+		nargs = ev.Callee.NArgs
+	}
+	fmt.Fprintf(t.W, "%8s  %*scall %s(", "", 2*t.depth, "", name)
+	for i := 0; i < nargs && i < MaxTrackedArgs; i++ {
+		if i > 0 {
+			fmt.Fprint(t.W, ", ")
+		}
+		fmt.Fprintf(t.W, "%d", int32(ev.Args[i]))
+	}
+	fmt.Fprintln(t.W, ")")
+}
+
+// OnReturn implements CallObserver.
+func (t *Tracer) OnReturn(ev *RetEvent) {
+	if t.Limit > 0 && t.lines >= t.Limit {
+		return
+	}
+	if t.depth > 0 {
+		fmt.Fprintf(t.W, "%8s  %*sreturn\n", "", 2*t.depth, "")
+		t.depth--
+	}
+}
+
+func regName(r int16) string {
+	switch r {
+	case RegHI:
+		return "$hi"
+	case RegLO:
+		return "$lo"
+	default:
+		return isa.RegName(int(r))
+	}
+}

@@ -1,0 +1,97 @@
+package cpu_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestTracer(t *testing.T) {
+	m := load(t, exitStub+`
+		.func double 1
+double:
+		addu $v0, $a0, $a0
+		jr $ra
+		.endfunc
+		.func main 0
+main:
+		addiu $sp, $sp, -8
+		sw $ra, 4($sp)
+		li $a0, 21
+		jal double
+		lw $ra, 4($sp)
+		addiu $sp, $sp, 8
+		jr $ra
+		.endfunc
+	`, "")
+	var buf bytes.Buffer
+	m.Attach(cpu.NewTracer(&buf, 0))
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"call main()",
+		"call double(21)",
+		"return",
+		"addu $v0, $a0, $a0",
+		"$v0=0x2a",
+		"jr $ra",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	m := load(t, exitStub+`
+		.func main 0
+main:
+		li $t0, 100
+loop:
+		addiu $t0, $t0, -1
+		bne $t0, $zero, loop
+		jr $ra
+		.endfunc
+	`, "")
+	var buf bytes.Buffer
+	m.Attach(cpu.NewTracer(&buf, 5))
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines > 7 { // 5 instruction lines + possible call markers
+		t.Errorf("limit not enforced: %d lines", lines)
+	}
+}
+
+func TestTracerMemoryAndBranch(t *testing.T) {
+	m := load(t, exitStub+`
+		.data
+v:		.word 5
+		.text
+		.func main 0
+main:
+		lw $t0, %gp(v)
+		sw $t0, %gp(v)
+		beq $t0, $zero, skip
+		li $v0, 0
+skip:
+		jr $ra
+		.endfunc
+	`, "")
+	var buf bytes.Buffer
+	m.Attach(cpu.NewTracer(&buf, 0))
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[0x10000000]->0x5", "[0x10000000]<-0x5", "not-taken"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}

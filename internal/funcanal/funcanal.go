@@ -1,0 +1,344 @@
+// Package funcanal implements the paper's *function-level analysis*
+// (Sections 5.2 and 6): repetition of function-argument tuples
+// (Table 4), memoization candidacy — dynamic calls with no side
+// effects and no implicit inputs (Table 8) — and specialization
+// coverage of the most frequent argument sets (Figure 5).
+package funcanal
+
+import (
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// maxTuples bounds the distinct argument tuples remembered per static
+// function; beyond it, unseen tuples are classified non-repeated and
+// not inserted (the same buffering discipline as the repetition
+// tracker).
+const maxTuples = 1 << 16
+
+// argKey is a comparable argument tuple.
+type argKey struct {
+	n int
+	a [cpu.MaxTrackedArgs]uint32
+}
+
+// funcStats accumulates per-static-function data.
+type funcStats struct {
+	fn      *program.Func
+	calls   uint64
+	allRep  uint64 // calls where the whole tuple repeated
+	noneRep uint64 // calls where no single argument value repeated
+
+	tuples     map[argKey]uint64
+	tuplesFull bool
+	perArg     []map[uint32]struct{}
+
+	// Completed (returned) dynamic calls.
+	returned       uint64
+	pureCalls      uint64 // no side effects, no implicit inputs
+	pureAllRep     uint64 // pure AND all-arg-repeated
+	returnedAllRep uint64
+
+	// Per-function dynamic instruction profile (instructions retired
+	// while this function's activation was innermost).
+	instrs    uint64
+	instrsRep uint64
+}
+
+// frame is one live activation.
+type frame struct {
+	stats    *funcStats
+	spEntry  uint32
+	allRep   bool
+	sideEff  bool
+	implicit bool
+}
+
+// Analysis observes calls, returns, and memory instructions.
+type Analysis struct {
+	// Counting gates the statistics: the activation stack and purity
+	// flags always update, but calls are only recorded (and argument
+	// tuples buffered) while Counting is true — the paper's
+	// skip-then-measure window.
+	Counting bool
+
+	image *program.Image
+	byPC  map[uint32]*funcStats
+	stack []frame
+	curSP uint32
+
+	totalCalls   uint64
+	totalAllRep  uint64
+	totalNoneRep uint64
+}
+
+// New creates the analysis.
+func New(im *program.Image) *Analysis {
+	return &Analysis{
+		image: im,
+		byPC:  make(map[uint32]*funcStats),
+		curSP: program.StackTop,
+	}
+}
+
+// OnCall records a call and classifies its argument tuple.
+func (a *Analysis) OnCall(ev *cpu.CallEvent) {
+	if !a.Counting {
+		// Keep the activation stack balanced without buffering
+		// argument history.
+		a.stack = append(a.stack, frame{spEntry: ev.SP})
+		return
+	}
+	if ev.Callee == nil {
+		// Unknown target: keep the stack balanced with an anonymous
+		// frame so returns still match.
+		a.stack = append(a.stack, frame{spEntry: ev.SP})
+		return
+	}
+	st := a.byPC[ev.Target]
+	if st == nil {
+		n := ev.Callee.NArgs
+		if n > cpu.MaxTrackedArgs {
+			n = cpu.MaxTrackedArgs
+		}
+		st = &funcStats{
+			fn:     ev.Callee,
+			tuples: make(map[argKey]uint64),
+			perArg: make([]map[uint32]struct{}, n),
+		}
+		for i := range st.perArg {
+			st.perArg[i] = make(map[uint32]struct{})
+		}
+		a.byPC[ev.Target] = st
+	}
+	st.calls++
+	a.totalCalls++
+
+	nargs := len(st.perArg)
+	var key argKey
+	key.n = nargs
+	for i := 0; i < nargs; i++ {
+		key.a[i] = ev.Args[i]
+	}
+
+	allRep := false
+	if n, seen := st.tuples[key]; seen {
+		st.tuples[key] = n + 1
+		allRep = true
+	} else if len(st.tuples) < maxTuples {
+		st.tuples[key] = 1
+	} else {
+		st.tuplesFull = true
+	}
+	if allRep && nargs >= 0 {
+		// Zero-arg functions trivially repeat their (empty) tuple
+		// from the second call on; the paper's Table 4 counts calls
+		// with "ALL args repeated", which is vacuously true there.
+		st.allRep++
+		a.totalAllRep++
+	}
+
+	noneRep := nargs > 0
+	for i := 0; i < nargs; i++ {
+		if _, seen := st.perArg[i][ev.Args[i]]; seen {
+			noneRep = false
+		} else {
+			st.perArg[i][ev.Args[i]] = struct{}{}
+		}
+	}
+	if noneRep {
+		st.noneRep++
+		a.totalNoneRep++
+	}
+
+	a.stack = append(a.stack, frame{stats: st, spEntry: ev.SP, allRep: allRep})
+}
+
+// OnReturn completes the innermost activation, folding its purity
+// flags into the caller (calling an impure function is itself a side
+// effect for memoization purposes).
+func (a *Analysis) OnReturn(ev *cpu.RetEvent) {
+	if len(a.stack) == 0 {
+		return // attached mid-run; tolerate unbalanced returns
+	}
+	fr := a.stack[len(a.stack)-1]
+	a.stack = a.stack[:len(a.stack)-1]
+	if fr.stats != nil {
+		fr.stats.returned++
+		if fr.allRep {
+			fr.stats.returnedAllRep++
+		}
+		if !fr.sideEff && !fr.implicit {
+			fr.stats.pureCalls++
+			if fr.allRep {
+				fr.stats.pureAllRep++
+			}
+		}
+	}
+	if len(a.stack) > 0 {
+		parent := &a.stack[len(a.stack)-1]
+		parent.sideEff = parent.sideEff || fr.sideEff
+		parent.implicit = parent.implicit || fr.implicit
+	}
+}
+
+// Observe inspects memory and syscall behaviour for purity flags and
+// attributes the instruction to the innermost activation's function
+// for the per-function profile.
+func (a *Analysis) Observe(ev *cpu.Event, repeated bool) {
+	// Track $sp so "own frame" is known without reading CPU state.
+	if ev.Dst == isa.RegSP {
+		a.curSP = ev.DstVal
+	}
+	if len(a.stack) == 0 {
+		return
+	}
+	fr := &a.stack[len(a.stack)-1]
+	if a.Counting && fr.stats != nil {
+		fr.stats.instrs++
+		if repeated {
+			fr.stats.instrsRep++
+		}
+	}
+	switch {
+	case ev.IsStore:
+		if !a.ownFrame(fr, ev.Addr) {
+			fr.sideEff = true
+		}
+	case ev.IsLoad:
+		if !a.ownFrame(fr, ev.Addr) {
+			fr.implicit = true
+		}
+	case ev.Inst.Op == isa.OpSYSCALL:
+		fr.sideEff = true
+		if ev.SysNum == cpu.SysReadChar || ev.SysNum == cpu.SysReadBlock {
+			fr.implicit = true
+		}
+	}
+}
+
+// ownFrame reports whether addr falls in the activation's own stack
+// frame or its incoming-argument slots.
+func (a *Analysis) ownFrame(fr *frame, addr uint32) bool {
+	return addr >= a.curSP && addr < fr.spEntry+4*cpu.MaxTrackedArgs+4
+}
+
+// Table4 is the function-level repetition summary.
+type Table4 struct {
+	Funcs      int     // static functions called
+	DynCalls   uint64  // dynamic calls observed
+	AllArgsPct float64 // % of calls with the whole tuple repeated
+	NoArgsPct  float64 // % of calls with no argument value repeated
+}
+
+// Table4 computes the paper's Table 4 row.
+func (a *Analysis) Table4() Table4 {
+	return Table4{
+		Funcs:      len(a.byPC),
+		DynCalls:   a.totalCalls,
+		AllArgsPct: pct(a.totalAllRep, a.totalCalls),
+		NoArgsPct:  pct(a.totalNoneRep, a.totalCalls),
+	}
+}
+
+// Table8 reports memoization candidacy.
+type Table8 struct {
+	// PureOfAllPct: dynamic calls with no side effects or implicit
+	// inputs, as a percentage of all completed calls.
+	PureOfAllPct float64
+	// PureOfAllArgRepPct: the same calls as a percentage of completed
+	// calls with all-argument repetition.
+	PureOfAllArgRepPct float64
+}
+
+// Table8 computes the paper's Table 8 row.
+func (a *Analysis) Table8() Table8 {
+	var returned, pure, allRep, pureAllRep uint64
+	for _, st := range a.byPC {
+		returned += st.returned
+		pure += st.pureCalls
+		allRep += st.returnedAllRep
+		pureAllRep += st.pureAllRep
+	}
+	return Table8{
+		PureOfAllPct:       pct(pure, returned),
+		PureOfAllArgRepPct: pct(pureAllRep, allRep),
+	}
+}
+
+// TopArgSetCoverage computes Figure 5: for k = 1..maxK, the share of
+// all-argument repetition covered by specializing every function for
+// its k most frequent argument tuples.
+func (a *Analysis) TopArgSetCoverage(maxK int) []float64 {
+	covered := make([]uint64, maxK)
+	var total uint64
+	for _, st := range a.byPC {
+		counts := make([]uint64, 0, len(st.tuples))
+		for _, n := range st.tuples {
+			if n >= 2 {
+				counts = append(counts, n-1) // repeats of this tuple
+			}
+		}
+		sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+		for i := 0; i < maxK && i < len(counts); i++ {
+			covered[i] += counts[i] // marginal coverage of the (i+1)-th tuple
+		}
+		for _, n := range counts {
+			total += n
+		}
+	}
+	out := make([]float64, maxK)
+	var cum uint64
+	for i := 0; i < maxK; i++ {
+		cum += covered[i]
+		out[i] = pct(cum, total)
+	}
+	return out
+}
+
+// FuncRow is one per-function drill-down row.
+type FuncRow struct {
+	Name       string
+	Calls      uint64
+	AllArgsPct float64
+	Size       int // static instructions
+	// Instrs counts dynamic instructions retired while the function's
+	// own activation was innermost (self time, not inclusive);
+	// RepeatPct is the share of those that repeated.
+	Instrs    uint64
+	RepeatPct float64
+}
+
+// PerFunction returns the per-function profile sorted by dynamic
+// instruction count: which functions execute the most, and how
+// repetitive each one's execution is.
+func (a *Analysis) PerFunction() []FuncRow {
+	rows := make([]FuncRow, 0, len(a.byPC))
+	for _, st := range a.byPC {
+		rows = append(rows, FuncRow{
+			Name:       st.fn.Name,
+			Calls:      st.calls,
+			AllArgsPct: pct(st.allRep, st.calls),
+			Size:       st.fn.Size(),
+			Instrs:     st.instrs,
+			RepeatPct:  pct(st.instrsRep, st.instrs),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Instrs != rows[j].Instrs {
+			return rows[i].Instrs > rows[j].Instrs
+		}
+		return rows[i].Calls > rows[j].Calls
+	})
+	return rows
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,286 @@
+package isa
+
+import "fmt"
+
+// Binary encoding follows the real MIPS-I formats:
+//
+//	R-type: op(6)=0 | rs(5) | rt(5) | rd(5) | shamt(5) | funct(6)
+//	I-type: op(6)   | rs(5) | rt(5) | imm(16)
+//	J-type: op(6)   | target(26)
+//
+// Encode/Decode round-trip exactly for every instruction the assembler
+// and compiler produce; property tests in encoding_test.go verify this.
+
+// R-type funct codes.
+const (
+	fnSLL     = 0
+	fnSRL     = 2
+	fnSRA     = 3
+	fnSLLV    = 4
+	fnSRLV    = 6
+	fnSRAV    = 7
+	fnJR      = 8
+	fnJALR    = 9
+	fnSYSCALL = 12
+	fnBREAK   = 13
+	fnMFHI    = 16
+	fnMTHI    = 17
+	fnMFLO    = 18
+	fnMTLO    = 19
+	fnMULT    = 24
+	fnMULTU   = 25
+	fnDIV     = 26
+	fnDIVU    = 27
+	fnADDU    = 33
+	fnSUBU    = 35
+	fnAND     = 36
+	fnOR      = 37
+	fnXOR     = 38
+	fnNOR     = 39
+	fnSLT     = 42
+	fnSLTU    = 43
+)
+
+// Major opcodes.
+const (
+	opSPECIAL = 0
+	opREGIMM  = 1
+	opJ       = 2
+	opJAL     = 3
+	opBEQ     = 4
+	opBNE     = 5
+	opBLEZ    = 6
+	opBGTZ    = 7
+	opADDIU   = 9
+	opSLTI    = 10
+	opSLTIU   = 11
+	opANDI    = 12
+	opORI     = 13
+	opXORI    = 14
+	opLUI     = 15
+	opLB      = 32
+	opLH      = 33
+	opLW      = 35
+	opLBU     = 36
+	opLHU     = 37
+	opSB      = 40
+	opSH      = 41
+	opSW      = 43
+)
+
+var alu3Funct = map[Op]uint32{
+	OpADDU: fnADDU, OpSUBU: fnSUBU, OpAND: fnAND, OpOR: fnOR,
+	OpXOR: fnXOR, OpNOR: fnNOR, OpSLT: fnSLT, OpSLTU: fnSLTU,
+	OpSLLV: fnSLLV, OpSRLV: fnSRLV, OpSRAV: fnSRAV,
+}
+
+var functALU3 = invert(alu3Funct)
+
+var shiftFunct = map[Op]uint32{OpSLL: fnSLL, OpSRL: fnSRL, OpSRA: fnSRA}
+var functShift = invert(shiftFunct)
+
+var mulDivFunct = map[Op]uint32{
+	OpMULT: fnMULT, OpMULTU: fnMULTU, OpDIV: fnDIV, OpDIVU: fnDIVU,
+}
+var functMulDiv = invert(mulDivFunct)
+
+var moveHLFunct = map[Op]uint32{
+	OpMFHI: fnMFHI, OpMFLO: fnMFLO, OpMTHI: fnMTHI, OpMTLO: fnMTLO,
+}
+var functMoveHL = invert(moveHLFunct)
+
+var immOpcode = map[Op]uint32{
+	OpADDIU: opADDIU, OpSLTI: opSLTI, OpSLTIU: opSLTIU,
+	OpANDI: opANDI, OpORI: opORI, OpXORI: opXORI,
+}
+var opcodeImm = invert(immOpcode)
+
+var memOpcode = map[Op]uint32{
+	OpLB: opLB, OpLBU: opLBU, OpLH: opLH, OpLHU: opLHU, OpLW: opLW,
+	OpSB: opSB, OpSH: opSH, OpSW: opSW,
+}
+var opcodeMem = invert(memOpcode)
+
+func invert(m map[Op]uint32) map[uint32]Op {
+	out := make(map[uint32]Op, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func rtype(rs, rt, rd, shamt, funct uint32) uint32 {
+	return rs<<21 | rt<<16 | rd<<11 | shamt<<6 | funct
+}
+
+func itype(op, rs, rt uint32, imm int32) uint32 {
+	return op<<26 | rs<<21 | rt<<16 | uint32(uint16(imm))
+}
+
+// Encode returns the 32-bit machine word for in. It returns an error if
+// an immediate does not fit its field.
+func Encode(in Inst) (uint32, error) {
+	rs, rt, rd := uint32(in.Rs), uint32(in.Rt), uint32(in.Rd)
+	switch OpKind(in.Op) {
+	case KindALU3:
+		return rtype(rs, rt, rd, 0, alu3Funct[in.Op]), nil
+	case KindShift:
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, fmt.Errorf("isa: shift amount %d out of range", in.Imm)
+		}
+		return rtype(0, rt, rd, uint32(in.Imm), shiftFunct[in.Op]), nil
+	case KindMulDiv:
+		return rtype(rs, rt, 0, 0, mulDivFunct[in.Op]), nil
+	case KindMoveHL:
+		switch in.Op {
+		case OpMFHI, OpMFLO:
+			return rtype(0, 0, rd, 0, moveHLFunct[in.Op]), nil
+		default:
+			return rtype(rs, 0, 0, 0, moveHLFunct[in.Op]), nil
+		}
+	case KindALUImm:
+		if err := checkImm16(in.Op, in.Imm); err != nil {
+			return 0, err
+		}
+		return itype(immOpcode[in.Op], rs, rt, in.Imm), nil
+	case KindLUI:
+		if in.Imm < 0 || in.Imm > 0xffff {
+			return 0, fmt.Errorf("isa: lui immediate %d out of range", in.Imm)
+		}
+		return itype(opLUI, 0, rt, in.Imm), nil
+	case KindLoad, KindStore:
+		if in.Imm < -32768 || in.Imm > 32767 {
+			return 0, fmt.Errorf("isa: memory offset %d out of range", in.Imm)
+		}
+		return itype(memOpcode[in.Op], rs, rt, in.Imm), nil
+	case KindBranch:
+		if in.Imm < -32768 || in.Imm > 32767 {
+			return 0, fmt.Errorf("isa: branch offset %d out of range", in.Imm)
+		}
+		switch in.Op {
+		case OpBEQ:
+			return itype(opBEQ, rs, rt, in.Imm), nil
+		case OpBNE:
+			return itype(opBNE, rs, rt, in.Imm), nil
+		case OpBLEZ:
+			return itype(opBLEZ, rs, 0, in.Imm), nil
+		case OpBGTZ:
+			return itype(opBGTZ, rs, 0, in.Imm), nil
+		case OpBLTZ:
+			return itype(opREGIMM, rs, 0, in.Imm), nil
+		default: // OpBGEZ
+			return itype(opREGIMM, rs, 1, in.Imm), nil
+		}
+	case KindJump:
+		if in.Imm < 0 || uint32(in.Imm) > 1<<26-1 {
+			return 0, fmt.Errorf("isa: jump target %d out of range", in.Imm)
+		}
+		op := uint32(opJ)
+		if in.Op == OpJAL {
+			op = opJAL
+		}
+		return op<<26 | uint32(in.Imm), nil
+	case KindJumpReg:
+		if in.Op == OpJR {
+			return rtype(rs, 0, 0, 0, fnJR), nil
+		}
+		return rtype(rs, 0, rd, 0, fnJALR), nil
+	default:
+		if in.Op == OpSYSCALL {
+			return rtype(0, 0, 0, 0, fnSYSCALL), nil
+		}
+		if in.Op == OpBREAK {
+			return rtype(0, 0, 0, 0, fnBREAK), nil
+		}
+		return 0, fmt.Errorf("isa: cannot encode op %v", in.Op)
+	}
+}
+
+func checkImm16(op Op, imm int32) error {
+	switch op {
+	case OpANDI, OpORI, OpXORI:
+		if imm < 0 || imm > 0xffff {
+			return fmt.Errorf("isa: %v immediate %d out of unsigned 16-bit range", op, imm)
+		}
+	default:
+		if imm < -32768 || imm > 32767 {
+			return fmt.Errorf("isa: %v immediate %d out of signed 16-bit range", op, imm)
+		}
+	}
+	return nil
+}
+
+// Decode decodes a 32-bit machine word.
+func Decode(word uint32) (Inst, error) {
+	op := word >> 26
+	rs := uint8(word >> 21 & 31)
+	rt := uint8(word >> 16 & 31)
+	rd := uint8(word >> 11 & 31)
+	shamt := int32(word >> 6 & 31)
+	funct := word & 63
+	simm := int32(int16(word & 0xffff))
+	uimm := int32(word & 0xffff)
+
+	switch op {
+	case opSPECIAL:
+		if o, ok := functALU3[funct]; ok {
+			return Inst{Op: o, Rd: rd, Rs: rs, Rt: rt}, nil
+		}
+		if o, ok := functShift[funct]; ok {
+			return Inst{Op: o, Rd: rd, Rt: rt, Imm: shamt}, nil
+		}
+		if o, ok := functMulDiv[funct]; ok {
+			return Inst{Op: o, Rs: rs, Rt: rt}, nil
+		}
+		if o, ok := functMoveHL[funct]; ok {
+			if o == OpMFHI || o == OpMFLO {
+				return Inst{Op: o, Rd: rd}, nil
+			}
+			return Inst{Op: o, Rs: rs}, nil
+		}
+		switch funct {
+		case fnJR:
+			return Inst{Op: OpJR, Rs: rs}, nil
+		case fnJALR:
+			return Inst{Op: OpJALR, Rd: rd, Rs: rs}, nil
+		case fnSYSCALL:
+			return Inst{Op: OpSYSCALL}, nil
+		case fnBREAK:
+			return Inst{Op: OpBREAK}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown funct %d", funct)
+	case opREGIMM:
+		switch rt {
+		case 0:
+			return Inst{Op: OpBLTZ, Rs: rs, Imm: simm}, nil
+		case 1:
+			return Inst{Op: OpBGEZ, Rs: rs, Imm: simm}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown regimm rt %d", rt)
+	case opJ:
+		return Inst{Op: OpJ, Imm: int32(word & (1<<26 - 1))}, nil
+	case opJAL:
+		return Inst{Op: OpJAL, Imm: int32(word & (1<<26 - 1))}, nil
+	case opBEQ:
+		return Inst{Op: OpBEQ, Rs: rs, Rt: rt, Imm: simm}, nil
+	case opBNE:
+		return Inst{Op: OpBNE, Rs: rs, Rt: rt, Imm: simm}, nil
+	case opBLEZ:
+		return Inst{Op: OpBLEZ, Rs: rs, Imm: simm}, nil
+	case opBGTZ:
+		return Inst{Op: OpBGTZ, Rs: rs, Imm: simm}, nil
+	case opLUI:
+		return Inst{Op: OpLUI, Rt: rt, Imm: uimm}, nil
+	}
+	if o, ok := opcodeImm[op]; ok {
+		imm := simm
+		if o == OpANDI || o == OpORI || o == OpXORI {
+			imm = uimm
+		}
+		return Inst{Op: o, Rs: rs, Rt: rt, Imm: imm}, nil
+	}
+	if o, ok := opcodeMem[op]; ok {
+		return Inst{Op: o, Rs: rs, Rt: rt, Imm: simm}, nil
+	}
+	return Inst{}, fmt.Errorf("isa: unknown opcode %d", op)
+}

@@ -1,0 +1,157 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestEncodeKnownWords pins the encoding against hand-assembled real
+// MIPS-I machine words.
+func TestEncodeKnownWords(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want uint32
+	}{
+		// addu $v0, $a0, $a1 -> 0x00851021
+		{Inst{Op: OpADDU, Rd: RegV0, Rs: RegA0, Rt: RegA1}, 0x00851021},
+		// addiu $sp, $sp, -32 -> 0x27bdffe0
+		{Inst{Op: OpADDIU, Rt: RegSP, Rs: RegSP, Imm: -32}, 0x27bdffe0},
+		// lw $ra, 28($sp) -> 0x8fbf001c
+		{Inst{Op: OpLW, Rt: RegRA, Rs: RegSP, Imm: 28}, 0x8fbf001c},
+		// sw $a0, 0($t0) -> 0xad040000
+		{Inst{Op: OpSW, Rt: RegA0, Rs: RegT0, Imm: 0}, 0xad040000},
+		// jr $ra -> 0x03e00008
+		{Inst{Op: OpJR, Rs: RegRA}, 0x03e00008},
+		// sll $t0, $t1, 2 -> 0x00094080
+		{Inst{Op: OpSLL, Rd: RegT0, Rt: RegT1, Imm: 2}, 0x00094080},
+		// lui $gp, 0x1000 -> 0x3c1c1000
+		{Inst{Op: OpLUI, Rt: RegGP, Imm: 0x1000}, 0x3c1c1000},
+		// syscall -> 0x0000000c
+		{Inst{Op: OpSYSCALL}, 0x0000000c},
+		// beq $zero, $zero, +1 -> 0x10000001
+		{Inst{Op: OpBEQ, Imm: 1}, 0x10000001},
+		// bgez $a0, +2 -> 0x04810002
+		{Inst{Op: OpBGEZ, Rs: RegA0, Imm: 2}, 0x04810002},
+		// jal 0x00400000>>2 -> 0x0c100000
+		{Inst{Op: OpJAL, Imm: 0x00400000 >> 2}, 0x0c100000},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Encode(%v) = %#08x, want %#08x", c.in, got, c.want)
+		}
+		back, err := Decode(c.want)
+		if err != nil {
+			t.Errorf("Decode(%#08x): %v", c.want, err)
+			continue
+		}
+		if back != c.in {
+			t.Errorf("Decode(%#08x) = %+v, want %+v", c.want, back, c.in)
+		}
+	}
+}
+
+// randomInst produces a random, encodable instruction.
+func randomInst(r *rand.Rand) Inst {
+	for {
+		op := Op(1 + r.Intn(int(numOps)-1))
+		in := Inst{Op: op}
+		reg := func() uint8 { return uint8(r.Intn(NumRegs)) }
+		switch OpKind(op) {
+		case KindALU3:
+			in.Rd, in.Rs, in.Rt = reg(), reg(), reg()
+		case KindShift:
+			in.Rd, in.Rt, in.Imm = reg(), reg(), int32(r.Intn(32))
+		case KindMulDiv:
+			in.Rs, in.Rt = reg(), reg()
+		case KindMoveHL:
+			if op == OpMFHI || op == OpMFLO {
+				in.Rd = reg()
+			} else {
+				in.Rs = reg()
+			}
+		case KindALUImm:
+			in.Rt, in.Rs = reg(), reg()
+			if op == OpANDI || op == OpORI || op == OpXORI {
+				in.Imm = int32(r.Intn(0x10000))
+			} else {
+				in.Imm = int32(r.Intn(0x10000) - 0x8000)
+			}
+		case KindLUI:
+			in.Rt, in.Imm = reg(), int32(r.Intn(0x10000))
+		case KindLoad, KindStore:
+			in.Rt, in.Rs, in.Imm = reg(), reg(), int32(r.Intn(0x10000)-0x8000)
+		case KindBranch:
+			in.Rs, in.Imm = reg(), int32(r.Intn(0x10000)-0x8000)
+			if op == OpBEQ || op == OpBNE {
+				in.Rt = reg()
+			}
+		case KindJump:
+			in.Imm = int32(r.Intn(1 << 26))
+		case KindJumpReg:
+			in.Rs = reg()
+			if op == OpJALR {
+				in.Rd = reg()
+			}
+		case KindSys:
+			// no operands
+		}
+		return in
+	}
+}
+
+// TestEncodeDecodeRoundTrip is the property test: Decode(Encode(x)) == x
+// for every well-formed instruction.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		in := randomInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) of %+v: %v", w, in, err)
+		}
+		return back == in
+	}
+	cfg := &quick.Config{MaxCount: 5000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		{Op: OpADDIU, Rt: 1, Rs: 1, Imm: 40000},
+		{Op: OpADDIU, Rt: 1, Rs: 1, Imm: -40000},
+		{Op: OpANDI, Rt: 1, Rs: 1, Imm: -1},
+		{Op: OpLW, Rt: 1, Rs: 1, Imm: 1 << 20},
+		{Op: OpSLL, Rd: 1, Rt: 1, Imm: 32},
+		{Op: OpLUI, Rt: 1, Imm: -5},
+		{Op: OpBEQ, Imm: 1 << 17},
+		{Op: OpJ, Imm: -1},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("Encode(%+v) should fail", in)
+		}
+	}
+}
+
+func TestDecodeUnknown(t *testing.T) {
+	// funct 0x3f is unassigned in our subset.
+	if _, err := Decode(0x0000003f); err == nil {
+		t.Error("Decode of unknown funct should fail")
+	}
+	// opcode 0x3f is unassigned.
+	if _, err := Decode(0xfc000000); err == nil {
+		t.Error("Decode of unknown opcode should fail")
+	}
+}

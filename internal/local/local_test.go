@@ -1,0 +1,247 @@
+package local_test
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/local"
+	"repro/internal/minic"
+)
+
+// run compiles src, executes it to completion with the local analysis
+// attached (counting from the start), and returns the result.
+func run(t *testing.T, src string) (local.Result, *local.Analysis) {
+	t.Helper()
+	im, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := cpu.New(im, nil)
+	a := local.New(im)
+	a.Counting = true
+	m.Attach(obs{a})
+	if _, err := m.Run(20_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !m.Halted {
+		t.Fatal("did not finish")
+	}
+	return a.Result(), a
+}
+
+// obs adapts the analysis to the cpu observer interfaces.
+type obs struct{ a *local.Analysis }
+
+// Every instruction is reported as repeated so repetition-keyed
+// outputs (Table 9 coverage) are exercised; category binning itself is
+// independent of the flag.
+func (o obs) OnInst(ev *cpu.Event)      { o.a.Observe(ev, true) }
+func (o obs) OnCall(ev *cpu.CallEvent)  { o.a.OnCall(ev) }
+func (o obs) OnReturn(ev *cpu.RetEvent) { o.a.OnReturn(ev) }
+
+func TestCategoriesSumTo100(t *testing.T) {
+	r, _ := run(t, `
+int g = 5;
+int add(int a, int b) { return a + b + g; }
+int main() {
+	int s;
+	s = 0;
+	for (int i = 0; i < 20; i++) { s = add(s, i); }
+	return s;
+}`)
+	var sum float64
+	for _, v := range r.OverallPct {
+		sum += v
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("overall sums to %v", sum)
+	}
+}
+
+func TestPrologueEpilogueBalance(t *testing.T) {
+	// A non-leaf function saves/restores $ra and s-registers: prologue
+	// and epilogue counts must be positive and equal (every save has
+	// its restore).
+	r, _ := run(t, `
+int leaf(int x) { return x * 3; }
+int wrap(int x) {
+	int a;
+	int b;
+	a = leaf(x);
+	b = leaf(x + 1);
+	return a + b;
+}
+int main() {
+	int s;
+	s = 0;
+	for (int i = 0; i < 30; i++) { s += wrap(i); }
+	return s;
+}`)
+	if r.Counts[local.CatPrologue] == 0 {
+		t.Fatal("no prologue instructions observed")
+	}
+	if r.Counts[local.CatPrologue] != r.Counts[local.CatEpilogue] {
+		t.Errorf("prologue %d != epilogue %d",
+			r.Counts[local.CatPrologue], r.Counts[local.CatEpilogue])
+	}
+}
+
+func TestReturnCategoryCountsReturns(t *testing.T) {
+	r, _ := run(t, `
+int f(int x) { return x; }
+int main() {
+	int s;
+	s = 0;
+	for (int i = 0; i < 10; i++) { s += f(i); }
+	return s;
+}`)
+	// Returns: 10 from f + 1 from main + runtime entry (__start calls
+	// main only). At least 11.
+	if r.Counts[local.CatReturn] < 11 {
+		t.Errorf("returns = %d, want >= 11", r.Counts[local.CatReturn])
+	}
+}
+
+func TestGlobalAndHeapCategories(t *testing.T) {
+	r, _ := run(t, `
+int table[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int main() {
+	int *h;
+	int s;
+	int i;
+	h = malloc(8 * sizeof(int));
+	for (i = 0; i < 8; i++) { h[i] = table[i] * 2; }
+	s = 0;
+	for (i = 0; i < 8; i++) { s += h[i] + table[i]; }
+	return s;
+}`)
+	if r.Counts[local.CatGlobal] == 0 {
+		t.Error("no global-slice instructions")
+	}
+	if r.Counts[local.CatHeap] == 0 {
+		t.Error("no heap-slice instructions")
+	}
+}
+
+func TestArgumentCategory(t *testing.T) {
+	r, _ := run(t, `
+int poly(int x) { return x * x + x * 3 + 7; }
+int main() {
+	int s;
+	s = 0;
+	for (int i = 0; i < 50; i++) { s += poly(i); }
+	return s;
+}`)
+	if r.Counts[local.CatArgument] == 0 {
+		t.Error("no argument-slice instructions")
+	}
+}
+
+func TestRetValCategory(t *testing.T) {
+	r, _ := run(t, `
+int give() { return 21; }
+int main() {
+	int s;
+	s = 0;
+	for (int i = 0; i < 20; i++) { s += give() * 2; }
+	return s;
+}`)
+	if r.Counts[local.CatRetVal] == 0 {
+		t.Error("no return-value-slice instructions")
+	}
+}
+
+func TestGlbAddrCalc(t *testing.T) {
+	// Forcing la-style addressing: address-of a global taken
+	// explicitly.
+	r, _ := run(t, `
+int table[64];
+int *grab(int i) { return &table[i]; }
+int main() {
+	int s;
+	s = 0;
+	for (int i = 0; i < 30; i++) { *grab(i & 63) = i; s += table[i & 63]; }
+	return s;
+}`)
+	if r.Counts[local.CatGlbAddrCalc] == 0 {
+		t.Error("no glb_addr_calc instructions")
+	}
+}
+
+func TestTopPrologueEpilogue(t *testing.T) {
+	_, a := run(t, `
+int quiet(int x);
+int busy(int x) {
+	int a; int b; int c;
+	a = x + 1;
+	b = a * 2;
+	c = b - x;
+	return quiet(c) + a;
+}
+int quiet(int x) { return x; }
+int main() {
+	int s;
+	s = 0;
+	for (int i = 0; i < 40; i++) { s += busy(i); }
+	return s;
+}`)
+	rows, coverage := a.TopPrologueEpilogue(5)
+	if len(rows) == 0 {
+		t.Fatal("no prologue/epilogue contributors")
+	}
+	if coverage <= 0 || coverage > 100 {
+		t.Errorf("coverage = %v", coverage)
+	}
+	// Rows are sorted by contribution.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Repeated > rows[i-1].Repeated {
+			t.Error("rows not sorted by contribution")
+		}
+	}
+	// busy must appear and carry a plausible size.
+	found := false
+	for _, row := range rows {
+		if row.Name == "busy" && row.Size > 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("busy not among top contributors: %+v", rows)
+	}
+}
+
+func TestTopLoadValueCoverage(t *testing.T) {
+	_, a := run(t, `
+int flag = 7;
+int main() {
+	int s;
+	s = 0;
+	for (int i = 0; i < 100; i++) { s += flag; }
+	return s;
+}`)
+	cov := a.TopLoadValueCoverage(5)
+	if len(cov) != 5 {
+		t.Fatalf("cov = %v", cov)
+	}
+	// flag always loads 7: its top value covers everything it
+	// contributes; overall top-1 coverage should be high.
+	if cov[0] < 50 {
+		t.Errorf("top-1 coverage = %v, want high for constant loads", cov[0])
+	}
+	for i := 1; i < 5; i++ {
+		if cov[i] < cov[i-1]-1e-9 {
+			t.Error("coverage not monotone")
+		}
+	}
+}
+
+func TestCatString(t *testing.T) {
+	names := []string{"prologue", "epilogue", "function internals",
+		"glb_addr_calc", "return", "SP", "return values", "arguments",
+		"global", "heap"}
+	for c := local.Cat(0); c < local.NumCats; c++ {
+		if c.String() != names[c] {
+			t.Errorf("cat %d = %q, want %q", c, c.String(), names[c])
+		}
+	}
+}

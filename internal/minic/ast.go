@@ -1,0 +1,180 @@
+package minic
+
+// The AST. Expressions carry their resolved type after sema runs
+// (parser and sema are fused in this compiler: types are resolved
+// during parsing since MiniC requires declaration before use).
+
+// exprOp enumerates expression node kinds.
+type exprOp uint8
+
+const (
+	exConst   exprOp = iota // integer literal (val)
+	exString                // string literal (str); type char*
+	exVar                   // variable reference (sym)
+	exBinary                // binary op (op, lhs, rhs)
+	exAssign                // lhs = rhs (plain; compound ops desugared)
+	exCond                  // cond ? lhs : rhs
+	exLogAnd                // lhs && rhs
+	exLogOr                 // lhs || rhs
+	exNeg                   // -x
+	exNot                   // !x
+	exBitNot                // ~x
+	exDeref                 // *p
+	exAddr                  // &lv
+	exIndex                 // base[idx] -> lhs[rhs]
+	exMember                // lhs.field (field resolved to off/type)
+	exCall                  // fn(args)
+	exBuiltin               // builtin call (syscall wrappers)
+	exIncDec                // ++/-- pre/post (lhs is lvalue)
+	exComma                 // lhs, rhs
+)
+
+// expr is an expression node.
+type expr struct {
+	op   exprOp
+	ty   *ctype
+	line int
+
+	val int64  // exConst
+	str string // exString: decoded bytes; exBinary/exIncDec: operator text
+
+	lhs, rhs *expr
+	cond     *expr // exCond
+
+	sym  *symbol // exVar
+	off  int     // exMember: field offset
+	args []*expr // exCall/exBuiltin
+	fn   *funcDecl
+	bi   builtinID // exBuiltin
+
+	post bool // exIncDec: postfix
+	dec  bool // exIncDec: decrement
+}
+
+// builtinID enumerates syscall-backed builtins.
+type builtinID uint8
+
+const (
+	biNone builtinID = iota
+	biPutchar
+	biGetchar
+	biPrintInt
+	biPrintStr
+	biSbrk
+	biExit
+	biReadBlock
+)
+
+var builtinNames = map[string]builtinID{
+	"putchar":    biPutchar,
+	"getchar":    biGetchar,
+	"print_int":  biPrintInt,
+	"print_str":  biPrintStr,
+	"sbrk":       biSbrk,
+	"exit":       biExit,
+	"read_block": biReadBlock,
+}
+
+// stmtOp enumerates statement node kinds.
+type stmtOp uint8
+
+const (
+	stExpr stmtOp = iota
+	stDecl
+	stIf
+	stWhile
+	stDoWhile
+	stFor
+	stReturn
+	stBreak
+	stContinue
+	stBlock
+	stSwitch
+)
+
+// stmt is a statement node.
+type stmt struct {
+	op   stmtOp
+	line int
+
+	ex   *expr // stExpr, stReturn value, condition for if/while/do
+	init *stmt // stFor init
+	post *expr // stFor post
+	body *stmt
+	alt  *stmt // stIf else
+	list []*stmt
+
+	sym    *symbol // stDecl
+	dinit  *expr   // stDecl initializer
+	cases  []switchCase
+	defalt []*stmt // switch default body
+}
+
+type switchCase struct {
+	val  int64
+	body []*stmt
+}
+
+// symKind enumerates symbol kinds.
+type symKind uint8
+
+const (
+	symGlobal symKind = iota
+	symLocal
+	symParam
+	symEnumConst
+)
+
+// symbol is a declared name.
+type symbol struct {
+	name string
+	kind symKind
+	ty   *ctype
+
+	// Globals.
+	label     string // assembler symbol
+	initVals  []initVal
+	hasInit   bool
+	addrTaken bool
+
+	// Locals and params.
+	idx      int // declaration order within the function
+	paramIdx int // for symParam
+	nrefs    int // reference count (drives s-register allocation)
+	reg      int // allocated register, -1 if in memory
+	frameOff int // stack slot offset from $sp (valid when reg < 0)
+	enumVal  int64
+}
+
+// initVal is one element of a global initializer: either a constant or
+// the address of another symbol / string literal.
+type initVal struct {
+	val   int64
+	sym   string // non-empty: address of this assembler symbol
+	isStr bool
+}
+
+// funcDecl is one function.
+type funcDecl struct {
+	name    string
+	ret     *ctype
+	params  []*symbol
+	locals  []*symbol // includes params
+	body    *stmt
+	line    int
+	defined bool
+
+	// Codegen results.
+	frameSize  int
+	usesCalls  bool
+	maxOutArgs int
+	savedRegs  []int
+}
+
+// unit is a parsed translation unit.
+type unit struct {
+	globals []*symbol
+	funcs   []*funcDecl
+	strings map[string]string // literal -> label
+	strOrd  []string          // emission order
+}

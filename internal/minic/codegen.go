@@ -1,0 +1,582 @@
+package minic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// codegen lowers a typed unit to assembler source for internal/asm.
+//
+// ABI (o32-like):
+//   - args 0..3 in $a0..$a3, args 4.. at caller-sp + 4*i
+//   - result in $v0
+//   - $s0..$s7 callee-saved and used for register locals
+//   - $t0..$t9 expression temporaries, caller-saved
+//   - frame: [outgoing args][temp spills][stack locals][saved s][ra]
+type codegen struct {
+	u   *unit
+	b   strings.Builder
+	lbl int
+
+	fn        *funcDecl
+	spillBase int
+	epilogue  string
+
+	temps    [len(tempRegs)]bool // allocated flags
+	breakLbl []string
+	contLbl  []string
+
+	gpOK map[string]bool // globals addressable via $gp
+}
+
+// tempRegs is the expression temporary pool.
+var tempRegs = [...]int{
+	isa.RegT0, isa.RegT1, isa.RegT2, isa.RegT3, isa.RegT4,
+	isa.RegT5, isa.RegT6, isa.RegT7, isa.RegT8, isa.RegT9,
+}
+
+// sRegs is the register-local pool.
+var sRegs = [...]int{
+	isa.RegS0, isa.RegS1, isa.RegS2, isa.RegS3,
+	isa.RegS4, isa.RegS5, isa.RegS6, isa.RegS7,
+}
+
+// generate produces the complete assembler unit.
+func generate(u *unit) (string, error) {
+	cg := &codegen{u: u, gpOK: make(map[string]bool)}
+	cg.layoutData()
+
+	// Startup stub.
+	cg.emitf(".text")
+	cg.emitf(".func __start 0")
+	cg.emitf("__start:")
+	cg.emitf("jal main")
+	cg.emitf("move $a0, $v0")
+	cg.emitf("li $v0, 10")
+	cg.emitf("syscall")
+	cg.emitf(".endfunc")
+
+	for _, fn := range u.funcs {
+		if err := cg.genFunc(fn); err != nil {
+			return "", err
+		}
+	}
+	cg.emitData()
+	return cg.b.String(), nil
+}
+
+func (cg *codegen) emitf(format string, args ...any) {
+	fmt.Fprintf(&cg.b, format+"\n", args...)
+}
+
+func (cg *codegen) newLabel() string {
+	cg.lbl++
+	return fmt.Sprintf(".L%d", cg.lbl)
+}
+
+// layoutData decides which globals are reachable through $gp. It
+// mirrors the assembler's layout: initialized globals in declaration
+// order, then interned strings, then bss. A symbol is $gp-addressable
+// while its offset stays within the signed 16-bit window.
+func (cg *codegen) layoutData() {
+	const gpWindow = 0xfff0 // conservative top of the 64 KiB window
+	off := 0
+	place := func(label string, size, align int) {
+		off = (off + align - 1) / align * align
+		if off+size <= gpWindow {
+			cg.gpOK[label] = true
+		}
+		off += size
+	}
+	for _, g := range cg.u.globals {
+		if g.hasInit {
+			place(g.label, g.ty.size(), g.ty.align())
+		}
+	}
+	for _, s := range cg.u.strOrd {
+		place(cg.u.strings[s], len(s)+1, 1)
+	}
+	for _, g := range cg.u.globals {
+		if !g.hasInit {
+			place(g.label, g.ty.size(), g.ty.align())
+		}
+	}
+}
+
+// emitData writes the .data/.bss sections.
+func (cg *codegen) emitData() {
+	cg.emitf(".data")
+	for _, g := range cg.u.globals {
+		if !g.hasInit {
+			continue
+		}
+		cg.emitAligned(g)
+		cg.emitf("%s:", g.label)
+		cg.emitInit(g)
+	}
+	for _, s := range cg.u.strOrd {
+		cg.emitf("%s: .asciiz %s", cg.u.strings[s], quoteAsm(s))
+	}
+	cg.emitf(".bss")
+	for _, g := range cg.u.globals {
+		if g.hasInit {
+			continue
+		}
+		cg.emitAligned(g)
+		cg.emitf("%s: .space %d", g.label, g.ty.size())
+	}
+}
+
+func (cg *codegen) emitAligned(g *symbol) {
+	if g.ty.align() >= 4 {
+		cg.emitf(".align 2")
+	}
+}
+
+func (cg *codegen) emitInit(g *symbol) {
+	elem := g.ty
+	if g.ty.kind == tyArray {
+		elem = g.ty.elem
+	}
+	n := 0
+	for _, iv := range g.initVals {
+		switch {
+		case iv.sym != "":
+			cg.emitf(".word %s", iv.sym)
+			n += 4
+		case elem.kind == tyChar:
+			cg.emitf(".byte %d", iv.val&0xff)
+			n++
+		default:
+			cg.emitf(".word %d", uint32(iv.val))
+			n += 4
+		}
+	}
+	if rest := g.ty.size() - n; rest > 0 {
+		cg.emitf(".space %d", rest)
+	}
+}
+
+// quoteAsm renders s as an assembler string literal.
+func quoteAsm(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case 0:
+			b.WriteString(`\0`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// function lowering
+
+// analyzeCalls fills fn.usesCalls and fn.maxOutArgs.
+func analyzeCalls(fn *funcDecl) {
+	var walkStmt func(s *stmt)
+	var walkExpr func(e *expr)
+	walkExpr = func(e *expr) {
+		if e == nil {
+			return
+		}
+		if e.op == exCall {
+			fn.usesCalls = true
+			if len(e.args) > fn.maxOutArgs {
+				fn.maxOutArgs = len(e.args)
+			}
+		}
+		walkExpr(e.lhs)
+		walkExpr(e.rhs)
+		walkExpr(e.cond)
+		for _, a := range e.args {
+			walkExpr(a)
+		}
+	}
+	walkStmt = func(s *stmt) {
+		if s == nil {
+			return
+		}
+		walkExpr(s.ex)
+		walkExpr(s.post)
+		walkExpr(s.dinit)
+		walkStmt(s.init)
+		walkStmt(s.body)
+		walkStmt(s.alt)
+		for _, c := range s.list {
+			walkStmt(c)
+		}
+		for _, c := range s.cases {
+			for _, cs := range c.body {
+				walkStmt(cs)
+			}
+		}
+		for _, cs := range s.defalt {
+			walkStmt(cs)
+		}
+	}
+	walkStmt(fn.body)
+}
+
+// buildFrame assigns registers and stack slots to locals and computes
+// the frame size.
+func (cg *codegen) buildFrame(fn *funcDecl) {
+	analyzeCalls(fn)
+
+	// Candidates for s-registers: scalar, not address-taken.
+	var regCands []*symbol
+	for _, l := range fn.locals {
+		if l.ty.isScalar() && !l.addrTaken {
+			regCands = append(regCands, l)
+		}
+	}
+	sort.SliceStable(regCands, func(i, j int) bool {
+		return regCands[i].nrefs > regCands[j].nrefs
+	})
+	fn.savedRegs = nil
+	for i, l := range regCands {
+		if i >= len(sRegs) {
+			break
+		}
+		l.reg = sRegs[i]
+		fn.savedRegs = append(fn.savedRegs, sRegs[i])
+	}
+
+	// Frame regions, bottom up.
+	outArgs := 0
+	if fn.usesCalls {
+		outArgs = 16
+		if fn.maxOutArgs > 4 {
+			outArgs = 4 * fn.maxOutArgs
+		}
+	}
+	spill := 0
+	if fn.usesCalls {
+		spill = 4 * len(tempRegs)
+	}
+	cg.spillBase = outArgs
+
+	off := outArgs + spill
+	for _, l := range fn.locals {
+		if l.reg >= 0 {
+			continue
+		}
+		if l.kind == symParam && l.paramIdx >= 4 && !l.addrTaken {
+			continue // stays in the caller's outgoing slot
+		}
+		a := l.ty.align()
+		if a < 4 {
+			a = 4 // keep slots word aligned for simplicity
+		}
+		off = (off + a - 1) / a * a
+		l.frameOff = off
+		off += l.ty.size()
+	}
+	off = (off + 3) &^ 3
+	off += 4 * len(fn.savedRegs)
+	if fn.usesCalls {
+		off += 4 // ra
+	}
+	fn.frameSize = (off + 7) &^ 7
+
+	// Params 4.. left in the caller frame address at sp+frame+4*i.
+	for _, l := range fn.locals {
+		if l.kind == symParam && l.paramIdx >= 4 && l.reg < 0 && !l.addrTaken {
+			l.frameOff = fn.frameSize + 4*l.paramIdx
+		}
+	}
+	if fn.frameSize > 32000 {
+		panic("minic: frame too large") // guarded by workload design
+	}
+}
+
+func (cg *codegen) genFunc(fn *funcDecl) error {
+	cg.fn = fn
+	cg.buildFrame(fn)
+	cg.epilogue = cg.newLabel()
+	for i := range cg.temps {
+		cg.temps[i] = false
+	}
+
+	cg.emitf(".func %s %d", fn.name, len(fn.params))
+	cg.emitf("%s:", fn.name)
+
+	// Prologue.
+	f := fn.frameSize
+	if f > 0 {
+		cg.emitf("addiu $sp, $sp, %d", -f)
+	}
+	save := f
+	if fn.usesCalls {
+		save -= 4
+		cg.emitf("sw $ra, %d($sp)", save)
+	}
+	for _, r := range fn.savedRegs {
+		save -= 4
+		cg.emitf("sw %s, %d($sp)", isa.RegName(r), save)
+	}
+	// Move incoming args to their homes.
+	argRegs := []int{isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3}
+	for _, prm := range fn.params {
+		switch {
+		case prm.paramIdx < 4 && prm.reg >= 0:
+			cg.emitf("move %s, %s", isa.RegName(prm.reg), isa.RegName(argRegs[prm.paramIdx]))
+		case prm.paramIdx < 4:
+			cg.emitf("sw %s, %d($sp)", isa.RegName(argRegs[prm.paramIdx]), prm.frameOff)
+		case prm.reg >= 0:
+			cg.emitf("lw %s, %d($sp)", isa.RegName(prm.reg), f+4*prm.paramIdx)
+		}
+		// Stack-passed param without a register keeps its caller slot.
+	}
+
+	if err := cg.genStmt(fn.body); err != nil {
+		return err
+	}
+
+	// Epilogue (single exit).
+	cg.emitf("%s:", cg.epilogue)
+	restore := f
+	if fn.usesCalls {
+		restore -= 4
+		cg.emitf("lw $ra, %d($sp)", restore)
+	}
+	for _, r := range fn.savedRegs {
+		restore -= 4
+		cg.emitf("lw %s, %d($sp)", isa.RegName(r), restore)
+	}
+	if f > 0 {
+		cg.emitf("addiu $sp, $sp, %d", f)
+	}
+	cg.emitf("jr $ra")
+	cg.emitf(".endfunc")
+	return nil
+}
+
+// statements
+
+func (cg *codegen) genStmt(s *stmt) error {
+	if s == nil {
+		return nil
+	}
+	switch s.op {
+	case stBlock:
+		for _, c := range s.list {
+			if err := cg.genStmt(c); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case stExpr:
+		v, err := cg.genExpr(s.ex)
+		if err != nil {
+			return err
+		}
+		cg.release(v)
+		return nil
+
+	case stDecl:
+		if s.dinit == nil {
+			return nil
+		}
+		v, err := cg.genExpr(s.dinit)
+		if err != nil {
+			return err
+		}
+		if s.sym.reg >= 0 {
+			cg.emitf("move %s, %s", isa.RegName(s.sym.reg), isa.RegName(v.reg))
+		} else {
+			cg.storeTyped(s.sym.ty, v.reg, isa.RegSP, s.sym.frameOff)
+		}
+		cg.release(v)
+		return nil
+
+	case stIf:
+		elseLbl := cg.newLabel()
+		if err := cg.genBranchFalse(s.ex, elseLbl); err != nil {
+			return err
+		}
+		if err := cg.genStmt(s.body); err != nil {
+			return err
+		}
+		if s.alt != nil {
+			endLbl := cg.newLabel()
+			cg.emitf("j %s", endLbl)
+			cg.emitf("%s:", elseLbl)
+			if err := cg.genStmt(s.alt); err != nil {
+				return err
+			}
+			cg.emitf("%s:", endLbl)
+		} else {
+			cg.emitf("%s:", elseLbl)
+		}
+		return nil
+
+	case stWhile:
+		top, end := cg.newLabel(), cg.newLabel()
+		cg.emitf("%s:", top)
+		if err := cg.genBranchFalse(s.ex, end); err != nil {
+			return err
+		}
+		cg.pushLoop(end, top)
+		err := cg.genStmt(s.body)
+		cg.popLoop()
+		if err != nil {
+			return err
+		}
+		cg.emitf("j %s", top)
+		cg.emitf("%s:", end)
+		return nil
+
+	case stDoWhile:
+		top, cont, end := cg.newLabel(), cg.newLabel(), cg.newLabel()
+		cg.emitf("%s:", top)
+		cg.pushLoop(end, cont)
+		err := cg.genStmt(s.body)
+		cg.popLoop()
+		if err != nil {
+			return err
+		}
+		cg.emitf("%s:", cont)
+		if err := cg.genBranchTrue(s.ex, top); err != nil {
+			return err
+		}
+		cg.emitf("%s:", end)
+		return nil
+
+	case stFor:
+		if err := cg.genStmt(s.init); err != nil {
+			return err
+		}
+		top, cont, end := cg.newLabel(), cg.newLabel(), cg.newLabel()
+		cg.emitf("%s:", top)
+		if s.ex != nil {
+			if err := cg.genBranchFalse(s.ex, end); err != nil {
+				return err
+			}
+		}
+		cg.pushLoop(end, cont)
+		err := cg.genStmt(s.body)
+		cg.popLoop()
+		if err != nil {
+			return err
+		}
+		cg.emitf("%s:", cont)
+		if s.post != nil {
+			v, err := cg.genExpr(s.post)
+			if err != nil {
+				return err
+			}
+			cg.release(v)
+		}
+		cg.emitf("j %s", top)
+		cg.emitf("%s:", end)
+		return nil
+
+	case stSwitch:
+		return cg.genSwitch(s)
+
+	case stReturn:
+		if s.ex != nil {
+			v, err := cg.genExpr(s.ex)
+			if err != nil {
+				return err
+			}
+			cg.emitf("move $v0, %s", isa.RegName(v.reg))
+			cg.release(v)
+		}
+		cg.emitf("j %s", cg.epilogue)
+		return nil
+
+	case stBreak:
+		cg.emitf("j %s", cg.breakLbl[len(cg.breakLbl)-1])
+		return nil
+
+	case stContinue:
+		cg.emitf("j %s", cg.contLbl[len(cg.contLbl)-1])
+		return nil
+	}
+	return errAt(s.line, "internal: unknown statement kind %d", s.op)
+}
+
+func (cg *codegen) pushLoop(brk, cont string) {
+	cg.breakLbl = append(cg.breakLbl, brk)
+	cg.contLbl = append(cg.contLbl, cont)
+}
+
+func (cg *codegen) popLoop() {
+	cg.breakLbl = cg.breakLbl[:len(cg.breakLbl)-1]
+	cg.contLbl = cg.contLbl[:len(cg.contLbl)-1]
+}
+
+func (cg *codegen) genSwitch(s *stmt) error {
+	v, err := cg.genExpr(s.ex)
+	if err != nil {
+		return err
+	}
+	end := cg.newLabel()
+	caseLbls := make([]string, len(s.cases))
+	// Dispatch: compare chain (li + beq per case).
+	scratch, err := cg.alloc(s.line)
+	if err != nil {
+		return err
+	}
+	for i, c := range s.cases {
+		caseLbls[i] = cg.newLabel()
+		if c.val == 0 {
+			cg.emitf("beq %s, $zero, %s", isa.RegName(v.reg), caseLbls[i])
+		} else {
+			cg.emitf("li %s, %d", isa.RegName(scratch), c.val)
+			cg.emitf("beq %s, %s, %s", isa.RegName(v.reg), isa.RegName(scratch), caseLbls[i])
+		}
+	}
+	cg.freeTemp(scratch)
+	cg.release(v)
+	defaultLbl := end
+	if s.defalt != nil {
+		defaultLbl = cg.newLabel()
+	}
+	cg.emitf("j %s", defaultLbl)
+
+	// Bodies, in order, with C fallthrough.
+	cg.breakLbl = append(cg.breakLbl, end)
+	// continue inside switch targets the enclosing loop: contLbl
+	// untouched.
+	for i, c := range s.cases {
+		cg.emitf("%s:", caseLbls[i])
+		for _, cs := range c.body {
+			if err := cg.genStmt(cs); err != nil {
+				cg.breakLbl = cg.breakLbl[:len(cg.breakLbl)-1]
+				return err
+			}
+		}
+	}
+	if s.defalt != nil {
+		cg.emitf("%s:", defaultLbl)
+		for _, cs := range s.defalt {
+			if err := cg.genStmt(cs); err != nil {
+				cg.breakLbl = cg.breakLbl[:len(cg.breakLbl)-1]
+				return err
+			}
+		}
+	}
+	cg.breakLbl = cg.breakLbl[:len(cg.breakLbl)-1]
+	cg.emitf("%s:", end)
+	return nil
+}

@@ -1,0 +1,490 @@
+package minic
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// value is the result of expression codegen: a register that either
+// belongs to the temp pool (owned) or is borrowed (an s-register local,
+// or $zero for the constant 0) and must not be written or freed.
+type value struct {
+	reg   int
+	owned bool
+}
+
+var zeroValue = value{reg: isa.RegZero}
+
+func (cg *codegen) alloc(line int) (int, error) {
+	for i, used := range cg.temps {
+		if !used {
+			cg.temps[i] = true
+			return tempRegs[i], nil
+		}
+	}
+	return 0, errAt(line, "expression too complex (out of temporaries)")
+}
+
+func (cg *codegen) freeTemp(reg int) {
+	for i, r := range tempRegs {
+		if r == reg {
+			cg.temps[i] = false
+			return
+		}
+	}
+	panic(fmt.Sprintf("minic: freeing non-temp register %s", isa.RegName(reg)))
+}
+
+func (cg *codegen) release(v value) {
+	if v.owned {
+		cg.freeTemp(v.reg)
+	}
+}
+
+// own returns v if owned, otherwise copies it into a fresh temp so the
+// caller may overwrite it.
+func (cg *codegen) own(v value, line int) (value, error) {
+	if v.owned {
+		return v, nil
+	}
+	t, err := cg.alloc(line)
+	if err != nil {
+		return value{}, err
+	}
+	cg.emitf("move %s, %s", isa.RegName(t), isa.RegName(v.reg))
+	return value{reg: t, owned: true}, nil
+}
+
+// spillLive saves all allocated temps to their frame slots around a
+// call, returning the spilled pool indices.
+func (cg *codegen) spillLive() []int {
+	var spilled []int
+	for i, used := range cg.temps {
+		if used {
+			cg.emitf("sw %s, %d($sp)", isa.RegName(tempRegs[i]), cg.spillBase+4*i)
+			spilled = append(spilled, i)
+		}
+	}
+	return spilled
+}
+
+func (cg *codegen) reload(spilled []int) {
+	for _, i := range spilled {
+		cg.emitf("lw %s, %d($sp)", isa.RegName(tempRegs[i]), cg.spillBase+4*i)
+	}
+}
+
+// addrRef is a resolved lvalue location.
+type addrRef struct {
+	// Register-resident local: reg >= 0 and no memory form.
+	reg int
+
+	// Memory forms (reg < 0):
+	gpSym string // non-empty: $gp-relative symbol
+	base  value  // base register (when gpSym == "")
+	off   int32
+	ty    *ctype
+}
+
+// operand renders the assembler memory operand.
+func (a *addrRef) operand() string {
+	if a.gpSym != "" {
+		if a.off != 0 {
+			return fmt.Sprintf("%%gp(%s+%d)", a.gpSym, a.off)
+		}
+		return fmt.Sprintf("%%gp(%s)", a.gpSym)
+	}
+	return fmt.Sprintf("%d(%s)", a.off, isa.RegName(a.base.reg))
+}
+
+func (cg *codegen) releaseAddr(a addrRef) {
+	if a.reg < 0 && a.gpSym == "" {
+		cg.release(a.base)
+	}
+}
+
+// loadTyped emits the load of ty from the operand into dst.
+func (cg *codegen) loadFrom(ty *ctype, dst int, a *addrRef) {
+	if ty.kind == tyChar {
+		cg.emitf("lbu %s, %s", isa.RegName(dst), a.operand())
+	} else {
+		cg.emitf("lw %s, %s", isa.RegName(dst), a.operand())
+	}
+}
+
+func (cg *codegen) storeTo(ty *ctype, src int, a *addrRef) {
+	if ty.kind == tyChar {
+		cg.emitf("sb %s, %s", isa.RegName(src), a.operand())
+	} else {
+		cg.emitf("sw %s, %s", isa.RegName(src), a.operand())
+	}
+}
+
+// storeTyped stores src through (base+off) with the width of ty.
+func (cg *codegen) storeTyped(ty *ctype, src, base int, off int) {
+	if ty.kind == tyChar {
+		cg.emitf("sb %s, %d(%s)", isa.RegName(src), off, isa.RegName(base))
+	} else {
+		cg.emitf("sw %s, %d(%s)", isa.RegName(src), off, isa.RegName(base))
+	}
+}
+
+// materialize turns an address into a register value.
+func (cg *codegen) materialize(a addrRef, line int) (value, error) {
+	if a.gpSym != "" {
+		t, err := cg.alloc(line)
+		if err != nil {
+			return value{}, err
+		}
+		if a.off != 0 {
+			cg.emitf("addiu %s, $gp, %%gp(%s+%d)", isa.RegName(t), a.gpSym, a.off)
+		} else {
+			cg.emitf("addiu %s, $gp, %%gp(%s)", isa.RegName(t), a.gpSym)
+		}
+		return value{reg: t, owned: true}, nil
+	}
+	if a.off == 0 {
+		return a.base, nil
+	}
+	v, err := cg.own(a.base, line)
+	if err != nil {
+		return value{}, err
+	}
+	cg.emitf("addiu %s, %s, %d", isa.RegName(v.reg), isa.RegName(v.reg), a.off)
+	return v, nil
+}
+
+// computeAddr resolves an lvalue (or aggregate) expression to a
+// location. For a register-allocated scalar local it returns reg >= 0.
+func (cg *codegen) computeAddr(e *expr) (addrRef, error) {
+	switch e.op {
+	case exVar:
+		s := e.sym
+		if s.reg >= 0 {
+			return addrRef{reg: s.reg, ty: e.ty}, nil
+		}
+		switch s.kind {
+		case symGlobal:
+			if cg.gpOK[s.label] {
+				return addrRef{reg: -1, gpSym: s.label, ty: e.ty}, nil
+			}
+			t, err := cg.alloc(e.line)
+			if err != nil {
+				return addrRef{}, err
+			}
+			cg.emitf("la %s, %s", isa.RegName(t), s.label)
+			return addrRef{reg: -1, base: value{reg: t, owned: true}, ty: e.ty}, nil
+		default:
+			return addrRef{reg: -1, base: value{reg: isa.RegSP}, off: int32(s.frameOff), ty: e.ty}, nil
+		}
+
+	case exString:
+		t, err := cg.alloc(e.line)
+		if err != nil {
+			return addrRef{}, err
+		}
+		cg.emitf("la %s, %s", isa.RegName(t), e.sym.label)
+		return addrRef{reg: -1, base: value{reg: t, owned: true}, ty: e.ty}, nil
+
+	case exDeref:
+		p, err := cg.genExpr(e.lhs)
+		if err != nil {
+			return addrRef{}, err
+		}
+		return addrRef{reg: -1, base: p, ty: e.ty}, nil
+
+	case exMember:
+		a, err := cg.computeAddr(e.lhs)
+		if err != nil {
+			return addrRef{}, err
+		}
+		if a.reg >= 0 {
+			return addrRef{}, errAt(e.line, "internal: member access on register value")
+		}
+		a.off += int32(e.off)
+		a.ty = e.ty
+		return a, nil
+
+	case exIndex:
+		return cg.indexAddr(e)
+	}
+	return addrRef{}, errAt(e.line, "internal: not an addressable expression (op %d)", e.op)
+}
+
+// indexAddr computes &base[idx].
+func (cg *codegen) indexAddr(e *expr) (addrRef, error) {
+	base, err := cg.genExpr(e.lhs) // pointer value (arrays decay)
+	if err != nil {
+		return addrRef{}, err
+	}
+	size := e.ty.size()
+	if e.ty.kind == tyArray {
+		size = e.ty.size() // row size for multi-dim indexing
+	}
+	// Constant index folds into the offset.
+	if idx, ok := constVal(e.rhs); ok {
+		off := int64(idx) * int64(size)
+		if off >= -32000 && off <= 32000 {
+			return addrRef{reg: -1, base: base, off: int32(off), ty: e.ty}, nil
+		}
+	}
+	idx, err := cg.genExpr(e.rhs)
+	if err != nil {
+		return addrRef{}, err
+	}
+	scaled, err := cg.scale(idx, size, e.line)
+	if err != nil {
+		return addrRef{}, err
+	}
+	sum, err := cg.own(base, e.line)
+	if err != nil {
+		return addrRef{}, err
+	}
+	cg.emitf("addu %s, %s, %s", isa.RegName(sum.reg), isa.RegName(sum.reg), isa.RegName(scaled.reg))
+	cg.release(scaled)
+	return addrRef{reg: -1, base: sum, ty: e.ty}, nil
+}
+
+// scale multiplies v by size (for pointer arithmetic).
+func (cg *codegen) scale(v value, size int, line int) (value, error) {
+	if size == 1 {
+		return v, nil
+	}
+	out, err := cg.own(v, line)
+	if err != nil {
+		return value{}, err
+	}
+	if sh := log2(size); sh >= 0 {
+		cg.emitf("sll %s, %s, %d", isa.RegName(out.reg), isa.RegName(out.reg), sh)
+		return out, nil
+	}
+	t, err := cg.alloc(line)
+	if err != nil {
+		return value{}, err
+	}
+	cg.emitf("li %s, %d", isa.RegName(t), size)
+	cg.emitf("mult %s, %s", isa.RegName(out.reg), isa.RegName(t))
+	cg.emitf("mflo %s", isa.RegName(out.reg))
+	cg.freeTemp(t)
+	return out, nil
+}
+
+func log2(n int) int {
+	for s := 0; s < 31; s++ {
+		if 1<<s == n {
+			return s
+		}
+	}
+	return -1
+}
+
+// genExpr evaluates e into a register.
+func (cg *codegen) genExpr(e *expr) (value, error) {
+	switch e.op {
+	case exConst:
+		if e.val == 0 {
+			return zeroValue, nil
+		}
+		t, err := cg.alloc(e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("li %s, %d", isa.RegName(t), int32(e.val))
+		return value{reg: t, owned: true}, nil
+
+	case exString:
+		t, err := cg.alloc(e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("la %s, %s", isa.RegName(t), e.sym.label)
+		return value{reg: t, owned: true}, nil
+
+	case exVar:
+		s := e.sym
+		if s.reg >= 0 {
+			return value{reg: s.reg}, nil
+		}
+		// Aggregates evaluate to their address (decay).
+		if !s.ty.isScalar() {
+			a, err := cg.computeAddr(e)
+			if err != nil {
+				return value{}, err
+			}
+			return cg.materialize(a, e.line)
+		}
+		a, err := cg.computeAddr(e)
+		if err != nil {
+			return value{}, err
+		}
+		t, err := cg.alloc(e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.loadFrom(s.ty, t, &a)
+		cg.releaseAddr(a)
+		return value{reg: t, owned: true}, nil
+
+	case exBinary:
+		return cg.genBinary(e)
+
+	case exAssign:
+		return cg.genAssign(e)
+
+	case exIncDec:
+		return cg.genIncDec(e)
+
+	case exNeg:
+		v, err := cg.genExpr(e.lhs)
+		if err != nil {
+			return value{}, err
+		}
+		out, err := cg.own(v, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("subu %s, $zero, %s", isa.RegName(out.reg), isa.RegName(out.reg))
+		return out, nil
+
+	case exNot:
+		v, err := cg.genExpr(e.lhs)
+		if err != nil {
+			return value{}, err
+		}
+		out, err := cg.own(v, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("sltiu %s, %s, 1", isa.RegName(out.reg), isa.RegName(out.reg))
+		return out, nil
+
+	case exBitNot:
+		v, err := cg.genExpr(e.lhs)
+		if err != nil {
+			return value{}, err
+		}
+		out, err := cg.own(v, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("nor %s, %s, $zero", isa.RegName(out.reg), isa.RegName(out.reg))
+		return out, nil
+
+	case exDeref:
+		if !e.ty.isScalar() {
+			// Deref to an aggregate: the value is its address.
+			return cg.genExpr(e.lhs)
+		}
+		a, err := cg.computeAddr(e)
+		if err != nil {
+			return value{}, err
+		}
+		t, err := cg.alloc(e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.loadFrom(e.ty, t, &a)
+		cg.releaseAddr(a)
+		return value{reg: t, owned: true}, nil
+
+	case exAddr:
+		a, err := cg.computeAddr(e.lhs)
+		if err != nil {
+			return value{}, err
+		}
+		if a.reg >= 0 {
+			return value{}, errAt(e.line, "internal: address of register local")
+		}
+		return cg.materialize(a, e.line)
+
+	case exIndex, exMember:
+		a, err := cg.computeAddr(e)
+		if err != nil {
+			return value{}, err
+		}
+		if !e.ty.isScalar() {
+			return cg.materialize(a, e.line)
+		}
+		t, err := cg.alloc(e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.loadFrom(e.ty, t, &a)
+		cg.releaseAddr(a)
+		return value{reg: t, owned: true}, nil
+
+	case exCall:
+		return cg.genCall(e)
+
+	case exBuiltin:
+		return cg.genBuiltin(e)
+
+	case exCond:
+		t, err := cg.alloc(e.line)
+		if err != nil {
+			return value{}, err
+		}
+		elseLbl, endLbl := cg.newLabel(), cg.newLabel()
+		if err := cg.genBranchFalse(e.cond, elseLbl); err != nil {
+			return value{}, err
+		}
+		v1, err := cg.genExpr(e.lhs)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("move %s, %s", isa.RegName(t), isa.RegName(v1.reg))
+		cg.release(v1)
+		cg.emitf("j %s", endLbl)
+		cg.emitf("%s:", elseLbl)
+		v2, err := cg.genExpr(e.rhs)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("move %s, %s", isa.RegName(t), isa.RegName(v2.reg))
+		cg.release(v2)
+		cg.emitf("%s:", endLbl)
+		return value{reg: t, owned: true}, nil
+
+	case exLogAnd, exLogOr:
+		t, err := cg.alloc(e.line)
+		if err != nil {
+			return value{}, err
+		}
+		shortLbl, endLbl := cg.newLabel(), cg.newLabel()
+		if e.op == exLogAnd {
+			if err := cg.genBranchFalse(e.lhs, shortLbl); err != nil {
+				return value{}, err
+			}
+			if err := cg.genBranchFalse(e.rhs, shortLbl); err != nil {
+				return value{}, err
+			}
+			cg.emitf("li %s, 1", isa.RegName(t))
+			cg.emitf("j %s", endLbl)
+			cg.emitf("%s:", shortLbl)
+			cg.emitf("move %s, $zero", isa.RegName(t))
+		} else {
+			if err := cg.genBranchTrue(e.lhs, shortLbl); err != nil {
+				return value{}, err
+			}
+			if err := cg.genBranchTrue(e.rhs, shortLbl); err != nil {
+				return value{}, err
+			}
+			cg.emitf("move %s, $zero", isa.RegName(t))
+			cg.emitf("j %s", endLbl)
+			cg.emitf("%s:", shortLbl)
+			cg.emitf("li %s, 1", isa.RegName(t))
+		}
+		cg.emitf("%s:", endLbl)
+		return value{reg: t, owned: true}, nil
+
+	case exComma:
+		v, err := cg.genExpr(e.lhs)
+		if err != nil {
+			return value{}, err
+		}
+		cg.release(v)
+		return cg.genExpr(e.rhs)
+	}
+	return value{}, errAt(e.line, "internal: unknown expression kind %d", e.op)
+}

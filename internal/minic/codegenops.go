@@ -1,0 +1,637 @@
+package minic
+
+import (
+	"repro/internal/isa"
+)
+
+// genBinary lowers arithmetic, bitwise, shift, and comparison ops,
+// including pointer arithmetic scaling and immediate-form selection.
+func (cg *codegen) genBinary(e *expr) (value, error) {
+	op := e.str
+	switch op {
+	case "==", "!=", "<", ">", "<=", ">=":
+		return cg.genCompare(e)
+	}
+
+	lt, rt := decay(e.lhs.ty), decay(e.rhs.ty)
+
+	// Pointer arithmetic.
+	if op == "+" || op == "-" {
+		switch {
+		case lt.kind == tyPtr && rt.isArith():
+			return cg.genPtrOffset(e, e.lhs, e.rhs, lt.elem.size(), op == "-")
+		case op == "+" && lt.isArith() && rt.kind == tyPtr:
+			return cg.genPtrOffset(e, e.rhs, e.lhs, rt.elem.size(), false)
+		case op == "-" && lt.kind == tyPtr && rt.kind == tyPtr:
+			return cg.genPtrDiff(e, lt.elem.size())
+		}
+	}
+
+	lv, err := cg.genExpr(e.lhs)
+	if err != nil {
+		return value{}, err
+	}
+
+	// Immediate forms.
+	if c, ok := constVal(e.rhs); ok {
+		if v, handled, err := cg.binImm(op, lv, c, e.line); handled {
+			return v, err
+		}
+	}
+
+	rv, err := cg.genExpr(e.rhs)
+	if err != nil {
+		return value{}, err
+	}
+	return cg.binReg(op, lv, rv, e.line)
+}
+
+// binImm emits an immediate-form binary op when one exists for (op, c).
+func (cg *codegen) binImm(op string, lv value, c int64, line int) (value, bool, error) {
+	emit2 := func(mnem string, imm int64) (value, bool, error) {
+		out, err := cg.own(lv, line)
+		if err != nil {
+			return value{}, true, err
+		}
+		cg.emitf("%s %s, %s, %d", mnem, isa.RegName(out.reg), isa.RegName(out.reg), imm)
+		return out, true, nil
+	}
+	switch op {
+	case "+":
+		if c >= -32768 && c <= 32767 {
+			return emit2("addiu", c)
+		}
+	case "-":
+		if c >= -32767 && c <= 32768 {
+			return emit2("addiu", -c)
+		}
+	case "&":
+		if c >= 0 && c <= 0xffff {
+			return emit2("andi", c)
+		}
+	case "|":
+		if c >= 0 && c <= 0xffff {
+			return emit2("ori", c)
+		}
+	case "^":
+		if c >= 0 && c <= 0xffff {
+			return emit2("xori", c)
+		}
+	case "<<":
+		if c >= 0 && c <= 31 {
+			return emit2("sll", c)
+		}
+	case ">>":
+		if c >= 0 && c <= 31 {
+			return emit2("sra", c)
+		}
+	case "*":
+		if sh := log2(int(c)); sh >= 0 {
+			return emit2("sll", int64(sh))
+		}
+	}
+	return value{}, false, nil
+}
+
+func (cg *codegen) binReg(op string, lv, rv value, line int) (value, error) {
+	out, err := cg.own(lv, line)
+	if err != nil {
+		return value{}, err
+	}
+	o, r := isa.RegName(out.reg), isa.RegName(rv.reg)
+	switch op {
+	case "+":
+		cg.emitf("addu %s, %s, %s", o, o, r)
+	case "-":
+		cg.emitf("subu %s, %s, %s", o, o, r)
+	case "*":
+		cg.emitf("mult %s, %s", o, r)
+		cg.emitf("mflo %s", o)
+	case "/":
+		cg.emitf("div %s, %s", o, r)
+		cg.emitf("mflo %s", o)
+	case "%":
+		cg.emitf("div %s, %s", o, r)
+		cg.emitf("mfhi %s", o)
+	case "&":
+		cg.emitf("and %s, %s, %s", o, o, r)
+	case "|":
+		cg.emitf("or %s, %s, %s", o, o, r)
+	case "^":
+		cg.emitf("xor %s, %s, %s", o, o, r)
+	case "<<":
+		cg.emitf("sllv %s, %s, %s", o, o, r)
+	case ">>":
+		cg.emitf("srav %s, %s, %s", o, o, r)
+	default:
+		return value{}, errAt(line, "internal: bad binary op %q", op)
+	}
+	cg.release(rv)
+	return out, nil
+}
+
+// genPtrOffset lowers ptr ± int with element scaling.
+func (cg *codegen) genPtrOffset(e *expr, ptr, idx *expr, size int, sub bool) (value, error) {
+	pv, err := cg.genExpr(ptr)
+	if err != nil {
+		return value{}, err
+	}
+	if c, ok := constVal(idx); ok {
+		off := c * int64(size)
+		if sub {
+			off = -off
+		}
+		if off >= -32768 && off <= 32767 {
+			out, err := cg.own(pv, e.line)
+			if err != nil {
+				return value{}, err
+			}
+			if off != 0 {
+				cg.emitf("addiu %s, %s, %d", isa.RegName(out.reg), isa.RegName(out.reg), off)
+			}
+			return out, nil
+		}
+	}
+	iv, err := cg.genExpr(idx)
+	if err != nil {
+		return value{}, err
+	}
+	sv, err := cg.scale(iv, size, e.line)
+	if err != nil {
+		return value{}, err
+	}
+	out, err := cg.own(pv, e.line)
+	if err != nil {
+		return value{}, err
+	}
+	mnem := "addu"
+	if sub {
+		mnem = "subu"
+	}
+	cg.emitf("%s %s, %s, %s", mnem, isa.RegName(out.reg), isa.RegName(out.reg), isa.RegName(sv.reg))
+	cg.release(sv)
+	return out, nil
+}
+
+// genPtrDiff lowers ptr - ptr (element count).
+func (cg *codegen) genPtrDiff(e *expr, size int) (value, error) {
+	lv, err := cg.genExpr(e.lhs)
+	if err != nil {
+		return value{}, err
+	}
+	rv, err := cg.genExpr(e.rhs)
+	if err != nil {
+		return value{}, err
+	}
+	out, err := cg.own(lv, e.line)
+	if err != nil {
+		return value{}, err
+	}
+	cg.emitf("subu %s, %s, %s", isa.RegName(out.reg), isa.RegName(out.reg), isa.RegName(rv.reg))
+	cg.release(rv)
+	if size > 1 {
+		if sh := log2(size); sh >= 0 {
+			cg.emitf("sra %s, %s, %d", isa.RegName(out.reg), isa.RegName(out.reg), sh)
+		} else {
+			t, err := cg.alloc(e.line)
+			if err != nil {
+				return value{}, err
+			}
+			cg.emitf("li %s, %d", isa.RegName(t), size)
+			cg.emitf("div %s, %s", isa.RegName(out.reg), isa.RegName(t))
+			cg.emitf("mflo %s", isa.RegName(out.reg))
+			cg.freeTemp(t)
+		}
+	}
+	return out, nil
+}
+
+// genCompare lowers relational and equality operators to slt/sltu
+// sequences. Pointer comparisons are unsigned.
+func (cg *codegen) genCompare(e *expr) (value, error) {
+	op := e.str
+	unsigned := decay(e.lhs.ty).kind == tyPtr || decay(e.rhs.ty).kind == tyPtr
+	slt, slti := "slt", "slti"
+	if unsigned {
+		slt, slti = "sltu", "sltiu"
+	}
+
+	lv, err := cg.genExpr(e.lhs)
+	if err != nil {
+		return value{}, err
+	}
+
+	// x == 0 / x != 0 with constant zero rhs.
+	if c, ok := constVal(e.rhs); ok && c == 0 && (op == "==" || op == "!=") {
+		out, err := cg.own(lv, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		if op == "==" {
+			cg.emitf("sltiu %s, %s, 1", isa.RegName(out.reg), isa.RegName(out.reg))
+		} else {
+			cg.emitf("sltu %s, $zero, %s", isa.RegName(out.reg), isa.RegName(out.reg))
+		}
+		return out, nil
+	}
+	// x < c with immediate.
+	if c, ok := constVal(e.rhs); ok && op == "<" && c >= -32768 && c <= 32767 {
+		out, err := cg.own(lv, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("%s %s, %s, %d", slti, isa.RegName(out.reg), isa.RegName(out.reg), c)
+		return out, nil
+	}
+
+	rv, err := cg.genExpr(e.rhs)
+	if err != nil {
+		return value{}, err
+	}
+	out, err := cg.own(lv, e.line)
+	if err != nil {
+		return value{}, err
+	}
+	o, r := isa.RegName(out.reg), isa.RegName(rv.reg)
+	switch op {
+	case "==":
+		cg.emitf("subu %s, %s, %s", o, o, r)
+		cg.emitf("sltiu %s, %s, 1", o, o)
+	case "!=":
+		cg.emitf("subu %s, %s, %s", o, o, r)
+		cg.emitf("sltu %s, $zero, %s", o, o)
+	case "<":
+		cg.emitf("%s %s, %s, %s", slt, o, o, r)
+	case ">":
+		cg.emitf("%s %s, %s, %s", slt, o, r, o)
+	case "<=":
+		cg.emitf("%s %s, %s, %s", slt, o, r, o)
+		cg.emitf("xori %s, %s, 1", o, o)
+	case ">=":
+		cg.emitf("%s %s, %s, %s", slt, o, o, r)
+		cg.emitf("xori %s, %s, 1", o, o)
+	}
+	cg.release(rv)
+	return out, nil
+}
+
+// genAssign lowers plain and compound assignment, yielding the stored
+// value.
+func (cg *codegen) genAssign(e *expr) (value, error) {
+	lhs := e.lhs
+	isChar := lhs.ty.kind == tyChar
+
+	// Register-resident scalar local.
+	if lhs.op == exVar && lhs.sym.reg >= 0 {
+		sreg := lhs.sym.reg
+		var nv value
+		var err error
+		if e.str == "" {
+			nv, err = cg.genExpr(e.rhs)
+			if err != nil {
+				return value{}, err
+			}
+			if isChar {
+				cg.emitf("andi %s, %s, 255", isa.RegName(sreg), isa.RegName(nv.reg))
+			} else {
+				cg.emitf("move %s, %s", isa.RegName(sreg), isa.RegName(nv.reg))
+			}
+			cg.release(nv)
+			return value{reg: sreg}, nil
+		}
+		// Compound: sreg = sreg op rhs.
+		nv, err = cg.applyBinary(e.str, value{reg: sreg}, e.rhs, lhs.ty, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		if isChar {
+			cg.emitf("andi %s, %s, 255", isa.RegName(sreg), isa.RegName(nv.reg))
+		} else {
+			cg.emitf("move %s, %s", isa.RegName(sreg), isa.RegName(nv.reg))
+		}
+		cg.release(nv)
+		return value{reg: sreg}, nil
+	}
+
+	// Memory-resident lvalue.
+	a, err := cg.computeAddr(lhs)
+	if err != nil {
+		return value{}, err
+	}
+	if e.str == "" {
+		rv, err := cg.genExpr(e.rhs)
+		if err != nil {
+			return value{}, err
+		}
+		cg.storeTo(lhs.ty, rv.reg, &a)
+		cg.releaseAddr(a)
+		if isChar {
+			out, err := cg.own(rv, e.line)
+			if err != nil {
+				return value{}, err
+			}
+			cg.emitf("andi %s, %s, 255", isa.RegName(out.reg), isa.RegName(out.reg))
+			return out, nil
+		}
+		return rv, nil
+	}
+	// Compound: load, apply, store.
+	t, err := cg.alloc(e.line)
+	if err != nil {
+		return value{}, err
+	}
+	cg.loadFrom(lhs.ty, t, &a)
+	nv, err := cg.applyBinary(e.str, value{reg: t, owned: true}, e.rhs, lhs.ty, e.line)
+	if err != nil {
+		return value{}, err
+	}
+	cg.storeTo(lhs.ty, nv.reg, &a)
+	cg.releaseAddr(a)
+	if isChar {
+		out, err := cg.own(nv, e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("andi %s, %s, 255", isa.RegName(out.reg), isa.RegName(out.reg))
+		return out, nil
+	}
+	return nv, nil
+}
+
+// applyBinary computes cur op rhs where cur already holds the left
+// value; used by compound assignment. Pointer compound ops (p += n)
+// scale.
+func (cg *codegen) applyBinary(op string, cur value, rhs *expr, lty *ctype, line int) (value, error) {
+	if decay(lty).kind == tyPtr && (op == "+" || op == "-") {
+		return cg.genPtrOffsetVal(cur, rhs, decay(lty).elem.size(), op == "-", line)
+	}
+	if c, ok := constVal(rhs); ok {
+		if v, handled, err := cg.binImm(op, cur, c, line); handled {
+			return v, err
+		}
+	}
+	rv, err := cg.genExpr(rhs)
+	if err != nil {
+		return value{}, err
+	}
+	return cg.binReg(op, cur, rv, line)
+}
+
+func (cg *codegen) genPtrOffsetVal(cur value, idx *expr, size int, sub bool, line int) (value, error) {
+	if c, ok := constVal(idx); ok {
+		off := c * int64(size)
+		if sub {
+			off = -off
+		}
+		if off >= -32768 && off <= 32767 {
+			out, err := cg.own(cur, line)
+			if err != nil {
+				return value{}, err
+			}
+			cg.emitf("addiu %s, %s, %d", isa.RegName(out.reg), isa.RegName(out.reg), off)
+			return out, nil
+		}
+	}
+	iv, err := cg.genExpr(idx)
+	if err != nil {
+		return value{}, err
+	}
+	sv, err := cg.scale(iv, size, line)
+	if err != nil {
+		return value{}, err
+	}
+	out, err := cg.own(cur, line)
+	if err != nil {
+		return value{}, err
+	}
+	mnem := "addu"
+	if sub {
+		mnem = "subu"
+	}
+	cg.emitf("%s %s, %s, %s", mnem, isa.RegName(out.reg), isa.RegName(out.reg), isa.RegName(sv.reg))
+	cg.release(sv)
+	return out, nil
+}
+
+// genIncDec lowers ++/-- (pre and post).
+func (cg *codegen) genIncDec(e *expr) (value, error) {
+	delta := int64(1)
+	if t := decay(e.lhs.ty); t.kind == tyPtr {
+		delta = int64(t.elem.size())
+	}
+	if e.dec {
+		delta = -delta
+	}
+	isChar := e.lhs.ty.kind == tyChar
+
+	// Register local fast path.
+	if e.lhs.op == exVar && e.lhs.sym.reg >= 0 {
+		sreg := e.lhs.sym.reg
+		var old value
+		if e.post {
+			t, err := cg.alloc(e.line)
+			if err != nil {
+				return value{}, err
+			}
+			cg.emitf("move %s, %s", isa.RegName(t), isa.RegName(sreg))
+			old = value{reg: t, owned: true}
+		}
+		cg.emitf("addiu %s, %s, %d", isa.RegName(sreg), isa.RegName(sreg), delta)
+		if isChar {
+			cg.emitf("andi %s, %s, 255", isa.RegName(sreg), isa.RegName(sreg))
+		}
+		if e.post {
+			return old, nil
+		}
+		return value{reg: sreg}, nil
+	}
+
+	a, err := cg.computeAddr(e.lhs)
+	if err != nil {
+		return value{}, err
+	}
+	t, err := cg.alloc(e.line)
+	if err != nil {
+		return value{}, err
+	}
+	cg.loadFrom(e.lhs.ty, t, &a)
+	var result value
+	if e.post {
+		old, err := cg.alloc(e.line)
+		if err != nil {
+			return value{}, err
+		}
+		cg.emitf("move %s, %s", isa.RegName(old), isa.RegName(t))
+		result = value{reg: old, owned: true}
+	}
+	cg.emitf("addiu %s, %s, %d", isa.RegName(t), isa.RegName(t), delta)
+	if isChar {
+		cg.emitf("andi %s, %s, 255", isa.RegName(t), isa.RegName(t))
+	}
+	cg.storeTo(e.lhs.ty, t, &a)
+	cg.releaseAddr(a)
+	if e.post {
+		cg.freeTemp(t)
+		return result, nil
+	}
+	return value{reg: t, owned: true}, nil
+}
+
+// calls
+
+var argRegs = [...]int{isa.RegA0, isa.RegA1, isa.RegA2, isa.RegA3}
+
+func (cg *codegen) genCall(e *expr) (value, error) {
+	// Evaluate every argument into a held register first (outgoing
+	// slots and $a registers may be clobbered by nested calls).
+	vals := make([]value, len(e.args))
+	for i, arg := range e.args {
+		v, err := cg.genExpr(arg)
+		if err != nil {
+			return value{}, err
+		}
+		vals[i] = v
+	}
+	// Stack args.
+	for i := 4; i < len(vals); i++ {
+		cg.emitf("sw %s, %d($sp)", isa.RegName(vals[i].reg), 4*i)
+	}
+	// Register args.
+	for i := 0; i < len(vals) && i < 4; i++ {
+		cg.emitf("move %s, %s", isa.RegName(argRegs[i]), isa.RegName(vals[i].reg))
+	}
+	for _, v := range vals {
+		cg.release(v)
+	}
+	spilled := cg.spillLive()
+	cg.emitf("jal %s", e.fn.name)
+	cg.reload(spilled)
+	if e.fn.ret.kind == tyVoid {
+		return zeroValue, nil
+	}
+	t, err := cg.alloc(e.line)
+	if err != nil {
+		return value{}, err
+	}
+	cg.emitf("move %s, $v0", isa.RegName(t))
+	return value{reg: t, owned: true}, nil
+}
+
+var builtinSysNum = map[builtinID]int{
+	biPutchar: 11, biGetchar: 12, biPrintInt: 1, biPrintStr: 4,
+	biSbrk: 9, biExit: 10, biReadBlock: 13,
+}
+
+func (cg *codegen) genBuiltin(e *expr) (value, error) {
+	vals := make([]value, len(e.args))
+	for i, arg := range e.args {
+		v, err := cg.genExpr(arg)
+		if err != nil {
+			return value{}, err
+		}
+		vals[i] = v
+	}
+	for i, v := range vals {
+		cg.emitf("move %s, %s", isa.RegName(argRegs[i]), isa.RegName(v.reg))
+		cg.release(v)
+	}
+	cg.emitf("li $v0, %d", builtinSysNum[e.bi])
+	cg.emitf("syscall")
+	if e.ty.kind == tyVoid {
+		return zeroValue, nil
+	}
+	t, err := cg.alloc(e.line)
+	if err != nil {
+		return value{}, err
+	}
+	cg.emitf("move %s, $v0", isa.RegName(t))
+	return value{reg: t, owned: true}, nil
+}
+
+// conditional branches
+
+// genBranchFalse branches to lbl when e evaluates to zero.
+func (cg *codegen) genBranchFalse(e *expr, lbl string) error {
+	return cg.genCondBranch(e, lbl, false)
+}
+
+// genBranchTrue branches to lbl when e evaluates to nonzero.
+func (cg *codegen) genBranchTrue(e *expr, lbl string) error {
+	return cg.genCondBranch(e, lbl, true)
+}
+
+func (cg *codegen) genCondBranch(e *expr, lbl string, wantTrue bool) error {
+	switch e.op {
+	case exConst:
+		if (e.val != 0) == wantTrue {
+			cg.emitf("j %s", lbl)
+		}
+		return nil
+	case exNot:
+		return cg.genCondBranch(e.lhs, lbl, !wantTrue)
+	case exLogAnd:
+		if !wantTrue {
+			if err := cg.genCondBranch(e.lhs, lbl, false); err != nil {
+				return err
+			}
+			return cg.genCondBranch(e.rhs, lbl, false)
+		}
+		skip := cg.newLabel()
+		if err := cg.genCondBranch(e.lhs, skip, false); err != nil {
+			return err
+		}
+		if err := cg.genCondBranch(e.rhs, lbl, true); err != nil {
+			return err
+		}
+		cg.emitf("%s:", skip)
+		return nil
+	case exLogOr:
+		if wantTrue {
+			if err := cg.genCondBranch(e.lhs, lbl, true); err != nil {
+				return err
+			}
+			return cg.genCondBranch(e.rhs, lbl, true)
+		}
+		skip := cg.newLabel()
+		if err := cg.genCondBranch(e.lhs, skip, true); err != nil {
+			return err
+		}
+		if err := cg.genCondBranch(e.rhs, lbl, false); err != nil {
+			return err
+		}
+		cg.emitf("%s:", skip)
+		return nil
+	case exBinary:
+		if e.str == "==" || e.str == "!=" {
+			lv, err := cg.genExpr(e.lhs)
+			if err != nil {
+				return err
+			}
+			rv, err := cg.genExpr(e.rhs)
+			if err != nil {
+				return err
+			}
+			eq := e.str == "=="
+			mnem := "bne" // branch when condition is false for ==
+			if eq == wantTrue {
+				mnem = "beq"
+			}
+			cg.emitf("%s %s, %s, %s", mnem, isa.RegName(lv.reg), isa.RegName(rv.reg), lbl)
+			cg.release(rv)
+			cg.release(lv)
+			return nil
+		}
+	}
+	// General case: evaluate to a register and test against zero.
+	v, err := cg.genExpr(e)
+	if err != nil {
+		return err
+	}
+	mnem := "beq"
+	if wantTrue {
+		mnem = "bne"
+	}
+	cg.emitf("%s %s, $zero, %s", mnem, isa.RegName(v.reg), lbl)
+	cg.release(v)
+	return nil
+}

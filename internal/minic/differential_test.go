@@ -1,0 +1,203 @@
+package minic_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/minic"
+)
+
+// Differential property test: random expression trees are evaluated
+// both by a Go reference evaluator (with C int32 semantics) and by
+// compiling a MiniC program and running it on the simulator. The exit
+// codes must agree.
+
+// exprNode is a tiny reference AST.
+type exprNode struct {
+	op   string // "" for leaves
+	v    int32  // constant leaf
+	vref int    // variable leaf index, -1 if constant
+	l, r *exprNode
+}
+
+// genExpr builds a random expression. Divisors are forced to nonzero
+// constants so / and % are well defined in both worlds.
+func genExpr(r *rand.Rand, depth int) *exprNode {
+	if depth <= 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 {
+			return &exprNode{vref: -1, v: int32(r.Intn(2001) - 1000)}
+		}
+		return &exprNode{vref: r.Intn(4)}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^", "<<", ">>", "<", ">", "==", "!=", "/", "%"}
+	op := ops[r.Intn(len(ops))]
+	n := &exprNode{op: op, vref: -1}
+	n.l = genExpr(r, depth-1)
+	switch op {
+	case "/", "%":
+		d := int32(r.Intn(99) + 1)
+		if r.Intn(2) == 0 {
+			d = -d
+		}
+		n.r = &exprNode{vref: -1, v: d}
+	case "<<", ">>":
+		n.r = &exprNode{vref: -1, v: int32(r.Intn(31))}
+	default:
+		n.r = genExpr(r, depth-1)
+	}
+	return n
+}
+
+// eval computes the expression with C semantics.
+func eval(n *exprNode, vars [4]int32) int32 {
+	if n.op == "" {
+		if n.vref >= 0 {
+			return vars[n.vref]
+		}
+		return n.v
+	}
+	a, b := eval(n.l, vars), eval(n.r, vars)
+	switch n.op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		return a / b
+	case "%":
+		return a % b
+	case "&":
+		return a & b
+	case "|":
+		return a | b
+	case "^":
+		return a ^ b
+	case "<<":
+		return a << uint32(b)
+	case ">>":
+		return a >> uint32(b)
+	case "<":
+		return b2i(a < b)
+	case ">":
+		return b2i(a > b)
+	case "==":
+		return b2i(a == b)
+	case "!=":
+		return b2i(a != b)
+	}
+	panic("op")
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// render emits MiniC source for the expression.
+func render(n *exprNode, b *strings.Builder) {
+	if n.op == "" {
+		if n.vref >= 0 {
+			fmt.Fprintf(b, "v%d", n.vref)
+		} else if n.v < 0 {
+			fmt.Fprintf(b, "(%d)", n.v)
+		} else {
+			fmt.Fprintf(b, "%d", n.v)
+		}
+		return
+	}
+	b.WriteByte('(')
+	render(n.l, b)
+	fmt.Fprintf(b, " %s ", n.op)
+	render(n.r, b)
+	b.WriteByte(')')
+}
+
+func TestDifferentialExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(20260706))
+	for trial := 0; trial < 60; trial++ {
+		vars := [4]int32{}
+		for i := range vars {
+			vars[i] = int32(r.Intn(20001) - 10000)
+		}
+		n := genExpr(r, 4)
+		want := eval(n, vars)
+
+		var b strings.Builder
+		b.WriteString("int main() {\n")
+		for i, v := range vars {
+			fmt.Fprintf(&b, "\tint v%d;\n\tv%d = %d;\n", i, i, v)
+		}
+		b.WriteString("\treturn ")
+		render(n, &b)
+		b.WriteString(";\n}\n")
+		src := b.String()
+
+		im, err := minic.Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		m := cpu.New(im, nil)
+		if _, err := m.Run(1_000_000); err != nil {
+			t.Fatalf("trial %d: run: %v\n%s", trial, err, src)
+		}
+		if m.ExitCode != want {
+			t.Fatalf("trial %d: got %d, want %d\n%s", trial, m.ExitCode, want, src)
+		}
+	}
+}
+
+// TestDifferentialStatements exercises control flow: random chains of
+// assignments and conditionals against a Go interpreter.
+func TestDifferentialStatements(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		vars := [4]int32{1, 2, 3, 4}
+		var b strings.Builder
+		b.WriteString("int main() {\n\tint v0; int v1; int v2; int v3;\n")
+		b.WriteString("\tv0 = 1; v1 = 2; v2 = 3; v3 = 4;\n")
+		for s := 0; s < 12; s++ {
+			dst := r.Intn(4)
+			n := genExpr(r, 2)
+			val := eval(n, vars)
+			if r.Intn(3) == 0 {
+				// Conditional assignment.
+				cond := genExpr(r, 2)
+				cv := eval(cond, vars)
+				var cb, eb strings.Builder
+				render(cond, &cb)
+				render(n, &eb)
+				fmt.Fprintf(&b, "\tif (%s) { v%d = %s; }\n", cb.String(), dst, eb.String())
+				if cv != 0 {
+					vars[dst] = val
+				}
+			} else {
+				var eb strings.Builder
+				render(n, &eb)
+				fmt.Fprintf(&b, "\tv%d = %s;\n", dst, eb.String())
+				vars[dst] = val
+			}
+		}
+		want := vars[0] ^ vars[1] ^ vars[2] ^ vars[3]
+		b.WriteString("\treturn v0 ^ v1 ^ v2 ^ v3;\n}\n")
+		src := b.String()
+
+		im, err := minic.Compile(src)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v\n%s", trial, err, src)
+		}
+		m := cpu.New(im, nil)
+		if _, err := m.Run(1_000_000); err != nil {
+			t.Fatalf("trial %d: run: %v\n%s", trial, err, src)
+		}
+		if m.ExitCode != want {
+			t.Fatalf("trial %d: got %d, want %d\n%s", trial, m.ExitCode, want, src)
+		}
+	}
+}

@@ -1,0 +1,630 @@
+package minic
+
+// Expression parsing: precedence climbing with type resolution and
+// constant folding.
+
+// constVal extracts a compile-time constant.
+func constVal(e *expr) (int64, bool) {
+	if e.op == exConst {
+		return e.val, true
+	}
+	return 0, false
+}
+
+func intConst(v int64, line int) *expr {
+	return &expr{op: exConst, ty: typeInt, val: v, line: line}
+}
+
+// expression parses a full expression including the comma operator.
+func (p *parser) expression() (*expr, error) {
+	e, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(",") {
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = &expr{op: exComma, ty: rhs.ty, lhs: e, rhs: rhs, line: e.line}
+	}
+	return e, nil
+}
+
+var compoundOps = map[string]string{
+	"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *parser) assignExpr() (*expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	line := p.line()
+	if p.accept("=") {
+		if err := p.checkLvalue(lhs, line); err != nil {
+			return nil, err
+		}
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.checkAssign(lhs.ty, rhs, line); err != nil {
+			return nil, err
+		}
+		return &expr{op: exAssign, ty: lhs.ty, lhs: lhs, rhs: rhs, line: line}, nil
+	}
+	for text, binop := range compoundOps {
+		if p.at(text) {
+			p.next()
+			if err := p.checkLvalue(lhs, line); err != nil {
+				return nil, err
+			}
+			rhs, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			// Validate the implied binary op for its type rules.
+			if _, err := p.typeBinary(binop, lhs, rhs, line); err != nil {
+				return nil, err
+			}
+			return &expr{op: exAssign, ty: lhs.ty, str: binop, lhs: lhs, rhs: rhs, line: line}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (*expr, error) {
+	c, err := p.binaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.accept("?") {
+		return c, nil
+	}
+	line := p.line()
+	t, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	f, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	ty := decay(t.ty)
+	if !compatibleValue(ty, decay(f.ty)) {
+		return nil, errAt(line, "?: branches have incompatible types %s and %s", t.ty, f.ty)
+	}
+	return &expr{op: exCond, ty: ty, cond: c, lhs: t, rhs: f, line: line}, nil
+}
+
+// binary operator precedence levels, lowest first.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binaryExpr(level int) (*expr, error) {
+	if level >= len(binLevels) {
+		return p.unaryExpr()
+	}
+	lhs, err := p.binaryExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		for _, cand := range binLevels[level] {
+			if p.at(cand) {
+				op = cand
+				break
+			}
+		}
+		if op == "" {
+			return lhs, nil
+		}
+		line := p.line()
+		p.next()
+		rhs, err := p.binaryExpr(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case "&&":
+			lhs = &expr{op: exLogAnd, ty: typeInt, lhs: lhs, rhs: rhs, line: line}
+		case "||":
+			lhs = &expr{op: exLogOr, ty: typeInt, lhs: lhs, rhs: rhs, line: line}
+		default:
+			lhs, err = p.makeBinary(op, lhs, rhs, line)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// typeBinary computes the result type of lhs op rhs, enforcing C-ish
+// rules with pointer arithmetic scaling handled at codegen.
+func (p *parser) typeBinary(op string, lhs, rhs *expr, line int) (*ctype, error) {
+	lt, rt := decay(lhs.ty), decay(rhs.ty)
+	switch op {
+	case "+":
+		switch {
+		case lt.isArith() && rt.isArith():
+			return typeInt, nil
+		case lt.kind == tyPtr && rt.isArith():
+			return lt, nil
+		case lt.isArith() && rt.kind == tyPtr:
+			return rt, nil
+		}
+	case "-":
+		switch {
+		case lt.isArith() && rt.isArith():
+			return typeInt, nil
+		case lt.kind == tyPtr && rt.isArith():
+			return lt, nil
+		case lt.kind == tyPtr && rt.kind == tyPtr:
+			return typeInt, nil
+		}
+	case "==", "!=", "<", ">", "<=", ">=":
+		if (lt.isArith() && rt.isArith()) ||
+			(lt.kind == tyPtr && rt.kind == tyPtr) ||
+			(lt.kind == tyPtr && isZero(rhs)) ||
+			(isZero(lhs) && rt.kind == tyPtr) {
+			return typeInt, nil
+		}
+	default: // arithmetic/bitwise/shift
+		if lt.isArith() && rt.isArith() {
+			return typeInt, nil
+		}
+	}
+	return nil, errAt(line, "invalid operands to %s (%s and %s)", op, lhs.ty, rhs.ty)
+}
+
+func isZero(e *expr) bool {
+	v, ok := constVal(e)
+	return ok && v == 0
+}
+
+func (p *parser) makeBinary(op string, lhs, rhs *expr, line int) (*expr, error) {
+	ty, err := p.typeBinary(op, lhs, rhs, line)
+	if err != nil {
+		return nil, err
+	}
+	// Constant folding.
+	if lv, ok := constVal(lhs); ok {
+		if rv, ok := constVal(rhs); ok {
+			if v, ok := foldBinary(op, lv, rv); ok {
+				return intConst(v, line), nil
+			}
+		}
+	}
+	return &expr{op: exBinary, ty: ty, str: op, lhs: lhs, rhs: rhs, line: line}, nil
+}
+
+// foldBinary evaluates op on 32-bit constants.
+func foldBinary(op string, a, b int64) (int64, bool) {
+	x, y := int32(a), int32(b)
+	var r int32
+	switch op {
+	case "+":
+		r = x + y
+	case "-":
+		r = x - y
+	case "*":
+		r = x * y
+	case "/":
+		if y == 0 {
+			return 0, false
+		}
+		r = x / y
+	case "%":
+		if y == 0 {
+			return 0, false
+		}
+		r = x % y
+	case "&":
+		r = x & y
+	case "|":
+		r = x | y
+	case "^":
+		r = x ^ y
+	case "<<":
+		r = x << (uint32(y) & 31)
+	case ">>":
+		r = x >> (uint32(y) & 31)
+	case "==":
+		r = b2i(x == y)
+	case "!=":
+		r = b2i(x != y)
+	case "<":
+		r = b2i(x < y)
+	case ">":
+		r = b2i(x > y)
+	case "<=":
+		r = b2i(x <= y)
+	case ">=":
+		r = b2i(x >= y)
+	default:
+		return 0, false
+	}
+	return int64(r), true
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (p *parser) unaryExpr() (*expr, error) {
+	line := p.line()
+	switch {
+	case p.accept("-"):
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !decay(e.ty).isArith() {
+			return nil, errAt(line, "cannot negate %s", e.ty)
+		}
+		if v, ok := constVal(e); ok {
+			return intConst(int64(-int32(v)), line), nil
+		}
+		return &expr{op: exNeg, ty: typeInt, lhs: e, line: line}, nil
+	case p.accept("!"):
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := constVal(e); ok {
+			return intConst(int64(b2i(v == 0)), line), nil
+		}
+		return &expr{op: exNot, ty: typeInt, lhs: e, line: line}, nil
+	case p.accept("~"):
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !decay(e.ty).isArith() {
+			return nil, errAt(line, "cannot complement %s", e.ty)
+		}
+		if v, ok := constVal(e); ok {
+			return intConst(int64(^int32(v)), line), nil
+		}
+		return &expr{op: exBitNot, ty: typeInt, lhs: e, line: line}, nil
+	case p.accept("*"):
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		t := decay(e.ty)
+		if t.kind != tyPtr {
+			return nil, errAt(line, "cannot dereference %s", e.ty)
+		}
+		if t.elem.kind == tyVoid {
+			return nil, errAt(line, "cannot dereference void*")
+		}
+		return &expr{op: exDeref, ty: t.elem, lhs: e, line: line}, nil
+	case p.accept("&"):
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.checkAddressable(e, line); err != nil {
+			return nil, err
+		}
+		markAddrTaken(e)
+		return &expr{op: exAddr, ty: ptrTo(e.ty), lhs: e, line: line}, nil
+	case p.accept("++"):
+		return p.incDec(line, false, true)
+	case p.accept("--"):
+		return p.incDec(line, true, true)
+	case p.accept("sizeof"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		base, err := p.baseType()
+		if err != nil {
+			return nil, err
+		}
+		ty := base
+		for p.accept("*") {
+			ty = ptrTo(ty)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return intConst(int64(ty.size()), line), nil
+	}
+	return p.postfixExpr()
+}
+
+// incDec parses the operand of a prefix ++/--; pre is handled by caller.
+func (p *parser) incDec(line int, dec, prefix bool) (*expr, error) {
+	e, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.checkLvalue(e, line); err != nil {
+		return nil, err
+	}
+	t := decay(e.ty)
+	if !t.isScalar() {
+		return nil, errAt(line, "cannot increment %s", e.ty)
+	}
+	return &expr{op: exIncDec, ty: e.ty, lhs: e, dec: dec, post: !prefix, line: line}, nil
+}
+
+func (p *parser) postfixExpr() (*expr, error) {
+	e, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.line()
+		switch {
+		case p.accept("["):
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			bt := decay(e.ty)
+			if bt.kind != tyPtr {
+				return nil, errAt(line, "cannot index %s", e.ty)
+			}
+			if !decay(idx.ty).isArith() {
+				return nil, errAt(line, "array index must be arithmetic")
+			}
+			e = &expr{op: exIndex, ty: bt.elem, lhs: e, rhs: idx, line: line}
+		case p.accept("."):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if e.ty.kind != tyStruct {
+				return nil, errAt(line, ".%s on non-struct %s", name, e.ty)
+			}
+			f := e.ty.sdef.findField(name)
+			if f == nil {
+				return nil, errAt(line, "struct %s has no field %s", e.ty.sdef.name, name)
+			}
+			e = &expr{op: exMember, ty: f.ty, lhs: e, off: f.off, str: name, line: line}
+		case p.accept("->"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			pt := decay(e.ty)
+			if pt.kind != tyPtr || pt.elem.kind != tyStruct {
+				return nil, errAt(line, "->%s on non-struct-pointer %s", name, e.ty)
+			}
+			if !pt.elem.sdef.done {
+				return nil, errAt(line, "use of incomplete struct %s", pt.elem.sdef.name)
+			}
+			f := pt.elem.sdef.findField(name)
+			if f == nil {
+				return nil, errAt(line, "struct %s has no field %s", pt.elem.sdef.name, name)
+			}
+			deref := &expr{op: exDeref, ty: pt.elem, lhs: e, line: line}
+			e = &expr{op: exMember, ty: f.ty, lhs: deref, off: f.off, str: name, line: line}
+		case p.at("++") || p.at("--"):
+			dec := p.next().text == "--"
+			if err := p.checkLvalue(e, line); err != nil {
+				return nil, err
+			}
+			if !decay(e.ty).isScalar() {
+				return nil, errAt(line, "cannot increment %s", e.ty)
+			}
+			e = &expr{op: exIncDec, ty: e.ty, lhs: e, dec: dec, post: true, line: line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (*expr, error) {
+	t := p.tok()
+	switch t.kind {
+	case tokNumber, tokChar:
+		p.next()
+		return intConst(t.num, t.line), nil
+	case tokString:
+		p.next()
+		lbl := p.internString(t.str)
+		return &expr{op: exString, ty: ptrTo(typeChar), str: t.str, val: 0, line: t.line,
+			sym: &symbol{name: lbl, kind: symGlobal, ty: arrayOf(typeChar, len(t.str)+1), label: lbl, reg: -1}}, nil
+	case tokIdent:
+		name := t.text
+		// Call?
+		if p.toks[p.pos+1].text == "(" {
+			return p.callExpr()
+		}
+		p.next()
+		s := p.lookup(name)
+		if s == nil {
+			return nil, errAt(t.line, "undeclared identifier %q", name)
+		}
+		if s.kind == symEnumConst {
+			return intConst(s.enumVal, t.line), nil
+		}
+		s.nrefs++ // drives s-register allocation priority
+		return &expr{op: exVar, ty: s.ty, sym: s, line: t.line}, nil
+	case tokPunct:
+		if p.accept("(") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokKeyword:
+		// handled in unaryExpr (sizeof); anything else is an error.
+	}
+	return nil, errAt(t.line, "unexpected %s in expression", t)
+}
+
+func (p *parser) callExpr() (*expr, error) {
+	t := p.next() // ident
+	name := t.text
+	p.next() // (
+	var args []*expr
+	if !p.accept(")") {
+		for {
+			a, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	// Builtin?
+	if bi, ok := builtinNames[name]; ok && p.lookup(name) == nil {
+		return p.builtinCall(bi, name, args, t.line)
+	}
+	fn, ok := p.funcs[name]
+	if !ok {
+		return nil, errAt(t.line, "call to undeclared function %q", name)
+	}
+	if len(args) != len(fn.params) {
+		return nil, errAt(t.line, "%s expects %d arguments, got %d", name, len(fn.params), len(args))
+	}
+	for i, a := range args {
+		if err := p.checkAssign(fn.params[i].ty, a, t.line); err != nil {
+			return nil, err
+		}
+	}
+	return &expr{op: exCall, ty: fn.ret, fn: fn, args: args, line: t.line}, nil
+}
+
+var builtinArity = map[builtinID]int{
+	biPutchar: 1, biGetchar: 0, biPrintInt: 1, biPrintStr: 1,
+	biSbrk: 1, biExit: 1, biReadBlock: 2,
+}
+
+func (p *parser) builtinCall(bi builtinID, name string, args []*expr, line int) (*expr, error) {
+	if len(args) != builtinArity[bi] {
+		return nil, errAt(line, "%s expects %d arguments, got %d", name, builtinArity[bi], len(args))
+	}
+	for _, a := range args {
+		if !decay(a.ty).isScalar() {
+			return nil, errAt(line, "%s argument must be scalar", name)
+		}
+	}
+	ret := typeVoid
+	switch bi {
+	case biGetchar, biReadBlock:
+		ret = typeInt
+	case biSbrk:
+		ret = ptrTo(typeChar)
+	}
+	return &expr{op: exBuiltin, ty: ret, bi: bi, args: args, line: line}, nil
+}
+
+// semantic helpers
+
+// checkLvalue verifies e can be assigned to.
+func (p *parser) checkLvalue(e *expr, line int) error {
+	switch e.op {
+	case exVar:
+		if e.sym.ty.kind == tyArray {
+			return errAt(line, "array %s is not assignable", e.sym.name)
+		}
+		return nil
+	case exDeref, exIndex:
+		return nil
+	case exMember:
+		if e.ty.kind == tyArray {
+			return errAt(line, "array field %s is not assignable", e.str)
+		}
+		return nil
+	}
+	return errAt(line, "expression is not an lvalue")
+}
+
+// checkAddressable verifies &e is legal.
+func (p *parser) checkAddressable(e *expr, line int) error {
+	switch e.op {
+	case exVar, exDeref, exIndex, exMember:
+		return nil
+	}
+	return errAt(line, "cannot take the address of this expression")
+}
+
+// markAddrTaken flags the root symbol of an lvalue whose address
+// escapes, pinning it to the stack.
+func markAddrTaken(e *expr) {
+	for e != nil {
+		switch e.op {
+		case exVar:
+			e.sym.addrTaken = true
+			return
+		case exMember:
+			e = e.lhs
+		case exIndex:
+			e = e.lhs
+		default:
+			return
+		}
+	}
+}
+
+// compatibleValue reports whether a value of type b can flow into a.
+// MiniC uses pre-ANSI pointer laxity: any pointer converts to any
+// pointer (the workloads use char* as a void* stand-in for malloc).
+func compatibleValue(a, b *ctype) bool {
+	a, b = decay(a), decay(b)
+	switch {
+	case a.isArith() && b.isArith():
+		return true
+	case a.kind == tyPtr && b.kind == tyPtr:
+		return true
+	default:
+		return sameType(a, b)
+	}
+}
+
+// checkAssign verifies rhs can be assigned to type lt.
+func (p *parser) checkAssign(lt *ctype, rhs *expr, line int) error {
+	rt := decay(rhs.ty)
+	lt = decay(lt)
+	if compatibleValue(lt, rt) {
+		return nil
+	}
+	// ptr = 0 and int = ptr (loose) allowed.
+	if lt.kind == tyPtr && isZero(rhs) {
+		return nil
+	}
+	if lt.isArith() && rt.kind == tyPtr {
+		return nil
+	}
+	if lt.kind == tyPtr && rt.isArith() {
+		return nil
+	}
+	return errAt(line, "cannot assign %s to %s", rhs.ty, lt)
+}

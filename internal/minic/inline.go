@@ -1,0 +1,168 @@
+package minic
+
+// Function inlining. Section 6 of the paper argues that
+// prologue/epilogue overhead and its repetition "can potentially be
+// optimized if the compiler had global information and could inline
+// the function at the call site", and Table 9 examines exactly which
+// functions would have to be inlined. This pass implements the
+// optimization so the claim can be tested as an ablation
+// (examples/inlining, BenchmarkAblationInlining).
+//
+// A function is inlinable when its body is a single `return <expr>;`
+// whose expression is pure (no calls, builtins, assignments, or
+// increments) — the accessor pattern of the paper's Table 9
+// candidates. A call site is rewritten when every argument expression
+// is itself pure, so substitution cannot drop or duplicate side
+// effects.
+
+// inlineFunctions rewrites eligible call sites in every function body
+// and returns the number of calls inlined.
+func inlineFunctions(u *unit) int {
+	inlinable := map[*funcDecl]*expr{}
+	for _, fn := range u.funcs {
+		if e := inlinableBody(fn); e != nil {
+			inlinable[fn] = e
+		}
+	}
+	if len(inlinable) == 0 {
+		return 0
+	}
+	count := 0
+	for _, fn := range u.funcs {
+		count += inlineStmt(fn.body, inlinable)
+	}
+	return count
+}
+
+// inlinableBody returns the single returned expression if fn
+// qualifies.
+func inlinableBody(fn *funcDecl) *expr {
+	if !fn.defined || fn.ret.kind == tyVoid {
+		return nil
+	}
+	body := fn.body
+	if body == nil || body.op != stBlock || len(body.list) != 1 {
+		return nil
+	}
+	ret := body.list[0]
+	if ret.op != stReturn || ret.ex == nil {
+		return nil
+	}
+	if !exprPure(ret.ex) {
+		return nil
+	}
+	return ret.ex
+}
+
+// exprPure reports whether evaluating e has no side effects and no
+// calls (loads are allowed: they are the accessor pattern).
+func exprPure(e *expr) bool {
+	if e == nil {
+		return true
+	}
+	switch e.op {
+	case exCall, exBuiltin, exAssign, exIncDec:
+		return false
+	}
+	if !exprPure(e.lhs) || !exprPure(e.rhs) || !exprPure(e.cond) {
+		return false
+	}
+	for _, a := range e.args {
+		if !exprPure(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// substitute deep-copies body, replacing parameter references with the
+// corresponding argument expressions.
+func substitute(body *expr, bind map[*symbol]*expr) *expr {
+	if body == nil {
+		return nil
+	}
+	if body.op == exVar {
+		if arg, ok := bind[body.sym]; ok {
+			return arg // argument expressions are pure: safe to share
+		}
+		body.sym.nrefs++ // a new reference from the inlined copy
+	}
+	cp := *body
+	cp.lhs = substitute(body.lhs, bind)
+	cp.rhs = substitute(body.rhs, bind)
+	cp.cond = substitute(body.cond, bind)
+	if body.args != nil {
+		cp.args = make([]*expr, len(body.args))
+		for i, a := range body.args {
+			cp.args[i] = substitute(a, bind)
+		}
+	}
+	return &cp
+}
+
+// tryInline rewrites a call node in place if eligible, returning 1 on
+// success.
+func tryInline(e *expr, inlinable map[*funcDecl]*expr) int {
+	body, ok := inlinable[e.fn]
+	if !ok {
+		return 0
+	}
+	for _, a := range e.args {
+		if !exprPure(a) {
+			return 0
+		}
+	}
+	bind := map[*symbol]*expr{}
+	for i, p := range e.fn.params {
+		bind[p] = e.args[i]
+	}
+	inlined := substitute(body, bind)
+	// The callee returns its declared type; the call node already
+	// carries it. Replace the node contents, keeping the type.
+	ty := e.ty
+	*e = *inlined
+	e.ty = ty
+	return 1
+}
+
+// inlineExpr walks an expression, rewriting eligible calls bottom-up
+// (arguments first, so nested calls inline inside-out).
+func inlineExpr(e *expr, inlinable map[*funcDecl]*expr) int {
+	if e == nil {
+		return 0
+	}
+	n := inlineExpr(e.lhs, inlinable)
+	n += inlineExpr(e.rhs, inlinable)
+	n += inlineExpr(e.cond, inlinable)
+	for _, a := range e.args {
+		n += inlineExpr(a, inlinable)
+	}
+	if e.op == exCall {
+		n += tryInline(e, inlinable)
+	}
+	return n
+}
+
+func inlineStmt(s *stmt, inlinable map[*funcDecl]*expr) int {
+	if s == nil {
+		return 0
+	}
+	n := inlineExpr(s.ex, inlinable)
+	n += inlineExpr(s.post, inlinable)
+	n += inlineExpr(s.dinit, inlinable)
+	n += inlineStmt(s.init, inlinable)
+	n += inlineStmt(s.body, inlinable)
+	n += inlineStmt(s.alt, inlinable)
+	for _, c := range s.list {
+		n += inlineStmt(c, inlinable)
+	}
+	for _, c := range s.cases {
+		for _, cs := range c.body {
+			n += inlineStmt(cs, inlinable)
+		}
+	}
+	for _, cs := range s.defalt {
+		n += inlineStmt(cs, inlinable)
+	}
+	return n
+}

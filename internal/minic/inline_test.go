@@ -1,0 +1,125 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/minic"
+)
+
+// runOpt compiles with options and runs.
+func runOpt(t *testing.T, src string, opts minic.Options) *cpu.Machine {
+	t.Helper()
+	im, err := minic.CompileOpt(src, opts)
+	if err != nil {
+		t.Fatalf("CompileOpt: %v", err)
+	}
+	m := cpu.New(im, nil)
+	if _, err := m.Run(20_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !m.Halted {
+		t.Fatal("did not finish")
+	}
+	return m
+}
+
+const inlineSubject = `
+int table[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+int grab(int i) { return table[i & 15]; }
+int scale(int v, int k) { return v * k + 1; }
+int g;
+int impure(int x) { g += x; return g; }
+int main() {
+	int s;
+	s = 0;
+	for (int i = 0; i < 100; i++) {
+		s += scale(grab(i), 3);
+		s += impure(1);
+	}
+	return s & 0x7fff;
+}`
+
+func TestInlinePreservesSemantics(t *testing.T) {
+	base := runOpt(t, inlineSubject, minic.Options{})
+	opt := runOpt(t, inlineSubject, minic.Options{Inline: true})
+	if base.ExitCode != opt.ExitCode {
+		t.Fatalf("inlining changed the result: %d vs %d", base.ExitCode, opt.ExitCode)
+	}
+	if opt.Count >= base.Count {
+		t.Errorf("inlining did not reduce instructions: %d vs %d", opt.Count, base.Count)
+	}
+}
+
+func TestInlineRemovesCalls(t *testing.T) {
+	asmBase, err := minic.CompileToAsmOpt(inlineSubject, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asmOpt, err := minic.CompileToAsmOpt(inlineSubject, minic.Options{Inline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(asmOpt, "jal grab") >= strings.Count(asmBase, "jal grab") {
+		t.Error("grab calls not inlined")
+	}
+	if strings.Count(asmOpt, "jal scale") >= strings.Count(asmBase, "jal scale") {
+		t.Error("scale calls not inlined")
+	}
+	// impure has an assignment in its body: must NOT be inlined.
+	if strings.Count(asmOpt, "jal impure") != strings.Count(asmBase, "jal impure") {
+		t.Error("impure function was inlined")
+	}
+}
+
+func TestInlineSkipsSideEffectArgs(t *testing.T) {
+	// grab(i++) must keep the call (or at least keep i++ exactly
+	// once); the pass declines impure arguments, so semantics hold.
+	src := `
+int table[16];
+int grab(int i) { return table[i & 15]; }
+int main() {
+	int i;
+	int s;
+	for (i = 0; i < 16; i++) { table[i] = i * 7; }
+	i = 0;
+	s = 0;
+	while (i < 16) {
+		s += grab(i++);
+	}
+	return s;
+}`
+	base := runOpt(t, src, minic.Options{})
+	opt := runOpt(t, src, minic.Options{Inline: true})
+	if base.ExitCode != opt.ExitCode {
+		t.Fatalf("side-effect argument mishandled: %d vs %d", base.ExitCode, opt.ExitCode)
+	}
+	if base.ExitCode != 7*(15*16/2) {
+		t.Fatalf("baseline wrong: %d", base.ExitCode)
+	}
+}
+
+func TestInlineRecursionSafe(t *testing.T) {
+	// Self-recursive single-return functions contain a call, so they
+	// are not inlinable; compilation must not loop.
+	src := `
+int f(int n) { return n == 0 ? 0 : f(n - 1) + 1; }
+int main() { return f(10); }`
+	m := runOpt(t, src, minic.Options{Inline: true})
+	if m.ExitCode != 10 {
+		t.Errorf("exit = %d", m.ExitCode)
+	}
+}
+
+func TestInlineNestedAccessors(t *testing.T) {
+	src := `
+int a(int x) { return x + 1; }
+int b(int x) { return a(x) * 2; }	/* body calls a: not inlinable itself */
+int c(int x) { return x * x; }
+int main() { return b(c(3)); }`
+	m := runOpt(t, src, minic.Options{Inline: true})
+	if m.ExitCode != (9+1)*2 {
+		t.Errorf("exit = %d", m.ExitCode)
+	}
+}

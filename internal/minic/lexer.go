@@ -1,0 +1,211 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a compile error with position information.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+func errAt(line int, format string, args ...any) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lex tokenizes src. Comments (// and /* */) are stripped.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= n {
+				return nil, errAt(line, "unterminated block comment")
+			}
+			i += 2
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentChar(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: word, line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			base := int64(10)
+			if c == '0' && j+1 < n && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			v := int64(0)
+			start := j
+			for j < n {
+				d := digitVal(src[j])
+				if d < 0 || d >= base {
+					break
+				}
+				v = v*base + d
+				j++
+			}
+			if base == 16 && j == start {
+				return nil, errAt(line, "malformed hex literal")
+			}
+			if j < n && isIdentChar(src[j]) {
+				return nil, errAt(line, "malformed number near %q", src[i:j+1])
+			}
+			toks = append(toks, token{kind: tokNumber, num: v, line: line})
+			i = j
+		case c == '"':
+			s, j, err := lexString(src, i, line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, str: s, line: line})
+			i = j
+		case c == '\'':
+			v, j, err := lexCharLit(src, i, line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokChar, num: v, line: line})
+			i = j
+		default:
+			matched := false
+			for _, p := range punctuators {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errAt(line, "unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func digitVal(c byte) int64 {
+	switch {
+	case c >= '0' && c <= '9':
+		return int64(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int64(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int64(c-'A') + 10
+	}
+	return -1
+}
+
+func lexString(src string, i, line int) (string, int, error) {
+	var b strings.Builder
+	j := i + 1
+	for j < len(src) && src[j] != '"' {
+		c := src[j]
+		if c == '\n' {
+			return "", 0, errAt(line, "newline in string literal")
+		}
+		if c == '\\' {
+			j++
+			if j >= len(src) {
+				break
+			}
+			e, err := escape(src[j], line)
+			if err != nil {
+				return "", 0, err
+			}
+			b.WriteByte(e)
+			j++
+			continue
+		}
+		b.WriteByte(c)
+		j++
+	}
+	if j >= len(src) {
+		return "", 0, errAt(line, "unterminated string literal")
+	}
+	return b.String(), j + 1, nil
+}
+
+func lexCharLit(src string, i, line int) (int64, int, error) {
+	j := i + 1
+	if j >= len(src) {
+		return 0, 0, errAt(line, "unterminated char literal")
+	}
+	var v byte
+	if src[j] == '\\' {
+		j++
+		if j >= len(src) {
+			return 0, 0, errAt(line, "unterminated char literal")
+		}
+		e, err := escape(src[j], line)
+		if err != nil {
+			return 0, 0, err
+		}
+		v = e
+		j++
+	} else {
+		v = src[j]
+		j++
+	}
+	if j >= len(src) || src[j] != '\'' {
+		return 0, 0, errAt(line, "unterminated char literal")
+	}
+	return int64(v), j + 1, nil
+}
+
+func escape(c byte, line int) (byte, error) {
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	}
+	return 0, errAt(line, "unknown escape \\%c", c)
+}

@@ -1,0 +1,73 @@
+package minic
+
+import (
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/program"
+)
+
+// Options controls optional compiler passes.
+type Options struct {
+	// Inline rewrites calls to single-return-expression accessor
+	// functions into their bodies (the optimization the paper's
+	// Section 6 discusses for eliminating prologue/epilogue
+	// repetition).
+	Inline bool
+}
+
+// CompileToAsm compiles MiniC source (with the runtime library) and
+// returns the generated assembler source.
+func CompileToAsm(src string) (string, error) {
+	return CompileToAsmOpt(src, Options{})
+}
+
+// CompileToAsmOpt is CompileToAsm with compiler options.
+func CompileToAsmOpt(src string, opts Options) (string, error) {
+	full := runtimeProto + "\n" + src + "\n" + runtimeBody
+	u, err := parse(full)
+	if err != nil {
+		return "", adjustLine(err)
+	}
+	if opts.Inline {
+		inlineFunctions(u)
+	}
+	return generate(u)
+}
+
+// CompileBareToAsm compiles MiniC source without the runtime library
+// (used by compiler tests that want minimal output).
+func CompileBareToAsm(src string) (string, error) {
+	u, err := parse(src)
+	if err != nil {
+		return "", err
+	}
+	return generate(u)
+}
+
+// Compile compiles MiniC source plus the runtime into a loadable
+// program image.
+func Compile(src string) (*program.Image, error) {
+	return CompileOpt(src, Options{})
+}
+
+// CompileOpt is Compile with compiler options.
+func CompileOpt(src string, opts Options) (*program.Image, error) {
+	text, err := CompileToAsmOpt(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(text)
+}
+
+// protoLines is the line offset the runtime prototypes introduce; user
+// line numbers in errors are shifted back by this amount.
+var protoLines = strings.Count(runtimeProto, "\n") + 1
+
+// adjustLine rebases an error's line number to the user source.
+func adjustLine(err error) error {
+	if ce, ok := err.(*Error); ok && ce.Line > protoLines {
+		return &Error{Line: ce.Line - protoLines, Msg: ce.Msg}
+	}
+	return err
+}

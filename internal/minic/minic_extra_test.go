@@ -1,0 +1,422 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic"
+)
+
+// Additional compiler edge cases beyond the core suite.
+
+func TestScopingShadowing(t *testing.T) {
+	expectExit(t, `
+int x = 100;
+int main() {
+	int x;
+	x = 1;
+	{
+		int x;
+		x = 2;
+		{
+			int x;
+			x = 3;
+		}
+		if (x != 2) { return 1; }
+	}
+	if (x != 1) { return 2; }
+	return x * 10;
+}`, 10)
+}
+
+func TestForScopeShadowing(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int i;
+	int s;
+	i = 99;
+	s = 0;
+	for (int i = 0; i < 3; i++) { s += i; }
+	return s * 100 + i;
+}`, 399)
+}
+
+func TestPointerToPointer(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int x;
+	int *p;
+	int **pp;
+	x = 5;
+	p = &x;
+	pp = &p;
+	**pp = **pp + 37;
+	return x;
+}`, 42)
+}
+
+func TestLocal2DArray(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int grid[4][4];
+	int i; int j; int s;
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j < 4; j++) { grid[i][j] = i * 4 + j; }
+	}
+	s = 0;
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j < 4; j++) { s += grid[i][j]; }
+	}
+	return s;
+}`, 120)
+}
+
+func TestThreeDimensionalArray(t *testing.T) {
+	expectExit(t, `
+int cube[2][3][4];
+int main() {
+	int i; int j; int k;
+	for (i = 0; i < 2; i++) {
+		for (j = 0; j < 3; j++) {
+			for (k = 0; k < 4; k++) { cube[i][j][k] = i * 100 + j * 10 + k; }
+		}
+	}
+	return cube[1][2][3] + cube[0][1][2] + sizeof(int) * 0;
+}`, 123+12)
+}
+
+func TestArrayOfPointers(t *testing.T) {
+	expectExit(t, `
+int a = 1;
+int b = 2;
+int c = 3;
+int *tab[3];
+int main() {
+	int s;
+	int i;
+	tab[0] = &a;
+	tab[1] = &b;
+	tab[2] = &c;
+	s = 0;
+	for (i = 0; i < 3; i++) { s = s * 10 + *tab[i]; }
+	return s;
+}`, 123)
+}
+
+func TestNestedStructs(t *testing.T) {
+	expectExit(t, `
+struct inner { int a; int b; };
+struct outer { int tag; struct inner in; };
+struct outer o;
+int main() {
+	struct outer *p;
+	o.tag = 1;
+	o.in.a = 20;
+	o.in.b = 300;
+	p = &o;
+	return p->tag + p->in.a + o.in.b;
+}`, 321)
+}
+
+func TestStructFieldAddress(t *testing.T) {
+	expectExit(t, `
+struct pair { int x; int y; };
+void bump(int *p) { *p += 5; }
+int main() {
+	struct pair v;
+	v.x = 1;
+	v.y = 2;
+	bump(&v.x);
+	bump(&v.y);
+	return v.x * 10 + v.y;
+}`, 67)
+}
+
+func TestPointerComparisons(t *testing.T) {
+	expectExit(t, `
+int arr[4];
+int main() {
+	int *p; int *q;
+	p = &arr[1];
+	q = &arr[3];
+	return (p < q) + (q > p) * 10 + (p == p) * 100 + (p != q) * 1000 + (p == 0) * 10000;
+}`, 1111)
+}
+
+func TestCharPointerWalk(t *testing.T) {
+	expectExit(t, `
+int main() {
+	char *s;
+	int sum;
+	s = "abc";
+	sum = 0;
+	while (*s) {
+		sum += *s;
+		s++;
+	}
+	return sum;
+}`, 'a'+'b'+'c')
+}
+
+func TestNegativeModAndDiv(t *testing.T) {
+	// C99 semantics: truncation toward zero.
+	expectExit(t, `
+int main() {
+	int a; int b;
+	a = -7; b = 2;
+	return (a / b) * 100 + (a % b) * 10 + (7 / -2);
+}`, (-7/2)*100+(-7%2)*10+(7/-2))
+}
+
+func TestShiftEdge(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int x;
+	x = 1;
+	x = x << 30;
+	x = x >> 28;	/* arithmetic */
+	return x;
+}`, 1<<30>>28)
+	expectExit(t, `
+int main() {
+	int x;
+	int n;
+	x = -16;
+	n = 2;
+	return x >> n;	/* srav */
+}`, -4)
+}
+
+func TestWhileWithComplexCondition(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int i; int j;
+	i = 0; j = 10;
+	while (i < 5 && j > 7 || i == 0) {
+		i++;
+		j--;
+	}
+	return i * 10 + j;
+}`, func() int32 {
+		i, j := int32(0), int32(10)
+		for (i < 5 && j > 7) || i == 0 {
+			i++
+			j--
+		}
+		return i*10 + j
+	}())
+}
+
+func TestRecursionDepth(t *testing.T) {
+	expectExit(t, `
+int down(int n) {
+	if (n == 0) { return 0; }
+	return 1 + down(n - 1);
+}
+int main() { return down(500); }`, 500)
+}
+
+func TestMutualRecursion(t *testing.T) {
+	expectExit(t, `
+int isOdd(int n);
+int isEven(int n) { if (n == 0) { return 1; } return isOdd(n - 1); }
+int isOdd(int n) { if (n == 0) { return 0; } return isEven(n - 1); }
+int main() { return isEven(100) * 10 + isOdd(100); }`, 10)
+}
+
+func TestTernaryNested(t *testing.T) {
+	expectExit(t, `
+int classify(int x) {
+	return x < 0 ? -1 : x == 0 ? 0 : 1;
+}
+int main() {
+	return classify(-5) + classify(0) * 10 + classify(9) * 100;
+}`, -1+0+100)
+}
+
+func TestAssignmentChains(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int a; int b; int c;
+	a = b = c = 14;
+	return a + b + c;
+}`, 42)
+}
+
+func TestCharComparisonsUnsigned(t *testing.T) {
+	// MiniC chars are unsigned bytes: 200 > 100.
+	expectExit(t, `
+int main() {
+	char hi; char lo;
+	hi = 200;
+	lo = 100;
+	if (hi > lo) { return 1; }
+	return 0;
+}`, 1)
+}
+
+func TestGlobalCharTable(t *testing.T) {
+	expectExit(t, `
+char hex[] = "0123456789abcdef";
+int main() {
+	return hex[10] * 1 + hex[15] - hex[0];
+}`, 'a'+'f'-'0')
+}
+
+func TestBigImmediates(t *testing.T) {
+	expectExit(t, `
+int big = 0x12345678;
+int main() {
+	int x;
+	x = 0x7fffffff;
+	x = x + 1;	/* wraps */
+	if (x != (-2147483647 - 1)) { return 1; }
+	return big >> 24;
+}`, 0x12)
+}
+
+func TestEmptyFunctionAndStatements(t *testing.T) {
+	expectExit(t, `
+void nothing() { }
+int main() {
+	;
+	;
+	nothing();
+	{ }
+	return 3;
+}`, 3)
+}
+
+func TestDanglingElse(t *testing.T) {
+	// else binds to the nearest if.
+	expectExit(t, `
+int f(int a, int b) {
+	if (a)
+		if (b) { return 1; }
+		else { return 2; }
+	return 3;
+}
+int main() {
+	return f(1, 1) * 100 + f(1, 0) * 10 + f(0, 0);
+}`, 123)
+}
+
+func TestSwitchOnChar(t *testing.T) {
+	expectExit(t, `
+int score(char c) {
+	switch (c) {
+	case 'a': return 1;
+	case 'z': return 26;
+	default: return 0;
+	}
+}
+int main() {
+	return score('a') + score('z') * 10 + score('q');
+}`, 1+260)
+}
+
+func TestManyLocalsSpillToStack(t *testing.T) {
+	// More scalar locals than s-registers: some must live on the
+	// stack and everything still computes.
+	expectExit(t, `
+int main() {
+	int a; int b; int c; int d; int e; int f;
+	int g; int h; int i; int j; int k; int l;
+	a = 1; b = 2; c = 3; d = 4; e = 5; f = 6;
+	g = 7; h = 8; i = 9; j = 10; k = 11; l = 12;
+	a = a + l; b = b + k; c = c + j; d = d + i; e = e + h; f = f + g;
+	return a + b + c + d + e + f;
+}`, 13*6)
+}
+
+func TestStackArgsWithSpills(t *testing.T) {
+	expectExit(t, `
+int seven(int a, int b, int c, int d, int e, int f, int g) {
+	return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6 + g * 7;
+}
+int wrap(int base) {
+	return seven(base, base + 1, base + 2, base + 3, base + 4, base + 5, base + 6);
+}
+int main() { return wrap(1) + wrap(2); }`, func() int32 {
+		seven := func(a, b, c, d, e, f, g int32) int32 {
+			return a + b*2 + c*3 + d*4 + e*5 + f*6 + g*7
+		}
+		wrap := func(base int32) int32 {
+			return seven(base, base+1, base+2, base+3, base+4, base+5, base+6)
+		}
+		return wrap(1) + wrap(2)
+	}())
+}
+
+func TestConstantFoldingStatic(t *testing.T) {
+	// Constant expressions fold at compile time: the generated text
+	// for main should contain no mult for 6*7.
+	asm, err := minic.CompileBareToAsm(`int main() { return 6 * 7 + (1 << 4); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(asm, "mult") {
+		t.Error("6*7 was not folded")
+	}
+	if !strings.Contains(asm, "li $t0, 58") && !strings.Contains(asm, ", 58") {
+		t.Errorf("folded constant 58 not in output:\n%s", asm)
+	}
+}
+
+func TestCompileToAsmHasFuncDirectives(t *testing.T) {
+	asm, err := minic.CompileToAsm(`int main() { return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{".func main 0", ".func malloc 1", ".endfunc", "__start:"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("asm missing %q", want)
+		}
+	}
+}
+
+func TestErrorLineNumbersAdjusted(t *testing.T) {
+	// The runtime prototypes are prepended; user errors must still
+	// report user line numbers.
+	_, err := minic.Compile("int main() {\n\treturn x;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error line not adjusted: %v", err)
+	}
+}
+
+func TestCharArithPromotion(t *testing.T) {
+	expectExit(t, `
+int main() {
+	char c;
+	int x;
+	c = 250;
+	x = c + 10;	/* promoted to int: 260 */
+	return x;
+}`, 260)
+}
+
+func TestGlobalInitNegativeAndHex(t *testing.T) {
+	expectExit(t, `
+int a = -5;
+int b = 0xff;
+int tab[3] = {-1, -2, -3};
+int main() { return a + b + tab[0] + tab[1] + tab[2]; }`, -5+255-6)
+}
+
+func TestDoWhileBreakContinue(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int i; int s;
+	i = 0; s = 0;
+	do {
+		i++;
+		if (i == 3) { continue; }
+		if (i > 6) { break; }
+		s += i;
+	} while (i < 100);
+	return s;
+}`, 1+2+4+5+6)
+}

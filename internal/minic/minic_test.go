@@ -1,0 +1,623 @@
+package minic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/minic"
+)
+
+// runProg compiles and runs src, returning the machine.
+func runProg(t *testing.T, src, input string) *cpu.Machine {
+	t.Helper()
+	im, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	m := cpu.New(im, []byte(input))
+	if _, err := m.Run(50_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !m.Halted {
+		t.Fatal("program did not finish")
+	}
+	return m
+}
+
+// expectExit compiles, runs, and checks main's return value.
+func expectExit(t *testing.T, src string, want int32) {
+	t.Helper()
+	m := runProg(t, src, "")
+	if m.ExitCode != want {
+		t.Errorf("exit = %d, want %d", m.ExitCode, want)
+	}
+}
+
+func expectOutput(t *testing.T, src, input, want string) {
+	t.Helper()
+	m := runProg(t, src, input)
+	if got := m.Output.String(); got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	expectExit(t, `int main() { return 42; }`, 42)
+}
+
+func TestArithmetic(t *testing.T) {
+	expectExit(t, `int main() { return (3 + 4) * 5 - 100 / 7 % 3; }`, 35-14%3)
+	expectExit(t, `int main() { int a; a = 10; return a * a - a / 2; }`, 95)
+	expectExit(t, `int main() { return -7 + 10; }`, 3)
+	expectExit(t, `int main() { return 1 << 10 | 15 & 12 ^ 5; }`, 1<<10|15&12^5)
+	expectExit(t, `int main() { return ~0 + 2; }`, 1)
+	expectExit(t, `int main() { int x; x = -40; return x / 8 + x % 7; }`, -40/8+-40%7)
+	expectExit(t, `int main() { int x; x = -64; return x >> 3; }`, -8)
+}
+
+func TestComparisons(t *testing.T) {
+	expectExit(t, `int main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (4 == 4) + (4 != 4); }`, 4)
+	expectExit(t, `int main() { int a; a = -5; return (a < 3) + (a > 3) * 10; }`, 1)
+}
+
+func TestLogicalOps(t *testing.T) {
+	expectExit(t, `int main() { return (1 && 2) + (0 && 1) * 10 + (0 || 3) + (0 || 0) * 10; }`, 2)
+	// Short circuit: divide by zero must not execute.
+	expectExit(t, `
+int boom(int x) { return 1 / x; }
+int main() { int z; z = 0; if (z != 0 && boom(z)) { return 1; } return 7; }`, 7)
+	expectExit(t, `
+int count;
+int bump() { count = count + 1; return 1; }
+int main() { int r; r = bump() || bump(); return count * 10 + r; }`, 11)
+}
+
+func TestTernaryAndNot(t *testing.T) {
+	expectExit(t, `int main() { int a; a = 5; return a > 3 ? 11 : 22; }`, 11)
+	expectExit(t, `int main() { int a; a = 1; return !a + !!a * 2; }`, 2)
+	expectExit(t, `int main() { return (3 ? 1 : 9) + (0 ? 9 : 2); }`, 3)
+}
+
+func TestWhileLoop(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int sum; int i;
+	sum = 0;
+	i = 1;
+	while (i <= 100) { sum += i; i++; }
+	return sum;
+}`, 5050)
+}
+
+func TestForLoop(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int sum;
+	sum = 0;
+	for (int i = 0; i < 10; i++) { sum += i * i; }
+	return sum;
+}`, 285)
+}
+
+func TestDoWhile(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int n; int c;
+	n = 1; c = 0;
+	do { n = n * 2; c++; } while (n < 100);
+	return n + c;
+}`, 128+7)
+}
+
+func TestBreakContinue(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int sum;
+	sum = 0;
+	for (int i = 0; i < 100; i++) {
+		if (i % 2 == 0) { continue; }
+		if (i > 10) { break; }
+		sum += i;
+	}
+	return sum;
+}`, 1+3+5+7+9)
+}
+
+func TestNestedLoops(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int c;
+	c = 0;
+	for (int i = 0; i < 5; i++) {
+		for (int j = 0; j < 5; j++) {
+			if (j == 3) { break; }
+			c++;
+		}
+	}
+	return c;
+}`, 15)
+}
+
+func TestSwitch(t *testing.T) {
+	expectExit(t, `
+int classify(int x) {
+	switch (x) {
+	case 0: return 100;
+	case 1:
+	case 2: return 200;
+	case 5: x = x + 1; /* fall through */
+	case 6: return x;
+	default: return -1;
+	}
+}
+int main() {
+	return classify(0) + classify(1) + classify(2) + classify(5) + classify(6) + classify(9);
+}`, 100+200+200+6+6-1)
+}
+
+func TestFunctionsAndRecursion(t *testing.T) {
+	expectExit(t, `
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(15); }`, 610)
+}
+
+func TestManyArgs(t *testing.T) {
+	expectExit(t, `
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+	return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+}
+int main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }`, 1+4+9+16+25+36+49+64)
+}
+
+func TestGlobals(t *testing.T) {
+	expectExit(t, `
+int counter = 10;
+int table[4] = {1, 2, 3, 4};
+int bss_arr[8];
+int main() {
+	counter += 5;
+	bss_arr[3] = table[2] * counter;
+	return bss_arr[3] + bss_arr[0];
+}`, 45)
+}
+
+func TestPointers(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int x; int *p;
+	x = 10;
+	p = &x;
+	*p = *p + 32;
+	return x;
+}`, 42)
+	expectExit(t, `
+void bump(int *p) { *p = *p + 1; }
+int main() {
+	int v;
+	v = 41;
+	bump(&v);
+	return v;
+}`, 42)
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	expectExit(t, `
+int arr[5] = {10, 20, 30, 40, 50};
+int main() {
+	int *p; int *q;
+	p = arr;
+	q = p + 3;
+	return *q - *(p + 1) + (q - p);
+}`, 40-20+3)
+}
+
+func TestArrays(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int a[10];
+	int i; int sum;
+	for (i = 0; i < 10; i++) { a[i] = i * i; }
+	sum = 0;
+	for (i = 0; i < 10; i++) { sum += a[i]; }
+	return sum;
+}`, 285)
+}
+
+func TestTwoDimensionalArrays(t *testing.T) {
+	expectExit(t, `
+int grid[3][4];
+int main() {
+	int i; int j; int sum;
+	for (i = 0; i < 3; i++) {
+		for (j = 0; j < 4; j++) { grid[i][j] = i * 10 + j; }
+	}
+	sum = 0;
+	for (i = 0; i < 3; i++) {
+		for (j = 0; j < 4; j++) { sum += grid[i][j]; }
+	}
+	return sum;
+}`, 0+1+2+3+10+11+12+13+20+21+22+23)
+}
+
+func TestChars(t *testing.T) {
+	expectExit(t, `
+int main() {
+	char c;
+	c = 'A';
+	c = c + 1;
+	return c;
+}`, 'B')
+	// char wraps at 256
+	expectExit(t, `
+int main() {
+	char c;
+	c = 250;
+	c = c + 10;
+	return c;
+}`, 4)
+}
+
+func TestStrings(t *testing.T) {
+	expectExit(t, `
+int main() {
+	char *s;
+	s = "hello";
+	return strlen(s) + s[1];
+}`, 5+'e')
+	expectOutput(t, `
+int main() {
+	puts("hi there");
+	return 0;
+}`, "", "hi there\n")
+}
+
+func TestCharArrayGlobalInit(t *testing.T) {
+	expectExit(t, `
+char buf[] = "abc";
+int main() { return strlen(buf) + buf[0]; }`, 3+'a')
+}
+
+func TestStructs(t *testing.T) {
+	expectExit(t, `
+struct point { int x; int y; };
+struct point origin;
+int main() {
+	struct point p;
+	p.x = 3;
+	p.y = 4;
+	origin.x = 10;
+	return p.x * p.y + origin.x;
+}`, 22)
+}
+
+func TestStructPointers(t *testing.T) {
+	expectExit(t, `
+struct node { int val; struct node *next; };
+int main() {
+	struct node a; struct node b;
+	struct node *p;
+	a.val = 1;
+	a.next = &b;
+	b.val = 2;
+	b.next = 0;
+	p = &a;
+	return p->val * 10 + p->next->val;
+}`, 12)
+}
+
+func TestStructOnHeap(t *testing.T) {
+	expectExit(t, `
+struct node { int val; struct node *next; };
+struct node *cons(int v, struct node *rest) {
+	struct node *n;
+	n = malloc(sizeof(struct node));
+	n->val = v;
+	n->next = rest;
+	return n;
+}
+int main() {
+	struct node *list; int sum;
+	list = cons(1, cons(2, cons(3, 0)));
+	sum = 0;
+	while (list) {
+		sum = sum * 10 + list->val;
+		list = list->next;
+	}
+	return sum;
+}`, 123)
+}
+
+func TestStructArrayFields(t *testing.T) {
+	expectExit(t, `
+struct rec { int id; char name[8]; int vals[3]; };
+struct rec recs[4];
+int main() {
+	recs[2].id = 7;
+	recs[2].vals[1] = 30;
+	strcpy(recs[2].name, "bob");
+	return recs[2].id + recs[2].vals[1] + strlen(recs[2].name);
+}`, 7+30+3)
+}
+
+func TestSizeof(t *testing.T) {
+	expectExit(t, `
+struct s { int a; char b; int c; };
+int main() {
+	return sizeof(int) + sizeof(char) * 10 + sizeof(int*) * 100 + sizeof(struct s) * 1000;
+}`, 4+10+400+12000)
+}
+
+func TestEnum(t *testing.T) {
+	expectExit(t, `
+enum { RED, GREEN, BLUE };
+enum { TEN = 10, ELEVEN, FIFTY = 50 };
+int main() { return RED + GREEN * 10 + BLUE * 100 + ELEVEN + FIFTY; }`, 0+10+200+11+50)
+}
+
+func TestIncDec(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int i; int a; int b;
+	i = 5;
+	a = i++;
+	b = ++i;
+	return a * 100 + b * 10 + i;
+}`, 5*100+7*10+7)
+	expectExit(t, `
+int g;
+int main() {
+	int a;
+	g = 3;
+	a = g--;
+	return a * 10 + g;
+}`, 32)
+	expectExit(t, `
+int arr[3] = {5, 6, 7};
+int main() {
+	int *p; int v;
+	p = arr;
+	v = *p++;
+	return v * 10 + *p;
+}`, 56)
+}
+
+func TestCompoundAssign(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int x;
+	x = 100;
+	x += 10; x -= 5; x *= 2; x /= 3; x %= 50;
+	x <<= 2; x >>= 1; x &= 0xff; x |= 0x100; x ^= 3;
+	return x;
+}`, func() int32 {
+		x := int32(100)
+		x += 10
+		x -= 5
+		x *= 2
+		x /= 3
+		x %= 50
+		x <<= 2
+		x >>= 1
+		x &= 0xff
+		x |= 0x100
+		x ^= 3
+		return x
+	}())
+}
+
+func TestCommaOperator(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int a; int b;
+	a = (b = 3, b + 4);
+	return a * 10 + b;
+}`, 73)
+}
+
+func TestGlobalPointerInit(t *testing.T) {
+	expectExit(t, `
+int data[3] = {7, 8, 9};
+int *p = data;
+char *greet = "yo";
+int main() { return p[1] + greet[0]; }`, 8+'y')
+}
+
+func TestIOBuiltins(t *testing.T) {
+	expectOutput(t, `
+int main() {
+	int c;
+	print_str("got: ");
+	c = getchar();
+	while (c >= 0) {
+		putchar(c + 1);
+		c = getchar();
+	}
+	print_int(-7);
+	return 0;
+}`, "abc", "got: bcd-7")
+}
+
+func TestReadBlockBuiltin(t *testing.T) {
+	m := runProg(t, `
+char buf[16];
+int main() {
+	int n;
+	n = read_block(buf, 16);
+	return n * 100 + buf[0];
+}`, "hello")
+	if want := int32(500 + 'h'); m.ExitCode != want {
+		t.Errorf("exit = %d, want %d", m.ExitCode, want)
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	m := runProg(t, `int main() { exit(9); return 1; }`, "")
+	if m.ExitCode != 9 {
+		t.Errorf("exit = %d, want 9", m.ExitCode)
+	}
+}
+
+func TestRuntimeLib(t *testing.T) {
+	expectExit(t, `
+int main() {
+	char a[16]; char b[16];
+	strcpy(a, "hello");
+	memcpy(b, a, 6);
+	if (strcmp(a, b) != 0) { return 1; }
+	if (strcmp(a, "hellp") >= 0) { return 2; }
+	if (strncmp(a, "help", 3) != 0) { return 3; }
+	memset(a, 'x', 3);
+	if (a[0] != 'x' || a[2] != 'x' || a[3] != 'l') { return 4; }
+	return atoi(" -321") + abs(-21);
+}`, -300)
+	expectExit(t, `
+int main() {
+	char buf[16];
+	itoa(-4083, buf);
+	if (strcmp(buf, "-4083") != 0) { return 1; }
+	itoa(0, buf);
+	if (strcmp(buf, "0") != 0) { return 2; }
+	return 0;
+}`, 0)
+}
+
+func TestMallocMany(t *testing.T) {
+	expectExit(t, `
+int main() {
+	int i; int sum;
+	int *ptrs[50];
+	for (i = 0; i < 50; i++) {
+		ptrs[i] = malloc(sizeof(int) * 100);
+		ptrs[i][99] = i;
+	}
+	sum = 0;
+	for (i = 0; i < 50; i++) { sum += ptrs[i][99]; }
+	return sum;
+}`, 49*50/2)
+}
+
+func TestAddressOfArrayElement(t *testing.T) {
+	expectExit(t, `
+int arr[5];
+int main() {
+	int *p;
+	p = &arr[2];
+	*p = 9;
+	p[1] = 4;
+	return arr[2] * 10 + arr[3];
+}`, 94)
+}
+
+func TestSpillAcrossCalls(t *testing.T) {
+	// Expression with live temps across nested calls.
+	expectExit(t, `
+int f(int x) { return x + 1; }
+int main() {
+	int a;
+	a = f(1) + f(2) * f(3) + f(f(4)) - f(5);
+	return a;
+}`, 2+3*4+6-6)
+}
+
+func TestDeepExpression(t *testing.T) {
+	expectExit(t, `
+int main() {
+	return ((((1 + 2) * (3 + 4)) - ((5 + 6) * (7 - 8))) + (((9 + 10) * (11 - 12)) - ((13 + 14) * (15 - 16))));
+}`, ((1+2)*(3+4)-(5+6)*(7-8))+((9+10)*(11-12)-(13+14)*(15-16)))
+}
+
+func TestVoidFunction(t *testing.T) {
+	expectExit(t, `
+int acc;
+void add(int v) { acc += v; }
+void twice(int v) { add(v); add(v); }
+int main() {
+	acc = 0;
+	twice(10);
+	add(1);
+	return acc;
+}`, 21)
+}
+
+func TestForwardDeclaration(t *testing.T) {
+	expectExit(t, `
+int odd(int n);
+int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+int main() { return even(10) * 10 + odd(7); }`, 11)
+}
+
+func TestErrorCases(t *testing.T) {
+	bad := []struct{ name, src, want string }{
+		{"undeclared", `int main() { return x; }`, "undeclared"},
+		{"undefined-func", `int main() { return nope(); }`, "undeclared function"},
+		{"arg-count", `int f(int a) { return a; } int main() { return f(1, 2); }`, "expects 1 arguments"},
+		{"bad-assign", `struct s { int a; }; struct s v; int main() { v = 3; return 0; }`, "not"},
+		{"dup-local", `int main() { int a; int a; return 0; }`, "redeclaration"},
+		{"break-outside", `int main() { break; return 0; }`, "break outside"},
+		{"continue-outside", `int main() { continue; return 0; }`, "continue outside"},
+		{"void-return", `void f() { return 3; } int main() { return 0; }`, "returns a value"},
+		{"missing-return-type", `int f() { return; } int main() { return 0; }`, "returns nothing"},
+		{"deref-int", `int main() { int x; return *x; }`, "dereference"},
+		{"no-field", `struct s { int a; }; int main() { struct s v; return v.b; }`, "no field"},
+		{"arrow-on-value", `struct s { int a; }; int main() { struct s v; return v->a; }`, "non-struct-pointer"},
+		{"assign-to-rvalue", `int main() { 3 = 4; return 0; }`, "lvalue"},
+		{"dup-case", `int main() { switch (1) { case 1: return 0; case 1: return 1; } return 2; }`, "duplicate case"},
+		{"undefined-forward", `int f(int x); int main() { return f(1); }`, "never defined"},
+		{"builtin-redef", `int putchar(int c) { return c; } int main() { return 0; }`, "builtin"},
+	}
+	for _, c := range bad {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := minic.Compile(c.src)
+			if err == nil {
+				t.Fatalf("Compile should fail")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want containing %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`int main() { return "unterminated; }`,
+		`int main() { /* unterminated`,
+		"int main() { return 0x; }",
+		"int main() { return 12ab; }",
+		"int main() { return `; }",
+	}
+	for _, src := range bad {
+		if _, err := minic.Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestFuncMetadataEmitted(t *testing.T) {
+	im, err := minic.Compile(`
+int helper(int a, int b) { return a + b; }
+int main() { return helper(1, 2); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundMain, foundHelper, foundMemcpy bool
+	for _, f := range im.Funcs {
+		switch f.Name {
+		case "main":
+			foundMain = true
+		case "helper":
+			foundHelper = f.NArgs == 2
+		case "memcpy":
+			foundMemcpy = f.NArgs == 3
+		}
+	}
+	if !foundMain || !foundHelper || !foundMemcpy {
+		t.Errorf("function metadata missing: main=%v helper=%v memcpy=%v",
+			foundMain, foundHelper, foundMemcpy)
+	}
+}

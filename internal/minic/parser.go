@@ -1,0 +1,856 @@
+package minic
+
+import "fmt"
+
+// parser turns tokens into a typed AST. MiniC requires declaration
+// before use, so parsing and semantic analysis are fused: every
+// expression node carries its resolved type when the parser returns.
+type parser struct {
+	toks []token
+	pos  int
+
+	unit    *unit
+	structs map[string]*structType
+	funcs   map[string]*funcDecl
+	scopes  []map[string]*symbol
+
+	curFn       *funcDecl
+	loopDepth   int
+	switchDepth int
+	strCount    int
+}
+
+func parse(src string) (*unit, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:    toks,
+		unit:    &unit{strings: make(map[string]string)},
+		structs: make(map[string]*structType),
+		funcs:   make(map[string]*funcDecl),
+	}
+	p.pushScope()
+	if err := p.parseUnit(); err != nil {
+		return nil, err
+	}
+	// Every referenced function must be defined (single TU).
+	for _, f := range p.unit.funcs {
+		if !f.defined {
+			return nil, errAt(f.line, "function %s declared but never defined", f.name)
+		}
+	}
+	return p.unit, nil
+}
+
+// token helpers
+
+func (p *parser) tok() token  { return p.toks[p.pos] }
+func (p *parser) line() int   { return p.tok().line }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(text string) bool {
+	t := p.tok()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return errAt(p.line(), "expected %q, found %s", text, p.tok())
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.tok()
+	if t.kind != tokIdent {
+		return "", errAt(t.line, "expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+// scopes
+
+func (p *parser) pushScope() { p.scopes = append(p.scopes, make(map[string]*symbol)) }
+func (p *parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *parser) lookup(name string) *symbol {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if s, ok := p.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+func (p *parser) declare(s *symbol, line int) error {
+	top := p.scopes[len(p.scopes)-1]
+	if _, dup := top[s.name]; dup {
+		return errAt(line, "redeclaration of %q", s.name)
+	}
+	top[s.name] = s
+	return nil
+}
+
+// top level
+
+func (p *parser) parseUnit() error {
+	for p.tok().kind != tokEOF {
+		switch {
+		case p.at("struct") && p.toks[p.pos+2].text == "{":
+			if err := p.structDef(); err != nil {
+				return err
+			}
+		case p.at("enum"):
+			if err := p.enumDef(); err != nil {
+				return err
+			}
+		default:
+			if err := p.globalOrFunc(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *parser) structDef() error {
+	line := p.line()
+	p.next() // struct
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if s, dup := p.structs[name]; dup && s.done {
+		return errAt(line, "redefinition of struct %s", name)
+	}
+	st := &structType{name: name}
+	p.structs[name] = st
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for !p.accept("}") {
+		base, err := p.baseType()
+		if err != nil {
+			return err
+		}
+		for {
+			ty, fname, err := p.declarator(base)
+			if err != nil {
+				return err
+			}
+			if ty.kind == tyStruct && !ty.sdef.done {
+				return errAt(p.line(), "field %s has incomplete type", fname)
+			}
+			if ty.kind == tyVoid {
+				return errAt(p.line(), "field %s has void type", fname)
+			}
+			if st.findField(fname) != nil {
+				return errAt(p.line(), "duplicate field %s", fname)
+			}
+			st.fields = append(st.fields, field{name: fname, ty: ty})
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	st.layout()
+	return p.expect(";")
+}
+
+func (p *parser) enumDef() error {
+	p.next() // enum
+	// optional tag
+	if p.tok().kind == tokIdent {
+		p.next()
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	next := int64(0)
+	for !p.accept("}") {
+		line := p.line()
+		name, err := p.ident()
+		if err != nil {
+			return err
+		}
+		if p.accept("=") {
+			e, err := p.assignExpr()
+			if err != nil {
+				return err
+			}
+			v, ok := constVal(e)
+			if !ok {
+				return errAt(line, "enum value for %s is not constant", name)
+			}
+			next = v
+		}
+		s := &symbol{name: name, kind: symEnumConst, ty: typeInt, enumVal: next}
+		if err := p.declare(s, line); err != nil {
+			return err
+		}
+		next++
+		if !p.accept(",") {
+			if !p.at("}") {
+				return errAt(p.line(), "expected ',' or '}' in enum")
+			}
+		}
+	}
+	return p.expect(";")
+}
+
+// baseType parses int/char/void/struct-S.
+func (p *parser) baseType() (*ctype, error) {
+	t := p.tok()
+	switch {
+	case p.accept("int"):
+		return typeInt, nil
+	case p.accept("char"):
+		return typeChar, nil
+	case p.accept("void"):
+		return typeVoid, nil
+	case p.accept("struct"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st, ok := p.structs[name]
+		if !ok {
+			// Allow "struct S *" before S is defined (self reference
+			// handled by structDef pre-registering).
+			st = &structType{name: name}
+			p.structs[name] = st
+		}
+		return &ctype{kind: tyStruct, sdef: st}, nil
+	}
+	return nil, errAt(t.line, "expected type, found %s", t)
+}
+
+// declarator parses {*} ident {[N]} on top of base.
+func (p *parser) declarator(base *ctype) (*ctype, string, error) {
+	ty := base
+	for p.accept("*") {
+		ty = ptrTo(ty)
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, "", err
+	}
+	// Array suffixes, outermost first: int a[2][3] is array 2 of array 3.
+	var dims []int
+	for p.accept("[") {
+		if p.accept("]") {
+			dims = append(dims, -1) // length from initializer
+			continue
+		}
+		e, err := p.assignExpr()
+		if err != nil {
+			return nil, "", err
+		}
+		n, ok := constVal(e)
+		if !ok || n <= 0 {
+			return nil, "", errAt(p.line(), "array dimension must be a positive constant")
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, "", err
+		}
+		dims = append(dims, int(n))
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		ty = arrayOf(ty, dims[i])
+	}
+	return ty, name, nil
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	return p.at("int") || p.at("char") || p.at("void") || p.at("struct")
+}
+
+func (p *parser) globalOrFunc() error {
+	line := p.line()
+	base, err := p.baseType()
+	if err != nil {
+		return err
+	}
+	ty, name, err := p.declarator(base)
+	if err != nil {
+		return err
+	}
+	if p.at("(") {
+		return p.funcDef(ty, name, line)
+	}
+	// Global variable(s).
+	for {
+		if err := p.globalVar(ty, name, line); err != nil {
+			return err
+		}
+		if !p.accept(",") {
+			break
+		}
+		ty, name, err = p.declarator(base)
+		if err != nil {
+			return err
+		}
+	}
+	return p.expect(";")
+}
+
+func (p *parser) globalVar(ty *ctype, name string, line int) error {
+	if ty.kind == tyVoid {
+		return errAt(line, "global %s has void type", name)
+	}
+	s := &symbol{name: name, kind: symGlobal, ty: ty, label: "g_" + name, reg: -1}
+	if p.accept("=") {
+		if err := p.globalInit(s); err != nil {
+			return err
+		}
+		s.hasInit = true
+	}
+	if ty.kind == tyArray && ty.n < 0 {
+		if !s.hasInit {
+			return errAt(line, "array %s has no size", name)
+		}
+		n := len(s.initVals)
+		if ty.elem.kind == tyChar {
+			// string init already includes NUL
+		}
+		s.ty = arrayOf(ty.elem, n)
+	}
+	if err := p.declare(s, line); err != nil {
+		return err
+	}
+	p.unit.globals = append(p.unit.globals, s)
+	return nil
+}
+
+// globalInit parses a constant initializer into s.initVals.
+func (p *parser) globalInit(s *symbol) error {
+	line := p.line()
+	ty := s.ty
+	switch {
+	case ty.kind == tyArray && p.tok().kind == tokString && ty.elem.kind == tyChar:
+		str := p.next().str
+		for i := 0; i < len(str); i++ {
+			s.initVals = append(s.initVals, initVal{val: int64(str[i])})
+		}
+		s.initVals = append(s.initVals, initVal{val: 0})
+		return nil
+	case ty.kind == tyArray:
+		if err := p.expect("{"); err != nil {
+			return err
+		}
+		for !p.accept("}") {
+			iv, err := p.constInitVal(ty.elem)
+			if err != nil {
+				return err
+			}
+			s.initVals = append(s.initVals, iv)
+			if !p.accept(",") && !p.at("}") {
+				return errAt(p.line(), "expected ',' or '}' in initializer")
+			}
+		}
+		if ty.n >= 0 && len(s.initVals) > ty.n {
+			return errAt(line, "too many initializers for %s", s.name)
+		}
+		return nil
+	case ty.isScalar():
+		iv, err := p.constInitVal(ty)
+		if err != nil {
+			return err
+		}
+		s.initVals = []initVal{iv}
+		return nil
+	}
+	return errAt(line, "cannot initialize %s of type %s", s.name, ty)
+}
+
+// constInitVal parses one constant initializer element.
+func (p *parser) constInitVal(ty *ctype) (initVal, error) {
+	line := p.line()
+	// String literal: pointer to interned string.
+	if p.tok().kind == tokString {
+		if !(ty.kind == tyPtr && ty.elem.kind == tyChar) {
+			return initVal{}, errAt(line, "string initializer for non-char* element")
+		}
+		lbl := p.internString(p.next().str)
+		return initVal{sym: lbl, isStr: true}, nil
+	}
+	// &global or bare array name -> address.
+	if p.accept("&") {
+		name, err := p.ident()
+		if err != nil {
+			return initVal{}, err
+		}
+		g := p.lookup(name)
+		if g == nil || g.kind != symGlobal {
+			return initVal{}, errAt(line, "&%s is not a global", name)
+		}
+		return initVal{sym: g.label}, nil
+	}
+	if p.tok().kind == tokIdent {
+		if g := p.lookup(p.tok().text); g != nil && g.kind == symGlobal && g.ty.kind == tyArray && ty.kind == tyPtr {
+			p.next()
+			return initVal{sym: g.label}, nil
+		}
+	}
+	e, err := p.condExpr()
+	if err != nil {
+		return initVal{}, err
+	}
+	v, ok := constVal(e)
+	if !ok {
+		return initVal{}, errAt(line, "initializer is not constant")
+	}
+	return initVal{val: v}, nil
+}
+
+func (p *parser) internString(s string) string {
+	if lbl, ok := p.unit.strings[s]; ok {
+		return lbl
+	}
+	lbl := fmt.Sprintf("str_%d", p.strCount)
+	p.strCount++
+	p.unit.strings[s] = lbl
+	p.unit.strOrd = append(p.unit.strOrd, s)
+	return lbl
+}
+
+// function definitions
+
+func (p *parser) funcDef(ret *ctype, name string, line int) error {
+	if ret.kind == tyArray || ret.kind == tyStruct {
+		return errAt(line, "function %s cannot return %s", name, ret)
+	}
+	fn, exists := p.funcs[name]
+	if exists && fn.defined {
+		return errAt(line, "redefinition of function %s", name)
+	}
+	if !exists {
+		fn = &funcDecl{name: name, ret: ret, line: line}
+		p.funcs[name] = fn
+		p.unit.funcs = append(p.unit.funcs, fn)
+	}
+	if _, isBI := builtinNames[name]; isBI {
+		return errAt(line, "%s is a builtin and cannot be defined", name)
+	}
+
+	p.next() // (
+	p.curFn = fn
+	p.pushScope()
+	defer func() { p.curFn = nil; p.popScope() }()
+
+	var params []*symbol
+	if !p.accept(")") {
+		if p.at("void") && p.toks[p.pos+1].text == ")" {
+			p.next()
+			p.next()
+		} else {
+			for {
+				base, err := p.baseType()
+				if err != nil {
+					return err
+				}
+				ty, pname, err := p.declarator(base)
+				if err != nil {
+					return err
+				}
+				ty = decay(ty) // array params decay to pointers
+				if !ty.isScalar() {
+					return errAt(p.line(), "parameter %s must be scalar (got %s)", pname, ty)
+				}
+				s := &symbol{
+					name: pname, kind: symParam, ty: ty,
+					paramIdx: len(params), reg: -1,
+				}
+				if err := p.declare(s, p.line()); err != nil {
+					return err
+				}
+				params = append(params, s)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+		}
+	}
+	if len(params) > 8 {
+		return errAt(line, "function %s has too many parameters (max 8)", name)
+	}
+
+	if exists && len(params) != len(fn.params) {
+		return errAt(line, "conflicting parameter count for %s", name)
+	}
+	fn.params = params
+	fn.locals = append([]*symbol{}, params...)
+
+	if p.accept(";") {
+		return nil // forward declaration
+	}
+	if !p.at("{") {
+		return errAt(p.line(), "expected function body")
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	fn.body = body
+	fn.defined = true
+	return nil
+}
+
+// statements
+
+func (p *parser) block() (*stmt, error) {
+	line := p.line()
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	p.pushScope()
+	defer p.popScope()
+	var list []*stmt
+	for !p.accept("}") {
+		if p.tok().kind == tokEOF {
+			return nil, errAt(line, "unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			list = append(list, s)
+		}
+	}
+	return &stmt{op: stBlock, list: list, line: line}, nil
+}
+
+func (p *parser) statement() (*stmt, error) {
+	line := p.line()
+	switch {
+	case p.at("{"):
+		return p.block()
+	case p.accept(";"):
+		return nil, nil
+	case p.isTypeStart():
+		return p.localDecl()
+	case p.accept("if"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st := &stmt{op: stIf, ex: cond, body: body, line: line}
+		if p.accept("else") {
+			alt, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			st.alt = alt
+		}
+		return st, nil
+	case p.accept("while"):
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		p.loopDepth++
+		body, err := p.statement()
+		p.loopDepth--
+		if err != nil {
+			return nil, err
+		}
+		return &stmt{op: stWhile, ex: cond, body: body, line: line}, nil
+	case p.accept("do"):
+		p.loopDepth++
+		body, err := p.statement()
+		p.loopDepth--
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &stmt{op: stDoWhile, ex: cond, body: body, line: line}, nil
+	case p.accept("for"):
+		return p.forStmt(line)
+	case p.accept("switch"):
+		return p.switchStmt(line)
+	case p.accept("return"):
+		st := &stmt{op: stReturn, line: line}
+		if !p.accept(";") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if p.curFn.ret.kind == tyVoid {
+				return nil, errAt(line, "void function %s returns a value", p.curFn.name)
+			}
+			st.ex = e
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		} else if p.curFn.ret.kind != tyVoid {
+			return nil, errAt(line, "non-void function %s returns nothing", p.curFn.name)
+		}
+		return st, nil
+	case p.accept("break"):
+		if p.loopDepth == 0 && p.switchDepth == 0 {
+			return nil, errAt(line, "break outside loop or switch")
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &stmt{op: stBreak, line: line}, nil
+	case p.accept("continue"):
+		if p.loopDepth == 0 {
+			return nil, errAt(line, "continue outside loop")
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &stmt{op: stContinue, line: line}, nil
+	default:
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &stmt{op: stExpr, ex: e, line: line}, nil
+	}
+}
+
+func (p *parser) forStmt(line int) (*stmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	p.pushScope()
+	defer p.popScope()
+	st := &stmt{op: stFor, line: line}
+	if !p.accept(";") {
+		if p.isTypeStart() {
+			d, err := p.localDecl()
+			if err != nil {
+				return nil, err
+			}
+			st.init = d
+		} else {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.init = &stmt{op: stExpr, ex: e, line: line}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.accept(";") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.ex = e
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	if !p.at(")") {
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		st.post = e
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	p.loopDepth++
+	body, err := p.statement()
+	p.loopDepth--
+	if err != nil {
+		return nil, err
+	}
+	st.body = body
+	return st, nil
+}
+
+func (p *parser) switchStmt(line int) (*stmt, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if !decay(cond.ty).isScalar() {
+		return nil, errAt(line, "switch on non-scalar")
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	st := &stmt{op: stSwitch, ex: cond, line: line}
+	p.switchDepth++
+	defer func() { p.switchDepth-- }()
+	p.pushScope()
+	defer p.popScope()
+	seenDefault := false
+	seen := map[int64]bool{}
+	for !p.accept("}") {
+		switch {
+		case p.accept("case"):
+			e, err := p.condExpr()
+			if err != nil {
+				return nil, err
+			}
+			v, ok := constVal(e)
+			if !ok {
+				return nil, errAt(p.line(), "case value is not constant")
+			}
+			if seen[v] {
+				return nil, errAt(p.line(), "duplicate case %d", v)
+			}
+			if seenDefault {
+				return nil, errAt(p.line(), "case after default (default must be last)")
+			}
+			seen[v] = true
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			st.cases = append(st.cases, switchCase{val: v})
+		case p.accept("default"):
+			if seenDefault {
+				return nil, errAt(p.line(), "duplicate default")
+			}
+			seenDefault = true
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+		default:
+			if p.tok().kind == tokEOF {
+				return nil, errAt(line, "unterminated switch")
+			}
+			s, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			if s == nil {
+				continue
+			}
+			if seenDefault {
+				st.defalt = append(st.defalt, s)
+			} else {
+				if len(st.cases) == 0 {
+					return nil, errAt(s.line, "statement before first case")
+				}
+				c := &st.cases[len(st.cases)-1]
+				c.body = append(c.body, s)
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) localDecl() (*stmt, error) {
+	line := p.line()
+	base, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	var list []*stmt
+	for {
+		ty, name, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if ty.kind == tyVoid {
+			return nil, errAt(line, "variable %s has void type", name)
+		}
+		if ty.kind == tyArray && ty.n < 0 {
+			return nil, errAt(line, "local array %s needs a size", name)
+		}
+		if ty.kind == tyStruct && !ty.sdef.done {
+			return nil, errAt(line, "variable %s has incomplete type", name)
+		}
+		s := &symbol{
+			name: name, kind: symLocal, ty: ty,
+			idx: len(p.curFn.locals), reg: -1,
+		}
+		if err := p.declare(s, line); err != nil {
+			return nil, err
+		}
+		p.curFn.locals = append(p.curFn.locals, s)
+		st := &stmt{op: stDecl, sym: s, line: line}
+		if p.accept("=") {
+			if !ty.isScalar() {
+				return nil, errAt(line, "cannot initialize non-scalar local %s", name)
+			}
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.checkAssign(ty, e, line); err != nil {
+				return nil, err
+			}
+			st.dinit = e
+		}
+		list = append(list, st)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if len(list) == 1 {
+		return list[0], nil
+	}
+	return &stmt{op: stBlock, list: list, line: line}, nil
+}

@@ -1,0 +1,152 @@
+package minic
+
+// The MiniC runtime library. It is compiled together with every
+// program (prototypes first, bodies after user code) so user sources
+// can call it anywhere. Like a real libc it contributes static
+// instructions whether or not they execute — the paper's Table 1
+// shows only a fraction of static instructions executing, and the
+// runtime reproduces that property honestly.
+
+// runtimeProto is prepended before user code.
+const runtimeProto = `
+char *malloc(int n);
+void free_all();
+void memcpy(char *dst, char *src, int n);
+void memset(char *p, int v, int n);
+int strlen(char *s);
+int strcmp(char *a, char *b);
+void strcpy(char *dst, char *src);
+int strncmp(char *a, char *b, int n);
+void puts(char *s);
+int atoi(char *s);
+void itoa(int v, char *out);
+int abs(int v);
+`
+
+// runtimeBody is appended after user code.
+const runtimeBody = `
+char *__heap_ptr = 0;
+char *__heap_end = 0;
+
+char *malloc(int n) {
+	char *p;
+	n = (n + 3) & ~3;
+	if (__heap_ptr == 0 || __heap_end - __heap_ptr < n) {
+		int chunk;
+		chunk = 65536;
+		if (n > chunk) { chunk = (n + 4095) & ~4095; }
+		__heap_ptr = sbrk(chunk);
+		__heap_end = __heap_ptr + chunk;
+	}
+	p = __heap_ptr;
+	__heap_ptr = __heap_ptr + n;
+	return p;
+}
+
+void free_all() {
+	/* Reset the bump allocator to the current chunk start: MiniC
+	   programs that allocate per-phase arenas call this between
+	   phases. Memory already handed out stays mapped. */
+	__heap_ptr = __heap_end;
+}
+
+void memcpy(char *dst, char *src, int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		dst[i] = src[i];
+	}
+}
+
+void memset(char *p, int v, int n) {
+	int i;
+	for (i = 0; i < n; i++) {
+		p[i] = v;
+	}
+}
+
+int strlen(char *s) {
+	int n;
+	n = 0;
+	while (s[n]) { n++; }
+	return n;
+}
+
+int strcmp(char *a, char *b) {
+	int i;
+	i = 0;
+	while (a[i] && a[i] == b[i]) { i++; }
+	return a[i] - b[i];
+}
+
+int strncmp(char *a, char *b, int n) {
+	int i;
+	i = 0;
+	while (i < n && a[i] && a[i] == b[i]) { i++; }
+	if (i == n) { return 0; }
+	return a[i] - b[i];
+}
+
+void strcpy(char *dst, char *src) {
+	int i;
+	i = 0;
+	while (src[i]) {
+		dst[i] = src[i];
+		i++;
+	}
+	dst[i] = 0;
+}
+
+void puts(char *s) {
+	print_str(s);
+	putchar('\n');
+}
+
+int atoi(char *s) {
+	int v;
+	int neg;
+	v = 0;
+	neg = 0;
+	while (*s == ' ') { s++; }
+	if (*s == '-') { neg = 1; s++; }
+	while (*s >= '0' && *s <= '9') {
+		v = v * 10 + (*s - '0');
+		s++;
+	}
+	if (neg) { return -v; }
+	return v;
+}
+
+void itoa(int v, char *out) {
+	char tmp[12];
+	int i;
+	int j;
+	if (v == 0) {
+		out[0] = '0';
+		out[1] = 0;
+		return;
+	}
+	j = 0;
+	if (v < 0) {
+		out[j] = '-';
+		j++;
+		v = -v;
+	}
+	i = 0;
+	while (v > 0) {
+		tmp[i] = '0' + v % 10;
+		v = v / 10;
+		i++;
+	}
+	while (i > 0) {
+		i--;
+		out[j] = tmp[i];
+		j++;
+	}
+	out[j] = 0;
+}
+
+int abs(int v) {
+	if (v < 0) { return -v; }
+	return v;
+}
+`

@@ -1,0 +1,77 @@
+// Package minic implements a compiler for MiniC — a small C subset —
+// targeting the MIPS-I-like ISA in internal/isa via the assembler in
+// internal/asm.
+//
+// MiniC exists so the workload analogs (internal/workloads) are real
+// compiled programs with the structural properties the paper measures:
+// o32-style calling conventions with prologue/epilogue, $gp-relative
+// and lui/addiu global addressing, stack frames, and the usual loop
+// and addressing overhead of compiled C.
+//
+// Language summary:
+//
+//	types:      int, char (unsigned byte), void, T*, T[N], struct S
+//	decls:      globals (with constant initializers), locals, enums
+//	statements: if/else, while, for, do-while, switch, break,
+//	            continue, return, blocks, expression statements
+//	exprs:      full C operator set (assignment, ?:, ||, &&, bitwise,
+//	            comparison, shifts, arithmetic, unary, ++/--, calls,
+//	            indexing, ->, ., casts omitted), sizeof
+//	builtins:   putchar getchar print_int print_str sbrk exit
+//	            read_block (map to syscalls)
+package minic
+
+import "fmt"
+
+// tokKind enumerates token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokChar
+	tokPunct   // operators and punctuation
+	tokKeyword // reserved words
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokKind
+	text string // identifier, punctuation, or keyword spelling
+	num  int64  // value for tokNumber and tokChar
+	str  string // decoded value for tokString
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokNumber:
+		return fmt.Sprintf("%d", t.num)
+	case tokString:
+		return fmt.Sprintf("%q", t.str)
+	case tokChar:
+		return fmt.Sprintf("%q", rune(t.num))
+	default:
+		return t.text
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "void": true, "struct": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+	"enum": true, "switch": true, "case": true, "default": true,
+}
+
+// punctuators, longest first so the lexer can use greedy matching.
+var punctuators = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "->",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ",", ";", ":", "?", ".",
+}

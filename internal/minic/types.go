@@ -1,0 +1,170 @@
+package minic
+
+import "fmt"
+
+// typeKind enumerates MiniC types.
+type typeKind uint8
+
+const (
+	tyVoid typeKind = iota
+	tyInt
+	tyChar // unsigned byte
+	tyPtr
+	tyArray
+	tyStruct
+)
+
+// ctype is a MiniC type. Types are interned only loosely; compare with
+// sameType, not ==.
+type ctype struct {
+	kind typeKind
+	elem *ctype      // ptr/array element
+	n    int         // array length
+	sdef *structType // struct definition
+}
+
+// structType is a struct definition with laid-out fields.
+type structType struct {
+	name   string
+	fields []field
+	size   int
+	done   bool // layout complete (guards recursive use)
+}
+
+type field struct {
+	name string
+	ty   *ctype
+	off  int
+}
+
+var (
+	typeVoid = &ctype{kind: tyVoid}
+	typeInt  = &ctype{kind: tyInt}
+	typeChar = &ctype{kind: tyChar}
+)
+
+func ptrTo(e *ctype) *ctype { return &ctype{kind: tyPtr, elem: e} }
+func arrayOf(e *ctype, n int) *ctype {
+	return &ctype{kind: tyArray, elem: e, n: n}
+}
+
+// size returns the storage size in bytes.
+func (t *ctype) size() int {
+	switch t.kind {
+	case tyInt, tyPtr:
+		return 4
+	case tyChar:
+		return 1
+	case tyArray:
+		return t.elem.size() * t.n
+	case tyStruct:
+		return t.sdef.size
+	default:
+		return 0
+	}
+}
+
+// align returns the required alignment in bytes.
+func (t *ctype) align() int {
+	switch t.kind {
+	case tyInt, tyPtr:
+		return 4
+	case tyChar:
+		return 1
+	case tyArray:
+		return t.elem.align()
+	case tyStruct:
+		a := 1
+		for _, f := range t.sdef.fields {
+			if fa := f.ty.align(); fa > a {
+				a = fa
+			}
+		}
+		return a
+	default:
+		return 1
+	}
+}
+
+// isScalar reports whether t fits in a register (int, char, pointer).
+func (t *ctype) isScalar() bool {
+	return t.kind == tyInt || t.kind == tyChar || t.kind == tyPtr
+}
+
+// isArith reports whether t participates in arithmetic.
+func (t *ctype) isArith() bool { return t.kind == tyInt || t.kind == tyChar }
+
+func (t *ctype) String() string {
+	switch t.kind {
+	case tyVoid:
+		return "void"
+	case tyInt:
+		return "int"
+	case tyChar:
+		return "char"
+	case tyPtr:
+		return t.elem.String() + "*"
+	case tyArray:
+		return fmt.Sprintf("%s[%d]", t.elem, t.n)
+	case tyStruct:
+		return "struct " + t.sdef.name
+	default:
+		return "?"
+	}
+}
+
+// sameType reports structural type equality.
+func sameType(a, b *ctype) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case tyPtr:
+		return sameType(a.elem, b.elem)
+	case tyArray:
+		return a.n == b.n && sameType(a.elem, b.elem)
+	case tyStruct:
+		return a.sdef == b.sdef
+	default:
+		return true
+	}
+}
+
+// decay converts array types to pointers (C array decay).
+func decay(t *ctype) *ctype {
+	if t.kind == tyArray {
+		return ptrTo(t.elem)
+	}
+	return t
+}
+
+// findField returns the field named name, or nil.
+func (s *structType) findField(name string) *field {
+	for i := range s.fields {
+		if s.fields[i].name == name {
+			return &s.fields[i]
+		}
+	}
+	return nil
+}
+
+// layout assigns field offsets and the total size.
+func (s *structType) layout() {
+	off := 0
+	for i := range s.fields {
+		a := s.fields[i].ty.align()
+		off = (off + a - 1) / a * a
+		s.fields[i].off = off
+		off += s.fields[i].ty.size()
+	}
+	// Round struct size to word alignment so arrays of structs keep
+	// their int fields aligned.
+	s.size = (off + 3) &^ 3
+	if s.size == 0 {
+		s.size = 4
+	}
+	s.done = true
+}

@@ -1,0 +1,51 @@
+package program
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Disassemble writes a listing of the image's text segment: function
+// headers, per-instruction addresses, binary encodings, and assembler
+// mnemonics, followed by a data-segment summary. Branch and jump
+// targets are annotated with their resolved addresses (and function
+// names for calls).
+func Disassemble(im *Image, w io.Writer) error {
+	for pc := TextBase; pc < TextBase+uint32(len(im.Text))*4; pc += 4 {
+		if f := im.FuncByEntry(pc); f != nil {
+			fmt.Fprintf(w, "\n%s:  (args=%d, %d instructions)\n", f.Name, f.NArgs, f.Size())
+		}
+		in, err := im.InstAt(pc)
+		if err != nil {
+			return err
+		}
+		word, err := isa.Encode(in)
+		if err != nil {
+			return fmt.Errorf("program: disassemble pc %#x: %w", pc, err)
+		}
+		fmt.Fprintf(w, "  %08x:  %08x  %-30s", pc, word, in.String())
+		switch isa.OpKind(in.Op) {
+		case isa.KindBranch:
+			target := uint32(int64(pc) + 4 + int64(in.Imm)*4)
+			fmt.Fprintf(w, " # -> %#x", target)
+		case isa.KindJump:
+			target := (pc+4)&0xf0000000 | uint32(in.Imm)<<2
+			fmt.Fprintf(w, " # -> %#x", target)
+			if f := im.FuncByEntry(target); f != nil {
+				fmt.Fprintf(w, " <%s>", f.Name)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "\ndata segment: %d bytes at %#x (%d initialized), heap base %#x\n",
+		len(im.Data), DataBase, im.InitializedLen, im.HeapBase())
+	fmt.Fprintf(w, "entry point: %#x", im.Entry)
+	if f := im.FuncByEntry(im.Entry); f != nil {
+		fmt.Fprintf(w, " <%s>", f.Name)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,51 @@
+package program_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/program"
+)
+
+func TestDisassemble(t *testing.T) {
+	im, err := asm.Assemble(`
+		.data
+v:		.word 9
+		.text
+		.func main 0
+main:
+		jal helper
+		beq $v0, $zero, main
+		jr $ra
+		.endfunc
+		.func helper 1
+helper:
+		lw $v0, %gp(v)
+		jr $ra
+		.endfunc
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := program.Disassemble(im, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"main:", "helper:", "(args=1", "<helper>", "jal", "jr $ra",
+		"data segment: ", "entry point: 0x400000 <main>",
+		"# -> 0x400000", // the beq back-edge annotation
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// Every text instruction produced one listing line with its
+	// encoding.
+	if got := strings.Count(out, "  00400"); got < len(im.Text) {
+		t.Errorf("only %d instruction lines for %d instructions", got, len(im.Text))
+	}
+}

@@ -1,0 +1,333 @@
+// Package repetition implements the paper's core measurement: the
+// instruction repetition census. A dynamic instance of a static
+// instruction is *repeated* when it consumes the same input operand
+// values and produces the same outputs as a previously buffered
+// instance of that instruction (Section 2 of the paper). Up to
+// MaxInstances unique instances are buffered per static instruction,
+// matching the paper's 2000-entry limit.
+package repetition
+
+import (
+	"sort"
+
+	"repro/internal/cpu"
+)
+
+// DefaultMaxInstances matches the paper's per-instruction buffer limit.
+const DefaultMaxInstances = 2000
+
+// instKey identifies one unique instance: input values and outputs.
+type instKey struct {
+	in1, in2 uint32
+	out, aux uint32
+}
+
+// instRecord is the per-static-instruction state.
+type instRecord struct {
+	instances map[instKey]uint32 // occurrence count per unique instance
+	full      bool               // buffer hit MaxInstances; new instances dropped
+	dyn       uint64             // dynamic executions
+	repeated  uint64             // dynamic repeats
+	dropped   uint64             // instances not tracked because the buffer was full
+}
+
+// Tracker is the repetition census. Attach it (via the core pipeline)
+// to a cpu.Machine and read the statistics after the run.
+type Tracker struct {
+	// MaxInstances bounds the unique instances buffered per static
+	// instruction; 0 means DefaultMaxInstances.
+	MaxInstances int
+
+	// Types is the per-instruction-class census (the paper's
+	// mentioned-but-omitted typed total analysis).
+	Types TypeStats
+
+	perPC map[uint32]*instRecord
+
+	totalDyn      uint64
+	totalRepeated uint64
+}
+
+// NewTracker returns a Tracker with the paper's buffer limit.
+func NewTracker() *Tracker {
+	return &Tracker{
+		MaxInstances: DefaultMaxInstances,
+		perPC:        make(map[uint32]*instRecord),
+	}
+}
+
+// keyOf builds the instance key for an event. Inputs are the register
+// sources (plus stored data for stores, which is already Src2); the
+// outputs are the destination value(s). A branch's output is its
+// direction, so compare-and-branch outcomes repeat the way the paper's
+// compare instructions do.
+func keyOf(ev *cpu.Event) instKey {
+	var k instKey
+	if ev.Src1 >= 0 {
+		k.in1 = ev.Src1Val
+	}
+	if ev.Src2 >= 0 {
+		k.in2 = ev.Src2Val
+	}
+	if ev.Dst >= 0 {
+		k.out = ev.DstVal
+	}
+	if ev.Aux >= 0 {
+		k.aux = ev.AuxVal
+	}
+	if ev.IsBranch && ev.Taken {
+		k.out = 1
+	}
+	return k
+}
+
+// Observe classifies one retired instruction, returning whether it is
+// a repeat of a buffered instance.
+func (t *Tracker) Observe(ev *cpu.Event) bool {
+	rec := t.perPC[ev.PC]
+	if rec == nil {
+		rec = &instRecord{instances: make(map[instKey]uint32, 4)}
+		t.perPC[ev.PC] = rec
+	}
+	rec.dyn++
+	t.totalDyn++
+
+	k := keyOf(ev)
+	if n, seen := rec.instances[k]; seen {
+		rec.instances[k] = n + 1
+		rec.repeated++
+		t.totalRepeated++
+		t.Types.ObserveClass(ev, true)
+		return true
+	}
+	t.Types.ObserveClass(ev, false)
+	max := t.MaxInstances
+	if max == 0 {
+		max = DefaultMaxInstances
+	}
+	if len(rec.instances) >= max {
+		rec.full = true
+		rec.dropped++
+		return false
+	}
+	rec.instances[k] = 1
+	return false
+}
+
+// Totals
+
+// DynamicInstructions returns the number of instructions observed.
+func (t *Tracker) DynamicInstructions() uint64 { return t.totalDyn }
+
+// RepeatedInstructions returns the number classified as repeated.
+func (t *Tracker) RepeatedInstructions() uint64 { return t.totalRepeated }
+
+// RepeatedPercent returns the paper's Table 1 "Repeat (%)".
+func (t *Tracker) RepeatedPercent() float64 {
+	return pct(t.totalRepeated, t.totalDyn)
+}
+
+// StaticExecuted returns the number of distinct static instructions
+// observed (paper: "Executed").
+func (t *Tracker) StaticExecuted() int { return len(t.perPC) }
+
+// StaticRepeated returns the number of static instructions with at
+// least one repeated dynamic instance (paper: "Repeated").
+func (t *Tracker) StaticRepeated() int {
+	n := 0
+	for _, rec := range t.perPC {
+		if rec.repeated > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// BuffersFilled returns how many static instructions exhausted their
+// instance buffers (a capacity diagnostic; the paper sized buffers so
+// this is rare).
+func (t *Tracker) BuffersFilled() int {
+	n := 0
+	for _, rec := range t.perPC {
+		if rec.full {
+			n++
+		}
+	}
+	return n
+}
+
+// UniqueRepeatableInstances returns the count of buffered instances
+// that were repeated at least once (Table 2 "Count") and the average
+// number of repeats per such instance (Table 2 "Avg. Repeats").
+func (t *Tracker) UniqueRepeatableInstances() (count uint64, avgRepeats float64) {
+	for _, rec := range t.perPC {
+		for _, n := range rec.instances {
+			if n >= 2 {
+				count++
+			}
+		}
+	}
+	if count > 0 {
+		avgRepeats = float64(t.totalRepeated) / float64(count)
+	}
+	return count, avgRepeats
+}
+
+// StaticCoverage computes Figure 1: for each target fraction of the
+// total dynamic repetition (in percent), the percentage of *repeated
+// static instructions* (ranked by contribution) needed to cover it.
+func (t *Tracker) StaticCoverage(targets []float64) []float64 {
+	var contribs []uint64
+	for _, rec := range t.perPC {
+		if rec.repeated > 0 {
+			contribs = append(contribs, rec.repeated)
+		}
+	}
+	return coverageCurve(contribs, t.totalRepeated, targets)
+}
+
+// InstanceBuckets computes Figure 3: the share of total dynamic
+// repetition contributed by static instructions grouped by how many
+// unique repeatable instances they generate. Buckets: 1, 2-10,
+// 11-100, 101-1000, >1000.
+func (t *Tracker) InstanceBuckets() BucketShares {
+	var b BucketShares
+	for _, rec := range t.perPC {
+		if rec.repeated == 0 {
+			continue
+		}
+		uniq := 0
+		for _, n := range rec.instances {
+			if n >= 2 {
+				uniq++
+			}
+		}
+		switch {
+		case uniq <= 1:
+			b.One += rec.repeated
+		case uniq <= 10:
+			b.UpTo10 += rec.repeated
+		case uniq <= 100:
+			b.UpTo100 += rec.repeated
+		case uniq <= 1000:
+			b.UpTo1000 += rec.repeated
+		default:
+			b.Over1000 += rec.repeated
+		}
+	}
+	b.total = t.totalRepeated
+	return b
+}
+
+// BucketShares is the Figure 3 histogram (absolute repeat counts).
+type BucketShares struct {
+	One, UpTo10, UpTo100, UpTo1000, Over1000 uint64
+
+	total uint64
+}
+
+// Percents returns the five bucket shares as percentages of all
+// repetition, ordered [1, 2-10, 11-100, 101-1000, >1000].
+func (b BucketShares) Percents() [5]float64 {
+	return [5]float64{
+		pct(b.One, b.total), pct(b.UpTo10, b.total), pct(b.UpTo100, b.total),
+		pct(b.UpTo1000, b.total), pct(b.Over1000, b.total),
+	}
+}
+
+// InstanceCoverage computes Figure 4: for each target fraction of
+// total repetition, the percentage of unique repeatable instances
+// (ranked by repeat count) needed to cover it.
+func (t *Tracker) InstanceCoverage(targets []float64) []float64 {
+	// Histogram over repeat counts avoids materializing millions of
+	// instances.
+	hist := make(map[uint32]uint64)
+	var totalInstances uint64
+	for _, rec := range t.perPC {
+		for _, n := range rec.instances {
+			if n >= 2 {
+				hist[n-1]++ // n-1 repeats
+				totalInstances++
+			}
+		}
+	}
+	if totalInstances == 0 {
+		return make([]float64, len(targets))
+	}
+	repeats := make([]uint32, 0, len(hist))
+	for r := range hist {
+		repeats = append(repeats, r)
+	}
+	sort.Slice(repeats, func(i, j int) bool { return repeats[i] > repeats[j] })
+
+	out := make([]float64, len(targets))
+	var cum, used uint64
+	ti := 0
+	for _, r := range repeats {
+		if ti >= len(targets) {
+			break
+		}
+		cnt := hist[r]
+		// Within one repeat-count class, instances contribute evenly;
+		// consume as many as needed for each crossed target.
+		for ti < len(targets) {
+			need := uint64(targets[ti] / 100 * float64(t.totalRepeated))
+			if cum+cnt*uint64(r) < need {
+				break
+			}
+			rem := need - cum
+			k := (rem + uint64(r) - 1) / uint64(r) // instances from this class
+			out[ti] = 100 * float64(used+k) / float64(totalInstances)
+			ti++
+		}
+		cum += cnt * uint64(r)
+		used += cnt
+	}
+	for ; ti < len(targets); ti++ {
+		out[ti] = 100
+	}
+	return out
+}
+
+// PerPC returns the dynamic and repeated counts for one static
+// instruction (testing and drill-down).
+func (t *Tracker) PerPC(pc uint32) (dyn, repeated uint64, ok bool) {
+	rec, ok := t.perPC[pc]
+	if !ok {
+		return 0, 0, false
+	}
+	return rec.dyn, rec.repeated, true
+}
+
+// coverageCurve sorts contributions descending and reports, for each
+// target percentage of total, the percentage of contributors needed.
+func coverageCurve(contribs []uint64, total uint64, targets []float64) []float64 {
+	out := make([]float64, len(targets))
+	if total == 0 || len(contribs) == 0 {
+		return out
+	}
+	sort.Slice(contribs, func(i, j int) bool { return contribs[i] > contribs[j] })
+	var cum uint64
+	ti := 0
+	for i, c := range contribs {
+		cum += c
+		for ti < len(targets) && float64(cum) >= targets[ti]/100*float64(total) {
+			out[ti] = 100 * float64(i+1) / float64(len(contribs))
+			ti++
+		}
+		if ti >= len(targets) {
+			break
+		}
+	}
+	for ; ti < len(targets); ti++ {
+		out[ti] = 100
+	}
+	return out
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,97 @@
+package repetition
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// Per-instruction-type total analysis. Section 2 of the paper notes
+// that the total analysis "can also [be carried] out for different
+// types of instructions, e.g., loads, stores, ALU operations" but the
+// paper does not include it; this file implements that extension.
+
+// InstClass is a coarse instruction type.
+type InstClass uint8
+
+// Instruction classes in report order.
+const (
+	ClassALU InstClass = iota
+	ClassMulDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassSys
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"alu", "mul/div", "load", "store", "branch", "jump", "syscall",
+}
+
+// String returns the report label.
+func (c InstClass) String() string {
+	if c >= NumClasses {
+		return "?"
+	}
+	return classNames[c]
+}
+
+// ClassOf classifies an operation.
+func ClassOf(op isa.Op) InstClass {
+	switch isa.OpKind(op) {
+	case isa.KindLoad:
+		return ClassLoad
+	case isa.KindStore:
+		return ClassStore
+	case isa.KindBranch:
+		return ClassBranch
+	case isa.KindJump, isa.KindJumpReg:
+		return ClassJump
+	case isa.KindMulDiv:
+		return ClassMulDiv
+	case isa.KindSys:
+		return ClassSys
+	default:
+		return ClassALU
+	}
+}
+
+// TypeStats is the per-class census.
+type TypeStats struct {
+	Overall  [NumClasses]uint64
+	Repeated [NumClasses]uint64
+}
+
+// OverallPct returns each class's share of all dynamic instructions.
+func (s *TypeStats) OverallPct() [NumClasses]float64 {
+	var total uint64
+	for _, v := range s.Overall {
+		total += v
+	}
+	var out [NumClasses]float64
+	for c := range out {
+		out[c] = pct(s.Overall[c], total)
+	}
+	return out
+}
+
+// PropensityPct returns the fraction of each class that repeated.
+func (s *TypeStats) PropensityPct() [NumClasses]float64 {
+	var out [NumClasses]float64
+	for c := range out {
+		out[c] = pct(s.Repeated[c], s.Overall[c])
+	}
+	return out
+}
+
+// ObserveClass records one classified instruction; the Tracker's
+// Observe caller feeds it (kept separate so the class census can run
+// without the instance buffers if desired).
+func (s *TypeStats) ObserveClass(ev *cpu.Event, repeated bool) {
+	c := ClassOf(ev.Inst.Op)
+	s.Overall[c]++
+	if repeated {
+		s.Repeated[c]++
+	}
+}

@@ -1,0 +1,124 @@
+// Package report renders experiment results as aligned text tables
+// and series, matching the rows/columns of the paper's tables and the
+// series of its figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple aligned text table builder.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	note    string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatPct(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+	return t
+}
+
+// Note sets a footnote line.
+func (t *Table) Note(format string, args ...any) *Table {
+	t.note = fmt.Sprintf(format, args...)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	if t.note != "" {
+		b.WriteString(t.note)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatPct renders a percentage with one decimal.
+func FormatPct(v float64) string {
+	return fmt.Sprintf("%.1f", v)
+}
+
+// FormatCount renders a large count with thousands separators.
+func FormatCount(v uint64) string {
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	return strings.Join(parts, ",")
+}
+
+// Series renders a named series (a text stand-in for one figure
+// curve): label followed by x:y pairs.
+func Series(label string, xs []float64, ys []float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", label)
+	for i := range xs {
+		fmt.Fprintf(&b, "  %g%%:%s", xs[i], FormatPct(ys[i]))
+	}
+	return b.String()
+}

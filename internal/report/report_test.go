@@ -1,0 +1,58 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	s := NewTable("Title", "name", "value").
+		Row("alpha", 12.345).
+		Row("b", "raw").
+		Note("note %d", 7).
+		String()
+	if !strings.HasPrefix(s, "Title\n") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "12.3") {
+		t.Errorf("float not formatted:\n%s", s)
+	}
+	if !strings.Contains(s, "note 7") {
+		t.Errorf("note missing:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Title, header, rule, 2 rows, note.
+	if len(lines) != 6 {
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+	// Columns align: the header and rows have the same rune width up
+	// to trailing spaces.
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header wrong: %q", lines[1])
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[uint64]string{
+		0: "0", 5: "5", 999: "999", 1000: "1,000",
+		1234567: "1,234,567", 1000000000: "1,000,000,000",
+	}
+	for in, want := range cases {
+		if got := FormatCount(in); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatPct(t *testing.T) {
+	if FormatPct(12.34) != "12.3" || FormatPct(0) != "0.0" {
+		t.Error("percentage formatting wrong")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series("bench", []float64{50, 90}, []float64{10.5, 42.1})
+	if !strings.Contains(s, "bench") || !strings.Contains(s, "50%:10.5") || !strings.Contains(s, "90%:42.1") {
+		t.Errorf("series = %q", s)
+	}
+}

@@ -1,0 +1,190 @@
+// Package reuse implements the dynamic instruction reuse buffer of
+// Sodani & Sohi (ISCA '97), scheme Sv: a PC-indexed set-associative
+// buffer whose entries hold an instruction's operand values and
+// result. An instruction whose PC and operand values match a valid
+// entry is *reused* (its "execution" becomes a table lookup). Load
+// entries are invalidated by stores to their address, preserving
+// memory consistency. Table 10 of the paper measures how much of the
+// repetition census an 8K-entry 4-way buffer captures.
+package reuse
+
+import "repro/internal/cpu"
+
+// Default geometry from the paper: 8K entries, 4-way set associative.
+const (
+	DefaultEntries = 8192
+	DefaultAssoc   = 4
+)
+
+type entry struct {
+	valid    bool
+	pc       uint32
+	in1, in2 uint32
+	result   uint32
+	aux      uint32
+	isLoad   bool
+	addr     uint32 // word-aligned load address (for invalidation)
+	lru      uint64
+}
+
+// Buffer is a reuse buffer.
+type Buffer struct {
+	sets  [][]entry
+	assoc int
+	nsets int
+
+	clock uint64
+	// byAddr maps word addresses to candidate entry slots holding
+	// loads from that address; slots are verified on use (lazy
+	// cleanup).
+	byAddr map[uint32][]int32
+
+	attempts uint64
+	hits     uint64
+	loadInv  uint64
+}
+
+// New creates a buffer with the given total entries and associativity
+// (zero values select the paper's 8K / 4-way configuration). entries
+// must be a multiple of assoc.
+func New(entries, assoc int) *Buffer {
+	if entries == 0 {
+		entries = DefaultEntries
+	}
+	if assoc == 0 {
+		assoc = DefaultAssoc
+	}
+	nsets := entries / assoc
+	if nsets == 0 {
+		nsets = 1
+	}
+	b := &Buffer{
+		sets:   make([][]entry, nsets),
+		assoc:  assoc,
+		nsets:  nsets,
+		byAddr: make(map[uint32][]int32),
+	}
+	for i := range b.sets {
+		b.sets[i] = make([]entry, assoc)
+	}
+	return b
+}
+
+func (b *Buffer) setIndex(pc uint32) int {
+	return int(pc>>2) % b.nsets
+}
+
+// Observe processes one retired instruction, returning whether it hit
+// (was reusable).
+func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
+	b.clock++
+
+	// Stores invalidate load entries on the same word, then are
+	// themselves candidates for reuse (a repeated store writes the
+	// same value to the same address).
+	if ev.IsStore {
+		b.invalidate(ev.Addr &^ 3)
+	}
+
+	b.attempts++
+	in1, in2 := uint32(0), uint32(0)
+	if ev.Src1 >= 0 {
+		in1 = ev.Src1Val
+	}
+	if ev.Src2 >= 0 {
+		in2 = ev.Src2Val
+	}
+	res, aux := ev.DstVal, uint32(0)
+	if ev.Dst < 0 {
+		res = 0
+	}
+	if ev.Aux >= 0 {
+		aux = ev.AuxVal
+	}
+	if ev.IsBranch {
+		res = 0
+		if ev.Taken {
+			res = 1
+		}
+	}
+
+	si := b.setIndex(ev.PC)
+	set := b.sets[si]
+	for w := range set {
+		e := &set[w]
+		if e.valid && e.pc == ev.PC && e.in1 == in1 && e.in2 == in2 {
+			// Reuse hit: the stored result stands in for execution.
+			// (Sanity: with load invalidation in place the stored
+			// result always matches; keep the check as an invariant.)
+			if e.result == res && e.aux == aux {
+				e.lru = b.clock
+				b.hits++
+				return true
+			}
+			// Result mismatch (should not happen for loads thanks to
+			// invalidation; can happen only if memory changed through
+			// an untracked path): refresh the entry.
+			e.result, e.aux = res, aux
+			e.lru = b.clock
+			return false
+		}
+	}
+
+	// Miss: insert with LRU replacement.
+	victim := 0
+	for w := 1; w < len(set); w++ {
+		if !set[w].valid {
+			victim = w
+			break
+		}
+		if set[w].lru < set[victim].lru {
+			victim = w
+		}
+	}
+	e := &set[victim]
+	*e = entry{
+		valid: true, pc: ev.PC, in1: in1, in2: in2,
+		result: res, aux: aux, lru: b.clock,
+	}
+	if ev.IsLoad {
+		e.isLoad = true
+		e.addr = ev.Addr &^ 3
+		slot := int32(si*b.assoc + victim)
+		b.byAddr[e.addr] = append(b.byAddr[e.addr], slot)
+	}
+	return false
+}
+
+// invalidate drops load entries for the given word address.
+func (b *Buffer) invalidate(addr uint32) {
+	slots, ok := b.byAddr[addr]
+	if !ok {
+		return
+	}
+	for _, s := range slots {
+		e := &b.sets[int(s)/b.assoc][int(s)%b.assoc]
+		if e.valid && e.isLoad && e.addr == addr {
+			e.valid = false
+			b.loadInv++
+		}
+	}
+	delete(b.byAddr, addr)
+}
+
+// Attempts returns the number of instructions observed.
+func (b *Buffer) Attempts() uint64 { return b.attempts }
+
+// Hits returns the number of reuse hits.
+func (b *Buffer) Hits() uint64 { return b.hits }
+
+// LoadInvalidations returns how many load entries stores invalidated.
+func (b *Buffer) LoadInvalidations() uint64 { return b.loadInv }
+
+// HitPercent returns hits as a percentage of all observed
+// instructions (Table 10, "% of all inst").
+func (b *Buffer) HitPercent() float64 {
+	if b.attempts == 0 {
+		return 0
+	}
+	return 100 * float64(b.hits) / float64(b.attempts)
+}

@@ -1,0 +1,183 @@
+package reuse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+func aluEv(pc, in1, in2, out uint32) *cpu.Event {
+	return &cpu.Event{
+		PC:   pc,
+		Inst: isa.Inst{Op: isa.OpADDU, Rd: 2, Rs: 4, Rt: 5},
+		Src1: 4, Src1Val: in1, Src2: 5, Src2Val: in2,
+		Dst: 2, DstVal: out, Aux: -1,
+	}
+}
+
+func loadEv(pc, addr, val uint32) *cpu.Event {
+	return &cpu.Event{
+		PC:   pc,
+		Inst: isa.Inst{Op: isa.OpLW, Rt: 2, Rs: 4},
+		Src1: 4, Src1Val: addr,
+		Dst: 2, DstVal: val, Aux: -1,
+		IsLoad: true, Addr: addr, MemVal: val,
+	}
+}
+
+func storeEv(pc, addr, val uint32) *cpu.Event {
+	return &cpu.Event{
+		PC:   pc,
+		Inst: isa.Inst{Op: isa.OpSW, Rt: 5, Rs: 4},
+		Src1: 4, Src1Val: addr, Src2: 5, Src2Val: val,
+		Dst: -1, Aux: -1,
+		IsStore: true, Addr: addr, MemVal: val,
+	}
+}
+
+func TestBasicReuse(t *testing.T) {
+	b := New(0, 0)
+	if b.Observe(aluEv(0x400000, 1, 2, 3), false) {
+		t.Error("first execution hit")
+	}
+	if !b.Observe(aluEv(0x400000, 1, 2, 3), true) {
+		t.Error("identical execution missed")
+	}
+	if b.Observe(aluEv(0x400000, 1, 9, 10), false) {
+		t.Error("different operands hit")
+	}
+	if b.Hits() != 1 || b.Attempts() != 3 {
+		t.Errorf("hits=%d attempts=%d", b.Hits(), b.Attempts())
+	}
+}
+
+func TestLoadInvalidation(t *testing.T) {
+	b := New(0, 0)
+	b.Observe(loadEv(0x400000, 0x10000000, 7), false)
+	if !b.Observe(loadEv(0x400000, 0x10000000, 7), true) {
+		t.Error("repeated load missed")
+	}
+	// A store to the same word invalidates the load entry.
+	b.Observe(storeEv(0x400010, 0x10000000, 99), false)
+	if b.Observe(loadEv(0x400000, 0x10000000, 99), false) {
+		t.Error("load after invalidating store must miss")
+	}
+	if b.LoadInvalidations() != 1 {
+		t.Errorf("invalidations = %d", b.LoadInvalidations())
+	}
+	// Stores to unrelated addresses leave the entry alone.
+	if !b.Observe(loadEv(0x400000, 0x10000000, 99), true) {
+		t.Error("reinserted load missed")
+	}
+	b.Observe(storeEv(0x400010, 0x10000040, 5), false)
+	if !b.Observe(loadEv(0x400000, 0x10000000, 99), true) {
+		t.Error("unrelated store invalidated the load")
+	}
+}
+
+func TestSubWordStoreInvalidates(t *testing.T) {
+	b := New(0, 0)
+	b.Observe(loadEv(0x400000, 0x10000000, 7), false)
+	// Byte store inside the same word.
+	sb := storeEv(0x400010, 0x10000002, 1)
+	sb.Inst.Op = isa.OpSB
+	b.Observe(sb, false)
+	if b.Observe(loadEv(0x400000, 0x10000000, 7), false) {
+		t.Error("byte store should invalidate the word's load entry")
+	}
+}
+
+func TestSetConflictEviction(t *testing.T) {
+	// 1 set x 2 ways: three PCs mapping to the same set evict LRU.
+	b := New(2, 2)
+	b.Observe(aluEv(0x400000, 1, 1, 2), false)
+	b.Observe(aluEv(0x400004, 2, 2, 4), false)
+	// Touch the first so the second is LRU.
+	if !b.Observe(aluEv(0x400000, 1, 1, 2), true) {
+		t.Error("entry 1 missing")
+	}
+	b.Observe(aluEv(0x400008, 3, 3, 6), false) // evicts 0x400004
+	if !b.Observe(aluEv(0x400000, 1, 1, 2), true) {
+		t.Error("MRU entry evicted")
+	}
+	if b.Observe(aluEv(0x400004, 2, 2, 4), false) {
+		t.Error("LRU entry should have been evicted")
+	}
+}
+
+func TestHitPercent(t *testing.T) {
+	b := New(0, 0)
+	if b.HitPercent() != 0 {
+		t.Error("empty buffer hit percent nonzero")
+	}
+	b.Observe(aluEv(0x400000, 1, 1, 2), false)
+	b.Observe(aluEv(0x400000, 1, 1, 2), true)
+	if got := b.HitPercent(); got != 50 {
+		t.Errorf("hit%% = %v, want 50", got)
+	}
+}
+
+// Property: a reuse hit never "lies" — replaying a random event stream,
+// every hit's stored result equals the event's actual result (the
+// consistency the Sv scheme guarantees via invalidation).
+func TestReuseNeverStale(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		b := New(64, 4)
+		memory := map[uint32]uint32{}
+		for i := 0; i < 2000; i++ {
+			pc := uint32(0x400000 + 4*r.Intn(30))
+			switch r.Intn(3) {
+			case 0: // ALU
+				x, y := uint32(r.Intn(8)), uint32(r.Intn(8))
+				ev := aluEv(pc, x, y, x+y)
+				hitBefore := wouldHit(b, ev)
+				got := b.Observe(ev, false)
+				if got != hitBefore {
+					return false
+				}
+			case 1: // load
+				addr := uint32(0x10000000 + 4*r.Intn(16))
+				ev := loadEv(pc, addr, memory[addr])
+				b.Observe(ev, false)
+			case 2: // store
+				addr := uint32(0x10000000 + 4*r.Intn(16))
+				v := uint32(r.Intn(100))
+				memory[addr] = v
+				b.Observe(storeEv(pc, addr, v), false)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// wouldHit checks whether ev would hit without modifying LRU state in a
+// way that affects the answer (we call it immediately before Observe).
+func wouldHit(b *Buffer, ev *cpu.Event) bool {
+	si := b.setIndex(ev.PC)
+	for w := range b.sets[si] {
+		e := &b.sets[si][w]
+		if e.valid && e.pc == ev.PC && e.in1 == ev.Src1Val && e.in2 == ev.Src2Val &&
+			e.result == ev.DstVal {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGeometry(t *testing.T) {
+	b := New(0, 0)
+	if b.nsets != DefaultEntries/DefaultAssoc || b.assoc != DefaultAssoc {
+		t.Errorf("default geometry %d sets x %d ways", b.nsets, b.assoc)
+	}
+	b2 := New(16, 2)
+	if b2.nsets != 8 || b2.assoc != 2 {
+		t.Errorf("custom geometry %d sets x %d ways", b2.nsets, b2.assoc)
+	}
+}

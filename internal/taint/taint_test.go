@@ -1,0 +1,208 @@
+package taint
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+func testImage() *program.Image {
+	im := &program.Image{
+		Text:           make([]isa.Inst, 4),
+		Data:           make([]byte, 64),
+		InitializedLen: 32,
+		Symbols:        map[string]uint32{},
+	}
+	im.Finalize()
+	return im
+}
+
+func TestInitialState(t *testing.T) {
+	a := New(testImage())
+	if a.RegTag(isa.RegSP) != TagInternal || a.RegTag(isa.RegGP) != TagInternal {
+		t.Error("sp/gp should start internal")
+	}
+	if a.RegTag(isa.RegS0) != TagUninit {
+		t.Error("callee-saved regs should start uninit")
+	}
+	if a.MemTag(program.DataBase) != TagGlobalInit {
+		t.Error("data segment should be global-init")
+	}
+	if a.MemTag(program.DataBase+60) != TagGlobalInit {
+		t.Error("zero-initialized data should be global-init")
+	}
+	if a.MemTag(0x20000000) != TagUninit {
+		t.Error("heap should start uninit")
+	}
+}
+
+func TestImmediatesAreInternal(t *testing.T) {
+	a := New(testImage())
+	a.Counting = true
+	// li $t0, 5  ->  addiu $t0, $zero, 5
+	a.Observe(&cpu.Event{
+		Inst: isa.Inst{Op: isa.OpADDIU, Rt: isa.RegT0, Rs: isa.RegZero, Imm: 5},
+		Src1: isa.RegZero, Dst: isa.RegT0, DstVal: 5, Src2: -1, Aux: -1,
+	}, false)
+	if a.RegTag(isa.RegT0) != TagInternal {
+		t.Errorf("t0 tag = %v, want internal", a.RegTag(isa.RegT0))
+	}
+	r := a.Result()
+	if r.Counts[TagInternal] != 1 {
+		t.Errorf("internal count = %d", r.Counts[TagInternal])
+	}
+}
+
+func TestExternalInputPropagates(t *testing.T) {
+	a := New(testImage())
+	a.Counting = true
+	// read char -> v0 external
+	a.Observe(&cpu.Event{
+		Inst:   isa.Inst{Op: isa.OpSYSCALL},
+		SysNum: cpu.SysReadChar,
+		Src1:   isa.RegV0, Src2: isa.RegA0,
+		Dst: isa.RegV0, DstVal: 'x', Aux: -1,
+	}, false)
+	if a.RegTag(isa.RegV0) != TagExternal {
+		t.Fatal("read result not external")
+	}
+	// addu $t1, $v0, $t2(uninit) -> external supersedes
+	a.Observe(&cpu.Event{
+		Inst: isa.Inst{Op: isa.OpADDU, Rd: isa.RegT1, Rs: isa.RegV0, Rt: isa.RegT2},
+		Src1: isa.RegV0, Src2: isa.RegT2, Dst: isa.RegT1, Aux: -1,
+	}, false)
+	if a.RegTag(isa.RegT1) != TagExternal {
+		t.Error("external should supersede uninit")
+	}
+	// store it to memory, then load it back elsewhere
+	a.Observe(&cpu.Event{
+		Inst: isa.Inst{Op: isa.OpSW, Rt: isa.RegT1, Rs: isa.RegSP},
+		Src1: isa.RegSP, Src2: isa.RegT1, Dst: -1, Aux: -1,
+		IsStore: true, Addr: 0x7ffe0000,
+	}, false)
+	if a.MemTag(0x7ffe0000) != TagExternal {
+		t.Error("store should tag memory with the data tag")
+	}
+	a.Observe(&cpu.Event{
+		Inst: isa.Inst{Op: isa.OpLW, Rt: isa.RegT3, Rs: isa.RegSP},
+		Src1: isa.RegSP, Src2: -1, Dst: isa.RegT3, Aux: -1,
+		IsLoad: true, Addr: 0x7ffe0000,
+	}, false)
+	if a.RegTag(isa.RegT3) != TagExternal {
+		t.Error("load should deliver the memory tag")
+	}
+}
+
+func TestLoadIgnoresAddressTag(t *testing.T) {
+	// An external index into an internal table delivers the table's
+	// tag (the paper's value-flow rule; see the compress discussion).
+	a := New(testImage())
+	a.Counting = true
+	a.Observe(&cpu.Event{
+		Inst:   isa.Inst{Op: isa.OpSYSCALL},
+		SysNum: cpu.SysReadChar,
+		Src1:   isa.RegV0, Src2: isa.RegA0,
+		Dst: isa.RegV0, Aux: -1,
+	}, false)
+	a.Observe(&cpu.Event{
+		Inst: isa.Inst{Op: isa.OpLW, Rt: isa.RegT0, Rs: isa.RegV0},
+		Src1: isa.RegV0, Src2: -1, Dst: isa.RegT0, Aux: -1,
+		IsLoad: true, Addr: program.DataBase + 8,
+	}, false)
+	if a.RegTag(isa.RegT0) != TagGlobalInit {
+		t.Errorf("t0 tag = %v, want global-init", a.RegTag(isa.RegT0))
+	}
+}
+
+func TestUninitStoreCategory(t *testing.T) {
+	// Prologue: sw of a never-written callee-saved register is the
+	// paper's "uninit" category.
+	a := New(testImage())
+	a.Counting = true
+	a.Observe(&cpu.Event{
+		Inst: isa.Inst{Op: isa.OpSW, Rt: isa.RegS0, Rs: isa.RegSP, Imm: 16},
+		Src1: isa.RegSP, Src2: isa.RegS0, Dst: -1, Aux: -1,
+		IsStore: true, Addr: 0x7ffeff00,
+	}, false)
+	r := a.Result()
+	if r.Counts[TagUninit] != 1 {
+		t.Errorf("uninit count = %d, want 1", r.Counts[TagUninit])
+	}
+}
+
+func TestReadBlockTagsRange(t *testing.T) {
+	a := New(testImage())
+	a.Observe(&cpu.Event{
+		Inst:   isa.Inst{Op: isa.OpSYSCALL},
+		SysNum: cpu.SysReadBlock,
+		Src1:   isa.RegV0, Src2: isa.RegA0, Src2Val: 0x20000000,
+		Dst: isa.RegV0, DstVal: 16, Aux: -1,
+	}, false)
+	for off := uint32(0); off < 16; off += 4 {
+		if a.MemTag(0x20000000+off) != TagExternal {
+			t.Errorf("word +%d not tagged external", off)
+		}
+	}
+	if a.MemTag(0x20000010) != TagUninit {
+		t.Error("range overshoot")
+	}
+}
+
+func TestCountingGate(t *testing.T) {
+	a := New(testImage())
+	// Not counting: tags move, stats don't.
+	a.Observe(&cpu.Event{
+		Inst: isa.Inst{Op: isa.OpADDIU, Rt: isa.RegT0, Rs: isa.RegZero, Imm: 1},
+		Src1: isa.RegZero, Src2: -1, Dst: isa.RegT0, Aux: -1,
+	}, false)
+	r := a.Result()
+	var total uint64
+	for _, c := range r.Counts {
+		total += c
+	}
+	if total != 0 {
+		t.Error("counted while gate closed")
+	}
+	if a.RegTag(isa.RegT0) != TagInternal {
+		t.Error("tags must propagate while gate closed")
+	}
+}
+
+func TestResultPercentages(t *testing.T) {
+	a := New(testImage())
+	a.Counting = true
+	mk := func(rep bool) {
+		a.Observe(&cpu.Event{
+			Inst: isa.Inst{Op: isa.OpADDIU, Rt: isa.RegT0, Rs: isa.RegZero, Imm: 1},
+			Src1: isa.RegZero, Src2: -1, Dst: isa.RegT0, Aux: -1,
+		}, rep)
+	}
+	mk(false)
+	mk(true)
+	mk(true)
+	mk(true)
+	r := a.Result()
+	if r.OverallPct[TagInternal] != 100 {
+		t.Errorf("overall internal = %v", r.OverallPct[TagInternal])
+	}
+	if r.PropensityPct[TagInternal] != 75 {
+		t.Errorf("propensity = %v, want 75", r.PropensityPct[TagInternal])
+	}
+	if r.RepeatedPct[TagInternal] != 100 {
+		t.Errorf("repeated share = %v", r.RepeatedPct[TagInternal])
+	}
+}
+
+func TestTagString(t *testing.T) {
+	want := map[Tag]string{
+		TagUninit: "uninit", TagInternal: "internals",
+		TagGlobalInit: "global init data", TagExternal: "external input",
+	}
+	for tag, name := range want {
+		if tag.String() != name {
+			t.Errorf("%d.String() = %q, want %q", tag, tag.String(), name)
+		}
+	}
+}

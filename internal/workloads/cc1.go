@@ -1,0 +1,376 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// cc1 is the analog of SPEC95 "gcc": a small expression compiler that
+// tokenizes generated source text, builds an AST in an arena, folds
+// constants, performs linear-scan register allocation over virtual
+// registers, and emits code bytes. Like gcc it has many functions
+// touched per phase, diverse intermediate values, and the lowest
+// repetition of the non-compress workloads (paper: 75.5%), with a
+// modest external-input slice (the source text).
+var cc1 = &Workload{
+	Name:        "cc1",
+	Analog:      "gcc",
+	Description: "expression compiler: lex, parse, fold, allocate registers, emit",
+	Input:       cc1Input,
+	Source:      cc1Source,
+}
+
+// cc1Input generates ~4 KiB of source: assignment statements over
+// variables a..z with nested arithmetic (the reload.i analog).
+func cc1Input(variant int) []byte {
+	r := newLCG(uint64(23 + 41*variant))
+	var b strings.Builder
+	var gen func(depth int)
+	gen = func(depth int) {
+		if depth <= 0 || r.intn(3) == 0 {
+			if r.intn(2) == 0 {
+				fmt.Fprintf(&b, "%d", r.intn(1000))
+			} else {
+				b.WriteByte(byte('a' + r.intn(26)))
+			}
+			return
+		}
+		b.WriteByte('(')
+		gen(depth - 1)
+		b.WriteByte(" +-*/&|^"[1+r.intn(7)])
+		gen(depth - 1)
+		b.WriteByte(')')
+	}
+	for b.Len() < 4000 {
+		b.WriteByte(byte('a' + r.intn(26)))
+		b.WriteString(" = ")
+		gen(2 + r.intn(3))
+		b.WriteString(";\n")
+	}
+	return []byte(b.String())
+}
+
+const cc1Source = `
+enum {
+	TK_EOF, TK_NUM, TK_VAR, TK_OP, TK_LP, TK_RP, TK_ASSIGN, TK_SEMI
+};
+
+enum { N_NUM, N_VAR, N_BIN };
+
+struct node {
+	int op;	/* N_* */
+	int val;	/* number value, variable id, or operator char */
+	int l;
+	int r;
+	int vreg;	/* assigned virtual register */
+};
+
+char src[4096];
+int srclen;
+int spos;
+
+int tkind;
+int tval;
+
+struct node *nodes;	/* heap-allocated AST arena */
+int nnodes;
+
+int stmts[512];	/* root node per statement */
+int stmtvar[512];
+int nstmts;
+
+int folded;
+int emitted;
+int checksum;
+char codebuf[512];
+int codelen;
+
+/* --- lexer --- */
+
+void lex_next() {
+	int c;
+	while (spos < srclen) {
+		c = src[spos];
+		if (c == ' ' || c == 10 || c == 13 || c == 9) { spos++; continue; }
+		break;
+	}
+	if (spos >= srclen) { tkind = TK_EOF; return; }
+	c = src[spos];
+	if (c >= '0' && c <= '9') {
+		tval = 0;
+		while (spos < srclen && src[spos] >= '0' && src[spos] <= '9') {
+			tval = tval * 10 + (src[spos] - '0');
+			spos++;
+		}
+		tkind = TK_NUM;
+		return;
+	}
+	if (c >= 'a' && c <= 'z') {
+		tval = c - 'a';
+		tkind = TK_VAR;
+		spos++;
+		return;
+	}
+	spos++;
+	switch (c) {
+	case '(': tkind = TK_LP; return;
+	case ')': tkind = TK_RP; return;
+	case '=': tkind = TK_ASSIGN; return;
+	case ';': tkind = TK_SEMI; return;
+	}
+	tkind = TK_OP;
+	tval = c;
+}
+
+/* --- parser --- */
+
+int new_node(int op, int val, int l, int r) {
+	int i;
+	if (nnodes >= 4096) { exit(3); }
+	i = nnodes;
+	nnodes++;
+	nodes[i].op = op;
+	nodes[i].val = val;
+	nodes[i].l = l;
+	nodes[i].r = r;
+	nodes[i].vreg = -1;
+	return i;
+}
+
+int parse_expr();
+
+int parse_primary() {
+	int n;
+	if (tkind == TK_NUM) {
+		n = new_node(N_NUM, tval, -1, -1);
+		lex_next();
+		return n;
+	}
+	if (tkind == TK_VAR) {
+		n = new_node(N_VAR, tval, -1, -1);
+		lex_next();
+		return n;
+	}
+	if (tkind == TK_LP) {
+		lex_next();
+		n = parse_expr();
+		lex_next();	/* ) */
+		return n;
+	}
+	lex_next();
+	return new_node(N_NUM, 0, -1, -1);
+}
+
+int parse_expr() {
+	int l;
+	int r;
+	int op;
+	l = parse_primary();
+	while (tkind == TK_OP) {
+		op = tval;
+		lex_next();
+		r = parse_primary();
+		l = new_node(N_BIN, op, l, r);
+	}
+	return l;
+}
+
+void parse_all() {
+	int v;
+	nstmts = 0;
+	nnodes = 0;
+	spos = 0;
+	lex_next();
+	while (tkind != TK_EOF && nstmts < 512) {
+		if (tkind != TK_VAR) { lex_next(); continue; }
+		v = tval;
+		lex_next();	/* var */
+		lex_next();	/* = */
+		stmts[nstmts] = parse_expr();
+		stmtvar[nstmts] = v;
+		nstmts++;
+		if (tkind == TK_SEMI) { lex_next(); }
+	}
+}
+
+/* --- constant folding (canon_reg / copy_rtx analog phase) --- */
+
+int eval_binop(int op, int a, int b) {
+	switch (op) {
+	case '+': return a + b;
+	case '-': return a - b;
+	case '*': return a * b;
+	case '/': if (b == 0) { return 0; } return a / b;
+	case '&': return a & b;
+	case '|': return a | b;
+	case '^': return a ^ b;
+	}
+	return a;
+}
+
+int fold(int n) {
+	int l;
+	int r;
+	if (n < 0) { return n; }
+	if (nodes[n].op != N_BIN) { return n; }
+	l = fold(nodes[n].l);
+	r = fold(nodes[n].r);
+	nodes[n].l = l;
+	nodes[n].r = r;
+	if (nodes[l].op == N_NUM && nodes[r].op == N_NUM) {
+		nodes[n].op = N_NUM;
+		nodes[n].val = eval_binop(nodes[n].val, nodes[l].val, nodes[r].val);
+		nodes[n].l = -1;
+		nodes[n].r = -1;
+		folded++;
+	}
+	return n;
+}
+
+/* --- common subexpression elimination (cse_main analog) --- */
+
+int csehits;
+
+int same_tree(int a, int b) {
+	if (a < 0 || b < 0) { return a == b; }
+	if (nodes[a].op != nodes[b].op) { return 0; }
+	if (nodes[a].val != nodes[b].val) { return 0; }
+	if (nodes[a].op != N_BIN) { return 1; }
+	return same_tree(nodes[a].l, nodes[b].l) && same_tree(nodes[a].r, nodes[b].r);
+}
+
+/* Fold b into a when both subtrees compute the same value: the
+   second occurrence is replaced by a variable-style reference to the
+   first's virtual register. */
+void cse_pair(int a, int b) {
+	if (a < 0 || b < 0) { return; }
+	if (nodes[a].op == N_BIN && same_tree(a, b)) {
+		nodes[b].op = N_VAR;
+		nodes[b].val = 25;	/* compiler temp */
+		nodes[b].l = -1;
+		nodes[b].r = -1;
+		csehits++;
+		return;
+	}
+	if (nodes[b].op == N_BIN) {
+		cse_pair(a, nodes[b].l);
+		cse_pair(a, nodes[b].r);
+	}
+}
+
+void cse_main(int n) {
+	if (n < 0 || nodes[n].op != N_BIN) { return; }
+	cse_pair(nodes[n].l, nodes[n].r);
+	cse_main(nodes[n].l);
+	cse_main(nodes[n].r);
+}
+
+/* --- register allocation (reg_scan_mark_refs analog) --- */
+
+int nextvreg;
+
+void reg_scan_mark_refs(int n) {
+	if (n < 0) { return; }
+	if (nodes[n].op == N_BIN) {
+		reg_scan_mark_refs(nodes[n].l);
+		reg_scan_mark_refs(nodes[n].r);
+	}
+	nodes[n].vreg = nextvreg & 15;	/* 16 physical registers */
+	nextvreg++;
+}
+
+/* --- emission --- */
+
+void emit_byte(int b) {
+	if (codelen < 512) { codebuf[codelen] = b; codelen++; }
+	checksum = (checksum * 33 + b) & 0xffffff;
+	emitted++;
+}
+
+void emit_node(int n) {
+	if (n < 0) { return; }
+	switch (nodes[n].op) {
+	case N_NUM:
+		emit_byte(1);
+		emit_byte(nodes[n].val & 255);
+		emit_byte(nodes[n].vreg);
+		break;
+	case N_VAR:
+		emit_byte(2);
+		emit_byte(nodes[n].val);
+		emit_byte(nodes[n].vreg);
+		break;
+	default:
+		emit_node(nodes[n].l);
+		emit_node(nodes[n].r);
+		emit_byte(3);
+		emit_byte(nodes[n].val);
+		emit_byte(nodes[nodes[n].l].vreg);
+		emit_byte(nodes[nodes[n].r].vreg);
+		emit_byte(nodes[n].vreg);
+	}
+}
+
+/* Render the "assembly" for one statement into a text buffer (the
+   output-printer phase every compiler carries). */
+char asmbuf[256];
+int asmlen;
+
+void print_op(int b) {
+	char tmp[12];
+	int i;
+	itoa(b, tmp);
+	i = 0;
+	while (tmp[i] && asmlen < 255) {
+		asmbuf[asmlen] = tmp[i];
+		asmlen++;
+		i++;
+	}
+	if (asmlen < 255) {
+		asmbuf[asmlen] = ' ';
+		asmlen++;
+	}
+}
+
+int print_code() {
+	int i;
+	int h;
+	asmlen = 0;
+	for (i = 0; i < codelen; i++) { print_op(codebuf[i]); }
+	h = 0;
+	for (i = 0; i < asmlen; i++) { h = (h * 131 + asmbuf[i]) & 0xffffff; }
+	return h;
+}
+
+void compile_stmt(int i) {
+	int root;
+	root = fold(stmts[i]);
+	cse_main(root);
+	nextvreg = 0;
+	reg_scan_mark_refs(root);
+	codelen = 0;
+	emit_node(root);
+	emit_byte(4);	/* store */
+	emit_byte(stmtvar[i]);
+	checksum = (checksum + print_code()) & 0xffffff;
+}
+
+int main() {
+	int pass;
+	int i;
+	nodes = malloc(4096 * sizeof(struct node));
+	srclen = read_block(src, 4096);
+	for (pass = 0; pass < 1000000; pass++) {
+		parse_all();
+		folded = 0;
+		for (i = 0; i < nstmts; i++) {
+			compile_stmt(i);
+		}
+		if ((pass & 3) == 0) {
+			print_int(checksum + folded);
+			putchar(10);
+		}
+	}
+	return checksum & 127;
+}
+`

@@ -1,0 +1,235 @@
+package workloads
+
+// goban is the analog of SPEC95 "go": a 19x19 board game engine that
+// plays deterministic self-play games. Like the original (which played
+// against itself from null.in), it consumes essentially no external
+// input — the paper's Table 3 shows go with 0.0% external-input
+// slices — and spends its time in global board arrays, influence
+// dilation, and liberty flood fills. Function names echo the paper's
+// Table 9 contributors (getefflibs, lupdate, livesordies).
+var goban = &Workload{
+	Name:        "goban",
+	Analog:      "go",
+	Description: "19x19 board influence evaluator playing deterministic self-play",
+	Input:       func(variant int) []byte { return nil }, // self-play: no external input (like go with null.in)
+	Source:      gobanSource,
+}
+
+const gobanSource = `
+int board[361];
+int infl[361];
+int infl2[361];
+int marks[361];
+int seed = 12345;
+int bsize = 19;
+int captures;
+int checksum;
+
+int rnd(int n) {
+	seed = seed * 1103515245 + 12345;
+	if (seed < 0) { seed = -seed; }
+	return (seed >> 8) % n;
+}
+
+int onboard(int r, int c) {
+	return r >= 0 && r < bsize && c >= 0 && c < bsize;
+}
+
+/* Flood fill counting the liberties of the group at (r,c); empties are
+   marked so each liberty counts once. */
+int floodlibs(int r, int c, int color) {
+	int p;
+	int n;
+	if (!onboard(r, c)) { return 0; }
+	p = r * 19 + c;
+	if (marks[p]) { return 0; }
+	marks[p] = 1;
+	if (board[p] == 0) { return 1; }
+	if (board[p] != color) { return 0; }
+	n = floodlibs(r - 1, c, color);
+	n += floodlibs(r + 1, c, color);
+	n += floodlibs(r, c - 1, color);
+	n += floodlibs(r, c + 1, color);
+	return n;
+}
+
+void clearmarks() {
+	int i;
+	for (i = 0; i < 361; i++) { marks[i] = 0; }
+}
+
+int getefflibs(int r, int c, int color) {
+	clearmarks();
+	return floodlibs(r, c, color);
+}
+
+int livesordies(int r, int c, int color) {
+	return getefflibs(r, c, color) == 0;
+}
+
+void removegroup(int r, int c, int color) {
+	int p;
+	if (!onboard(r, c)) { return; }
+	p = r * 19 + c;
+	if (board[p] != color) { return; }
+	board[p] = 0;
+	captures++;
+	removegroup(r - 1, c, color);
+	removegroup(r + 1, c, color);
+	removegroup(r, c - 1, color);
+	removegroup(r, c + 1, color);
+}
+
+int inflat(int r, int c) {
+	if (!onboard(r, c)) { return 0; }
+	return infl[r * 19 + c];
+}
+
+/* One influence dilation pass (the paper's lupdate/ldndate analog). */
+void lupdate() {
+	int r;
+	int c;
+	int p;
+	int v;
+	for (r = 0; r < 19; r++) {
+		for (c = 0; c < 19; c++) {
+			p = r * 19 + c;
+			v = inflat(r - 1, c) + inflat(r + 1, c) + inflat(r, c - 1) + inflat(r, c + 1);
+			infl2[p] = infl[p] + v / 4;
+		}
+	}
+	for (p = 0; p < 361; p++) { infl[p] = infl2[p]; }
+}
+
+void seedinfluence() {
+	int p;
+	for (p = 0; p < 361; p++) {
+		if (board[p] == 1) { infl[p] = 64; }
+		else { if (board[p] == 2) { infl[p] = -64; } else { infl[p] = 0; } }
+	}
+}
+
+void updateinfluence() {
+	int pass;
+	seedinfluence();
+	for (pass = 0; pass < 2; pass++) { lupdate(); }
+}
+
+int territory() {
+	int p;
+	int t;
+	t = 0;
+	for (p = 0; p < 361; p++) {
+		if (infl[p] > 4) { t++; }
+		if (infl[p] < -4) { t--; }
+	}
+	return t;
+}
+
+/* Find one of our groups in atari (exactly 1 liberty) and return an
+   adjacent empty point to extend to, or -1. */
+int defendatari(int color) {
+	int p;
+	int r;
+	int c;
+	for (p = 0; p < 361; p++) {
+		if (board[p] != color) { continue; }
+		r = p / 19;
+		c = p % 19;
+		if (getefflibs(r, c, color) == 1) {
+			if (onboard(r - 1, c) && board[p - 19] == 0) { return p - 19; }
+			if (onboard(r + 1, c) && board[p + 19] == 0) { return p + 19; }
+			if (onboard(r, c - 1) && board[p - 1] == 0) { return p - 1; }
+			if (onboard(r, c + 1) && board[p + 1] == 0) { return p + 1; }
+		}
+	}
+	return -1;
+}
+
+/* Pick a move for color: sample candidates, prefer contested points. */
+int pickmove(int color) {
+	int tries;
+	int best;
+	int bestscore;
+	int p;
+	int s;
+	best = -1;
+	bestscore = -100000;
+	for (tries = 0; tries < 24; tries++) {
+		p = rnd(361);
+		if (board[p] != 0) { continue; }
+		s = infl[p];
+		if (color == 2) { s = -s; }
+		/* prefer mildly contested points near our influence */
+		s = 32 - abs(32 - s);
+		s = s + rnd(8);
+		if (s > bestscore) { bestscore = s; best = p; }
+	}
+	return best;
+}
+
+void maybecapture(int r, int c, int enemy) {
+	if (!onboard(r, c)) { return; }
+	if (board[r * 19 + c] != enemy) { return; }
+	if (livesordies(r, c, enemy)) {
+		removegroup(r, c, enemy);
+	}
+}
+
+/* Place a stone, resolve captures, reject suicide. Returns 1 if the
+   move stood. */
+int playstone(int p, int color) {
+	int r;
+	int c;
+	int enemy;
+	r = p / 19;
+	c = p % 19;
+	enemy = 3 - color;
+	board[p] = color;
+	maybecapture(r - 1, c, enemy);
+	maybecapture(r + 1, c, enemy);
+	maybecapture(r, c - 1, enemy);
+	maybecapture(r, c + 1, enemy);
+	if (livesordies(r, c, color)) {
+		board[p] = 0;
+		return 0;
+	}
+	return 1;
+}
+
+void resetboard() {
+	int p;
+	for (p = 0; p < 361; p++) { board[p] = 0; infl[p] = 0; }
+}
+
+void playgame(int game) {
+	int move;
+	int color;
+	int p;
+	color = 1;
+	for (move = 0; move < 40; move++) {
+		p = -1;
+		if ((move & 3) == 3) { p = defendatari(color); }
+		if (p < 0) { p = pickmove(color); }
+		if (p >= 0) {
+			if (playstone(p, color)) {
+				updateinfluence();
+			}
+		}
+		color = 3 - color;
+	}
+}
+
+int main() {
+	int game;
+	for (game = 0; game < 1000000; game++) {
+		resetboard();
+		seed = 12345 + game * 7;
+		playgame(game);
+		checksum = checksum + territory() + captures;
+		print_int(checksum);
+		putchar(10);
+	}
+	return checksum;
+}
+`

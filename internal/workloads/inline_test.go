@@ -1,0 +1,30 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/minic"
+)
+
+// TestWorkloadsRunInlined compiles every workload with the inlining
+// pass enabled and checks it still runs (the Section 6 compiler
+// ablation must not break the programs).
+func TestWorkloadsRunInlined(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			im, err := minic.CompileOpt(w.Source, minic.Options{Inline: true})
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			m := cpu.New(im, w.Input(1))
+			if _, err := m.Run(3_000_000); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if m.Halted {
+				t.Fatalf("exited early (exit=%d)", m.ExitCode)
+			}
+		})
+	}
+}

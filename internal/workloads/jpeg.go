@@ -1,0 +1,346 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// jpeg is the analog of SPEC95 "ijpeg": a block-transform image coder.
+// It reads a synthetic image, then repeatedly forward-DCTs 8x8 blocks,
+// quantizes against a quality-scaled table, zigzag-scans, and entropy-
+// codes runs through a bit emitter. Function names echo the paper's
+// Table 9 ijpeg contributors (emit_bits, encode_one_block,
+// jpeg_fdct_islow). The coefficient tables are classic global
+// initialized data; the image is external input.
+var jpeg = &Workload{
+	Name:        "jpeg",
+	Analog:      "ijpeg",
+	Description: "8x8 DCT + quantize + zigzag + RLE/bit-emit image coder",
+	Input:       jpegInput,
+	Source:      jpegSource,
+}
+
+// jpegInput synthesizes a 64x64 greyscale image: smooth gradients plus
+// structured noise, the kind of content vigo.ppm provides.
+func jpegInput(variant int) []byte {
+	r := newLCG(uint64(19 + 31*variant))
+	img := make([]byte, 64*64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			v := 96 + 8*((x*y)/64) + 16*((x/8+y/8)%3) + r.intn(12)
+			if v > 255 {
+				v = 255
+			}
+			img[y*64+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// cosTable renders the scaled DCT basis c[x][u] = round(256 *
+// cos((2x+1)*u*pi/16) * (u==0 ? 1/sqrt2 : 1)) as a MiniC initializer.
+func cosTable() string {
+	var parts []string
+	for x := 0; x < 8; x++ {
+		for u := 0; u < 8; u++ {
+			c := math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+			if u == 0 {
+				c *= math.Sqrt2 / 2
+			}
+			parts = append(parts, fmt.Sprintf("%d", int(math.Round(256*c))))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+var jpegSource = fmt.Sprintf(jpegTemplate, cosTable())
+
+const jpegTemplate = `
+char *image;            /* 64x64 input pixels (external input, heap) */
+int *block;             /* working buffers live on the heap, as in ijpeg */
+int *coef;
+int *tmpb;
+
+/* Scaled DCT basis (global initialized data). */
+int dctcos[64] = { %s };
+
+/* Base quantization table. */
+int qbase[64] = {
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99
+};
+
+int qtab[64];
+
+/* Zigzag scan order. */
+int zigzag[64] = {
+	0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63
+};
+
+int bitbuf;
+int bitcnt;
+int outbytes;
+int outsum;
+
+char stream[8192];	/* coded stream, read back by the decoder */
+int streamlen;
+
+void emit_byte(int b) {
+	outbytes++;
+	outsum = (outsum * 31 + b) & 0xffffff;
+	if (streamlen < 8192) {
+		stream[streamlen] = b;
+		streamlen++;
+	}
+}
+
+void emit_bits(int code, int size) {
+	bitbuf = (bitbuf << size) | (code & ((1 << size) - 1));
+	bitcnt += size;
+	while (bitcnt >= 8) {
+		bitcnt -= 8;
+		emit_byte((bitbuf >> bitcnt) & 255);
+	}
+}
+
+int nbits(int v) {
+	int n;
+	if (v < 0) { v = -v; }
+	n = 0;
+	while (v) { n++; v = v >> 1; }
+	return n;
+}
+
+/* Forward 8x8 DCT, separable integer form (jpeg_fdct_islow analog). */
+void jpeg_fdct_islow() {
+	int u;
+	int v;
+	int x;
+	int y;
+	int s;
+	for (u = 0; u < 8; u++) {
+		for (y = 0; y < 8; y++) {
+			s = 0;
+			for (x = 0; x < 8; x++) {
+				s += block[x * 8 + y] * dctcos[x * 8 + u];
+			}
+			tmpb[u * 8 + y] = s >> 8;
+		}
+	}
+	for (u = 0; u < 8; u++) {
+		for (v = 0; v < 8; v++) {
+			s = 0;
+			for (y = 0; y < 8; y++) {
+				s += tmpb[u * 8 + y] * dctcos[y * 8 + v];
+			}
+			coef[u * 8 + v] = s >> 10;
+		}
+	}
+}
+
+void quantize_block() {
+	int i;
+	for (i = 0; i < 64; i++) {
+		coef[i] = coef[i] / qtab[i];
+	}
+}
+
+/* Zigzag + run-length + magnitude coding (encode_one_block analog). */
+int encode_one_block(int lastdc) {
+	int i;
+	int run;
+	int v;
+	int size;
+	int diff;
+	diff = coef[0] - lastdc;
+	size = nbits(diff);
+	emit_bits(size, 4);
+	if (size) { emit_bits(diff, size); }
+	run = 0;
+	for (i = 1; i < 64; i++) {
+		v = coef[zigzag[i]];
+		if (v == 0) {
+			run++;
+		} else {
+			while (run > 15) { emit_bits(0xf0, 8); run -= 16; }
+			size = nbits(v);
+			emit_bits(run * 16 + size, 8);
+			emit_bits(v, size);
+			run = 0;
+		}
+	}
+	if (run > 0) { emit_bits(0, 8); }
+	return coef[0];
+}
+
+void load_block(int bx, int by) {
+	int x;
+	int y;
+	for (y = 0; y < 8; y++) {
+		for (x = 0; x < 8; x++) {
+			block[y * 8 + x] = image[(by * 8 + y) * 64 + bx * 8 + x] - 128;
+		}
+	}
+}
+
+void set_quality(int q) {
+	int i;
+	int s;
+	if (q < 50) { s = 5000 / q; } else { s = 200 - q * 2; }
+	for (i = 0; i < 64; i++) {
+		qtab[i] = (qbase[i] * s + 50) / 100;
+		if (qtab[i] < 1) { qtab[i] = 1; }
+	}
+}
+
+/* ---- decoder side (ijpeg decompresses too; the paper's Table 9
+   lists fill_bit_buffer and jpeg_idct_islow, both decode-path
+   functions) ---- */
+
+int dpos;	/* read cursor into stream */
+int dbitbuf;
+int dbitcnt;
+int recon[64];
+int decodeerr;
+
+/* Refill the decode bit buffer (fill_bit_buffer analog). */
+void fill_bit_buffer(int need) {
+	while (dbitcnt < need && dpos < streamlen) {
+		dbitbuf = (dbitbuf << 8) | stream[dpos];
+		dpos++;
+		dbitcnt += 8;
+	}
+}
+
+int get_bits(int n) {
+	int v;
+	if (n == 0) { return 0; }
+	fill_bit_buffer(n);
+	if (dbitcnt < n) { return 0; }
+	dbitcnt -= n;
+	v = (dbitbuf >> dbitcnt) & ((1 << n) - 1);
+	return v;
+}
+
+/* Sign-extend a size-bit magnitude the way the encoder produced it. */
+int extend_value(int v, int size) {
+	if (size == 0) { return 0; }
+	if (v & (1 << (size - 1))) { return v; }
+	return v - (1 << size) + 1;
+}
+
+/* Decode one block back into coef[] (decode_one_block analog). */
+int decode_one_block(int lastdc) {
+	int i;
+	int size;
+	int rs;
+	int run;
+	for (i = 0; i < 64; i++) { coef[i] = 0; }
+	size = get_bits(4);
+	coef[0] = lastdc + extend_value(get_bits(size), size);
+	i = 1;
+	while (i < 64) {
+		rs = get_bits(8);
+		if (rs == 0) { break; }
+		if (rs == 0xf0) { i += 16; continue; }
+		run = rs >> 4;
+		size = rs & 15;
+		i += run;
+		if (i >= 64) { break; }
+		coef[zigzag[i]] = extend_value(get_bits(size), size);
+		i++;
+	}
+	return coef[0];
+}
+
+/* Inverse 8x8 DCT (jpeg_idct_islow analog). */
+void jpeg_idct_islow() {
+	int u;
+	int v;
+	int x;
+	int y;
+	int s;
+	for (x = 0; x < 8; x++) {
+		for (v = 0; v < 8; v++) {
+			s = 0;
+			for (u = 0; u < 8; u++) {
+				s += coef[u * 8 + v] * qtab[u * 8 + v] * dctcos[x * 8 + u];
+			}
+			tmpb[x * 8 + v] = s >> 8;
+		}
+	}
+	for (x = 0; x < 8; x++) {
+		for (y = 0; y < 8; y++) {
+			s = 0;
+			for (v = 0; v < 8; v++) {
+				s += tmpb[x * 8 + v] * dctcos[y * 8 + v];
+			}
+			recon[x * 8 + y] = s >> 12;
+		}
+	}
+}
+
+/* Decode the whole stream and accumulate a reconstruction check. */
+int decompress_pass() {
+	int blocks;
+	int lastdc;
+	dpos = 0;
+	dbitbuf = 0;
+	dbitcnt = 0;
+	lastdc = 0;
+	for (blocks = 0; blocks < 64 && dpos < streamlen; blocks++) {
+		lastdc = decode_one_block(lastdc);
+		jpeg_idct_islow();
+		decodeerr = (decodeerr + recon[0] + recon[63]) & 0xffffff;
+	}
+	return decodeerr;
+}
+
+int compress_pass(int quality) {
+	int bx;
+	int by;
+	int lastdc;
+	set_quality(quality);
+	lastdc = 0;
+	for (by = 0; by < 8; by++) {
+		for (bx = 0; bx < 8; bx++) {
+			load_block(bx, by);
+			jpeg_fdct_islow();
+			quantize_block();
+			lastdc = encode_one_block(lastdc);
+		}
+	}
+	return outsum;
+}
+
+int main() {
+	int pass;
+	int q;
+	image = malloc(4096);
+	block = malloc(64 * sizeof(int));
+	coef = malloc(64 * sizeof(int));
+	tmpb = malloc(64 * sizeof(int));
+	read_block(image, 4096);
+	for (pass = 0; pass < 1000000; pass++) {
+		q = 25 + (pass %% 5) * 10;
+		streamlen = 0;
+		compress_pass(q);
+		decompress_pass();
+		if ((pass & 7) == 0) {
+			print_int(outsum + decodeerr);
+			putchar(10);
+		}
+	}
+	return outsum & 127;
+}
+`

@@ -1,0 +1,354 @@
+package workloads
+
+// lisp is the analog of SPEC95 "li" (xlisp): an s-expression
+// interpreter with a cons-cell arena, evaluating list-manipulation
+// programs read from the input (the 22.lsp analog). Recursive eval
+// over cons cells reproduces li's heap-dominated slices and frequent
+// small-function calls (car/cdr — the paper's livecar/livecdr), and
+// the high no-argument-repetition share (fresh cell indices on every
+// call) seen in Table 4.
+var lisp = &Workload{
+	Name:        "lisp",
+	Analog:      "li",
+	Description: "s-expression interpreter running list-manipulation scripts",
+	Input:       lispInput,
+	Source:      lispSource,
+}
+
+// lispDefs are the function definitions shared by both input variants.
+const lispDefs = `
+(define (append2 a b) (if (null a) b (cons (car a) (append2 (cdr a) b))))
+(define (revonto a b) (if (null a) b (revonto (cdr a) (cons (car a) b))))
+(define (sum l) (if (null l) 0 (+ (car l) (sum (cdr l)))))
+(define (len l) (if (null l) 0 (+ 1 (len (cdr l)))))
+(define (iota n) (if (< n 1) nil (cons n (iota (- n 1)))))
+(define (map2x l) (if (null l) nil (cons (* 2 (car l)) (map2x (cdr l)))))
+(define (filtodd l) (if (null l) nil (if (odd (car l)) (cons (car l) (filtodd (cdr l))) (filtodd (cdr l)))))
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+(define (tree d) (if (< d 1) (cons 1 nil) (cons (tree (- d 1)) (tree (- d 1)))))
+(define (countl t) (if (null t) 0 (if (atom t) 1 (+ (countl (car t)) (countl (cdr t))))))
+`
+
+// lispInput is the lisp program: definitions plus driver expressions.
+func lispInput(variant int) []byte {
+	if variant > 1 {
+		return []byte(lispDefs + `
+(sum (append2 (iota 19) (revonto (iota 23) nil)))
+(len (map2x (iota 28)))
+(sum (filtodd (iota 27)))
+(fib 13)
+(sum (revonto (map2x (filtodd (iota 21))) nil))
+(countl (tree 7))
+`)
+	}
+	return []byte(lispDefs + `
+(sum (append2 (iota 24) (revonto (iota 16) nil)))
+(len (map2x (iota 20)))
+(sum (filtodd (iota 31)))
+(fib 12)
+(sum (revonto (map2x (filtodd (iota 25))) nil))
+(countl (tree 6))
+`)
+}
+
+const lispSource = `
+enum { TAG_NUM, TAG_SYM, TAG_CONS };
+
+struct cell {
+	int tag;
+	int a;	/* num: value; sym: symbol id; cons: car index */
+	int b;	/* cons: cdr index */
+};
+
+struct cell *cells;	/* heap-allocated cons arena */
+int ncells;
+int heapmark;	/* arena mark after parsing; eval allocations reset here */
+
+char symnames[1024];
+int symoff[128];
+int nsyms;
+
+char prog[4096];
+int proglen;
+int ppos;
+
+/* top-level expressions and function definitions */
+int topexprs[64];
+int ntop;
+int fnparams[64];	/* per symbol id: param list cell or -1 */
+int fnbody[64];
+
+int outsum;
+
+/* builtin symbol ids, interned first */
+int s_define; int s_if; int s_quote; int s_cons; int s_car; int s_cdr;
+int s_add; int s_sub; int s_mul; int s_lt; int s_null; int s_nil; int s_odd;
+int s_atom;
+
+/* cell 0 is nil */
+
+int newcell(int tag, int a, int b) {
+	int i;
+	if (ncells >= 32768) { exit(2); }
+	i = ncells;
+	ncells++;
+	cells[i].tag = tag;
+	cells[i].a = a;
+	cells[i].b = b;
+	return i;
+}
+
+int cons(int a, int b) { return newcell(TAG_CONS, a, b); }
+int mknum(int v) { return newcell(TAG_NUM, v, 0); }
+
+/* The paper's livecar/livecdr analogs. */
+int livecar(int c) {
+	return cells[c].tag != TAG_CONS ? 0 : cells[c].a;
+}
+
+int livecdr(int c) {
+	return cells[c].tag != TAG_CONS ? 0 : cells[c].b;
+}
+
+int numval(int c) {
+	return cells[c].tag != TAG_NUM ? 0 : cells[c].a;
+}
+
+int intern(char *name) {
+	int i;
+	int j;
+	int k;
+	for (i = 0; i < nsyms; i++) {
+		j = symoff[i];
+		k = 0;
+		while (symnames[j + k] && name[k] && symnames[j + k] == name[k]) { k++; }
+		if (symnames[j + k] == 0 && name[k] == 0) { return i; }
+	}
+	j = 0;
+	while (symoff[nsyms] + j < 1024 && name[j]) {
+		symnames[symoff[nsyms] + j] = name[j];
+		j++;
+	}
+	symnames[symoff[nsyms] + j] = 0;
+	symoff[nsyms + 1] = symoff[nsyms] + j + 1;
+	nsyms++;
+	return nsyms - 1;
+}
+
+/* --- reader --- */
+
+void skipws() {
+	while (ppos < proglen) {
+		if (prog[ppos] == ' ' || prog[ppos] == 10 || prog[ppos] == 13 || prog[ppos] == 9) {
+			ppos++;
+		} else {
+			return;
+		}
+	}
+}
+
+int issymchar(int c) {
+	if (c >= 'a' && c <= 'z') { return 1; }
+	if (c >= '0' && c <= '9') { return 1; }
+	return c == '+' || c == '-' || c == '*' || c == '<' || c == '2' || c == 'x';
+}
+
+int readexpr() {
+	int c;
+	int v;
+	int neg;
+	char name[24];
+	int n;
+	int head;
+	int tail;
+	int e;
+	skipws();
+	if (ppos >= proglen) { return 0; }
+	c = prog[ppos];
+	if (c == '(') {
+		ppos++;
+		head = 0;
+		tail = 0;
+		skipws();
+		while (ppos < proglen && prog[ppos] != ')') {
+			e = readexpr();
+			e = cons(e, 0);
+			if (head == 0) { head = e; } else { cells[tail].b = e; }
+			tail = e;
+			skipws();
+		}
+		ppos++;	/* ) */
+		return head;
+	}
+	if (c >= '0' && c <= '9' || c == '-' && prog[ppos + 1] >= '0' && prog[ppos + 1] <= '9') {
+		neg = 0;
+		if (c == '-') { neg = 1; ppos++; }
+		v = 0;
+		while (ppos < proglen && prog[ppos] >= '0' && prog[ppos] <= '9') {
+			v = v * 10 + (prog[ppos] - '0');
+			ppos++;
+		}
+		if (neg) { v = -v; }
+		return mknum(v);
+	}
+	n = 0;
+	while (ppos < proglen && issymchar(prog[ppos]) && n < 23) {
+		name[n] = prog[ppos];
+		n++;
+		ppos++;
+	}
+	name[n] = 0;
+	return newcell(TAG_SYM, intern(name), 0);
+}
+
+/* --- evaluator --- */
+
+/* env is an assoc list: ((sym . val) ...), built from cons cells where
+   car is a cons of (symid-as-num . value-cell). */
+int lookup(int env, int sym) {
+	int pair;
+	while (env) {
+		pair = livecar(env);
+		if (numval(livecar(pair)) == sym) { return livecdr(pair); }
+		env = livecdr(env);
+	}
+	return 0;
+}
+
+int bind(int env, int sym, int val) {
+	return cons(cons(mknum(sym), val), env);
+}
+
+int eval(int e, int env);
+
+int evalargsbind(int params, int args, int env, int callenv) {
+	int newenv;
+	newenv = env;
+	while (params && args) {
+		newenv = bind(newenv, cells[livecar(params)].a, eval(livecar(args), callenv));
+		params = livecdr(params);
+		args = livecdr(args);
+	}
+	return newenv;
+}
+
+int eval(int e, int env) {
+	int head;
+	int sym;
+	int a;
+	int b;
+	int fn;
+	if (e == 0) { return 0; }
+	if (cells[e].tag == TAG_NUM) { return e; }
+	if (cells[e].tag == TAG_SYM) {
+		if (cells[e].a == s_nil) { return 0; }
+		return lookup(env, cells[e].a);
+	}
+	head = livecar(e);
+	if (cells[head].tag == TAG_SYM) {
+		sym = cells[head].a;
+		if (sym == s_quote) { return livecar(livecdr(e)); }
+		if (sym == s_if) {
+			a = eval(livecar(livecdr(e)), env);
+			if (numval(a) != 0 || cells[a].tag == TAG_CONS) {
+				return eval(livecar(livecdr(livecdr(e))), env);
+			}
+			return eval(livecar(livecdr(livecdr(livecdr(e)))), env);
+		}
+		if (sym == s_add || sym == s_sub || sym == s_mul || sym == s_lt) {
+			a = eval(livecar(livecdr(e)), env);
+			b = eval(livecar(livecdr(livecdr(e))), env);
+			if (sym == s_add) { return mknum(numval(a) + numval(b)); }
+			if (sym == s_sub) { return mknum(numval(a) - numval(b)); }
+			if (sym == s_mul) { return mknum(numval(a) * numval(b)); }
+			return mknum(numval(a) < numval(b));
+		}
+		if (sym == s_cons) {
+			a = eval(livecar(livecdr(e)), env);
+			b = eval(livecar(livecdr(livecdr(e))), env);
+			return cons(a, b);
+		}
+		if (sym == s_car) { return livecar(eval(livecar(livecdr(e)), env)); }
+		if (sym == s_cdr) { return livecdr(eval(livecar(livecdr(e)), env)); }
+		if (sym == s_null) {
+			a = eval(livecar(livecdr(e)), env);
+			return mknum(a == 0);
+		}
+		if (sym == s_odd) {
+			a = eval(livecar(livecdr(e)), env);
+			return mknum(numval(a) & 1);
+		}
+		if (sym == s_atom) {
+			a = eval(livecar(livecdr(e)), env);
+			return mknum(cells[a].tag != TAG_CONS);
+		}
+		/* user function */
+		if (sym < 64 && fnbody[sym] != 0) {
+			fn = evalargsbind(fnparams[sym], livecdr(e), 0, env);
+			return eval(fnbody[sym], fn);
+		}
+	}
+	return 0;
+}
+
+void definefn(int e) {
+	int sig;
+	int name;
+	sig = livecar(livecdr(e));
+	name = cells[livecar(sig)].a;
+	if (name < 64) {
+		fnparams[name] = livecdr(sig);
+		fnbody[name] = livecar(livecdr(livecdr(e)));
+	}
+}
+
+int main() {
+	int i;
+	int e;
+	int iter;
+	symoff[0] = 0;
+	s_define = intern("define");
+	s_if = intern("if");
+	s_quote = intern("quote");
+	s_cons = intern("cons");
+	s_car = intern("car");
+	s_cdr = intern("cdr");
+	s_add = intern("+");
+	s_sub = intern("-");
+	s_mul = intern("*");
+	s_lt = intern("<");
+	s_null = intern("null");
+	s_nil = intern("nil");
+	s_odd = intern("odd");
+	s_atom = intern("atom");
+
+	cells = malloc(32768 * sizeof(struct cell));
+	ncells = 1;	/* cell 0 is nil */
+	proglen = read_block(prog, 4096);
+	ppos = 0;
+	ntop = 0;
+	skipws();
+	while (ppos < proglen && prog[ppos] == '(') {
+		e = readexpr();
+		if (cells[livecar(e)].tag == TAG_SYM && cells[livecar(e)].a == s_define) {
+			definefn(e);
+		} else {
+			if (ntop < 64) { topexprs[ntop] = e; ntop++; }
+		}
+		skipws();
+	}
+	heapmark = ncells;
+
+	for (iter = 0; iter < 1000000; iter++) {
+		ncells = heapmark;
+		for (i = 0; i < ntop; i++) {
+			outsum = outsum * 13 + numval(eval(topexprs[i], 0));
+		}
+		if ((iter & 7) == 0) {
+			print_int(outsum);
+			putchar(10);
+		}
+	}
+	return outsum;
+}
+`

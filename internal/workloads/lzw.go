@@ -1,0 +1,209 @@
+package workloads
+
+// lzw is the analog of SPEC95 "compress": LZW compression over
+// generated text, with the classic hash-probed code table and the
+// getcode/output/readbytes function structure of compress (Table 9
+// lists exactly those three functions). Repetition is the lowest of
+// the suite (paper: 56.9%) because the hash-table state changes
+// continuously with the external input.
+var lzw = &Workload{
+	Name:        "lzw",
+	Analog:      "compress",
+	Description: "LZW compressor with hash-probed code table and bit output",
+	Input:       lzwInput,
+	Source:      lzwSource,
+}
+
+// lzwInput carries only the generator configuration (like bigtest.in,
+// which parameterizes SPEC compress's internally generated corpus):
+// size in KiB and a seed. The compressible text itself is synthesized
+// inside the program, which is why the paper measures only ~2% of
+// compress's slices as external input.
+func lzwInput(variant int) []byte {
+	if variant > 1 {
+		return []byte("16 7777\n")
+	}
+	return []byte("16 101\n")
+}
+
+const lzwSource = `
+int htab[5003];	/* hash table: packed (prefix<<8|char), -1 empty */
+int codetab[5003];
+char inbuf[16384];
+int inlen;
+int inpos;
+int genseed;
+
+/* Per-round vocabulary: 64 generated words, so the corpus is
+   compressible within a round but diverse across rounds (like a
+   stream of fresh text). */
+char wordbuf[640];
+int wordoff[64];
+int wordlen[64];
+
+int genrand(int n) {
+	genseed = genseed * 1103515245 + 12345;
+	if (genseed < 0) { genseed = -genseed; }
+	return (genseed >> 8) % n;
+}
+
+void genwords() {
+	int w;
+	int off;
+	int len;
+	int i;
+	off = 0;
+	for (w = 0; w < 64; w++) {
+		len = 2 + genrand(7);
+		wordoff[w] = off;
+		wordlen[w] = len;
+		for (i = 0; i < len; i++) {
+			wordbuf[off] = 'a' + genrand(26);
+			off++;
+		}
+	}
+}
+
+/* Build the compressible corpus in memory (SPEC compress generates its
+   own test data from the harness parameters). */
+void genbytes(int kib, int seed) {
+	int limit;
+	int w;
+	int src;
+	int n;
+	genseed = seed;
+	genwords();
+	limit = kib * 1024;
+	if (limit > 16384) { limit = 16384; }
+	inlen = 0;
+	while (inlen < limit - 12) {
+		w = genrand(64);
+		src = wordoff[w];
+		n = wordlen[w];
+		while (n > 0 && inlen < limit) {
+			inbuf[inlen] = wordbuf[src];
+			inlen++;
+			src++;
+			n--;
+		}
+		inbuf[inlen] = ' ';
+		inlen++;
+		if (genrand(8) == 0) {
+			inbuf[inlen] = 10;
+			inlen++;
+		}
+	}
+}
+
+int readnum() {
+	int c;
+	int v;
+	v = 0;
+	c = getchar();
+	while (c == ' ' || c == 10) { c = getchar(); }
+	while (c >= '0' && c <= '9') {
+		v = v * 10 + (c - '0');
+		c = getchar();
+	}
+	return v;
+}
+
+int freecode;
+int nbitsout;
+int bitbuf;
+int bitcnt;
+int outcount;
+int outsum;
+
+/* Deliver output bytes (compress's output()). */
+void output(int code) {
+	bitbuf = (bitbuf << 13) | code;
+	bitcnt += 13;
+	while (bitcnt >= 8) {
+		bitcnt -= 8;
+		outsum = (outsum * 31 + ((bitbuf >> bitcnt) & 255)) & 0xffffff;
+		outcount++;
+	}
+}
+
+/* Next input byte (compress's readbytes()). */
+int readbytes() {
+	int c;
+	if (inpos >= inlen) { return -1; }
+	c = inbuf[inpos];
+	inpos++;
+	return c;
+}
+
+void cl_hash() {
+	int i;
+	for (i = 0; i < 5003; i++) { htab[i] = -1; }
+	freecode = 257;
+}
+
+/* Find or insert (prefix, c); returns the code or -1 if inserted
+   (compress's getcode() probe loop). */
+int getcode(int prefix, int c) {
+	int key;
+	int h;
+	int disp;
+	key = (prefix << 8) | c;
+	h = ((c << 4) ^ prefix) % 5003;
+	if (h == 0) { disp = 1; } else { disp = 5003 - h; }
+	while (1) {
+		if (htab[h] == -1) {
+			if (freecode < 4096) {
+				htab[h] = key;
+				codetab[h] = freecode;
+				freecode++;
+			}
+			return -1;
+		}
+		if (htab[h] == key) { return codetab[h]; }
+		h = h - disp;
+		if (h < 0) { h = h + 5003; }
+	}
+}
+
+int compress_all() {
+	int prefix;
+	int c;
+	int code;
+	cl_hash();
+	inpos = 0;
+	prefix = readbytes();
+	if (prefix < 0) { return 0; }
+	c = readbytes();
+	while (c >= 0) {
+		code = getcode(prefix, c);
+		if (code >= 0) {
+			prefix = code;
+		} else {
+			output(prefix);
+			prefix = c;
+		}
+		c = readbytes();
+	}
+	output(prefix);
+	return outcount;
+}
+
+int main() {
+	int round;
+	int kib;
+	int seed;
+	kib = readnum();
+	seed = readnum();
+	for (round = 0; round < 1000000; round++) {
+		/* fresh data every round: compress streams new input rather
+		   than recompressing one buffer */
+		genbytes(kib, seed + round * 7);
+		compress_all();
+		if ((round & 3) == 0) {
+			print_int(outsum);
+			putchar(10);
+		}
+	}
+	return outsum & 127;
+}
+`

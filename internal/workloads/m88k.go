@@ -1,0 +1,229 @@
+package workloads
+
+// m88k is the analog of SPEC95 "m88ksim": an instruction-set simulator
+// for a small accumulator-style guest machine, running a fixed guest
+// program over data read from the input (the ctl.in analog). The
+// dispatch loop, machine-description helpers (Data_path, test_issue,
+// Pc, display_trace — the paper's Table 9 names), and the smallness of
+// the guest state give it the extreme repetition the paper reports
+// (98.8% dynamic repetition).
+var m88k = &Workload{
+	Name:        "m88k",
+	Analog:      "m88ksim",
+	Description: "toy register-machine simulator running a guest checksum program",
+	Input:       m88kInput,
+	Source:      m88kSource,
+}
+
+// m88kInput builds the config + guest data image: two decimal config
+// lines then 512 bytes of guest memory contents.
+func m88kInput(variant int) []byte {
+	r := newLCG(uint64(88 + 13*variant))
+	var out []byte
+	cfg := "1000000\n250\n"
+	if variant > 1 {
+		cfg = "1000000\n199\n"
+	}
+	out = append(out, []byte(cfg)...)
+	for i := 0; i < 512; i++ {
+		out = append(out, byte(r.intn(256)))
+	}
+	return out
+}
+
+const m88kSource = `
+enum {
+	G_HALT, G_LI, G_MOV, G_ADD, G_SUB, G_MUL, G_LD, G_ST,
+	G_BEQ, G_BNE, G_JMP, G_ADDI, G_SHLI, G_SHRI,
+	G_AND, G_OR, G_XOR, G_JAL, G_RET, G_OUT
+};
+
+int gregs[16];
+int *gmem;	/* heap-allocated guest memory */
+int gpc;
+int grunning;
+int gsteps;
+int traceacc;
+int outacc;
+
+char gdata[512];
+
+/* The guest program: fills memory with a function of the loop index,
+   then sums and mixes it through a subroutine. Encoding:
+   op*16777216 + rd*1048576 + rs*65536 + imm. */
+int gprog[64] = {
+	G_LI  * 16777216 +  1 * 1048576,                /*  0: r1 = 0      */
+	G_LI  * 16777216 +  2 * 1048576 + 256,          /*  1: r2 = 256    */
+	G_LI  * 16777216 +  3 * 1048576,                /*  2: r3 = 0      */
+	G_MOV * 16777216 +  4 * 1048576 + 1 * 65536,    /*  3: r4 = r1     */
+	G_ADD * 16777216 +  4 * 1048576 + 1 * 65536,    /*  4: r4 += r1    */
+	G_ADD * 16777216 +  4 * 1048576 + 1 * 65536,    /*  5: r4 += r1    */
+	G_ADDI* 16777216 +  4 * 1048576 + 1,            /*  6: r4 += 1     */
+	G_LD  * 16777216 +  5 * 1048576 + 1 * 65536,    /*  7: r5 = m[r1]  */
+	G_ADD * 16777216 +  4 * 1048576 + 5 * 65536,    /*  8: r4 += r5    */
+	G_ST  * 16777216 +  4 * 1048576 + 1 * 65536,    /*  9: m[r1] = r4  */
+	G_ADDI* 16777216 +  1 * 1048576 + 1,            /* 10: r1 += 1     */
+	G_BNE * 16777216 +  1 * 1048576 + 2 * 65536 + 3,/* 11: loop to 3   */
+	G_LI  * 16777216 +  1 * 1048576,                /* 12: r1 = 0      */
+	G_LD  * 16777216 +  4 * 1048576 + 1 * 65536,    /* 13: r4 = m[r1]  */
+	G_ADD * 16777216 +  3 * 1048576 + 4 * 65536,    /* 14: r3 += r4    */
+	G_JAL * 16777216 + 24,                          /* 15: call mixer  */
+	G_ADDI* 16777216 +  1 * 1048576 + 1,            /* 16: r1 += 1     */
+	G_BNE * 16777216 +  1 * 1048576 + 2 * 65536 + 13,/*17: loop to 13  */
+	G_JMP * 16777216 + 32,                          /* 18: third phase */
+	G_HALT* 16777216,                               /* 19: (unused)    */
+	0, 0, 0, 0,
+	G_MOV * 16777216 +  5 * 1048576 + 3 * 65536,    /* 24: r5 = r3     */
+	G_SHLI* 16777216 +  5 * 1048576 + 3,            /* 25: r5 <<= 3    */
+	G_XOR * 16777216 +  3 * 1048576 + 5 * 65536,    /* 26: r3 ^= r5    */
+	G_SHRI* 16777216 +  3 * 1048576 + 5,            /* 27: r3 >>= 5    */
+	G_RET * 16777216,                               /* 28: return      */
+	0, 0, 0,
+	/* Third phase: rehash memory through the ALU and write a
+	   transformed copy (more Data_path traffic). */
+	G_LI  * 16777216 +  6 * 1048576,                /* 32: r6 = 0      */
+	G_LI  * 16777216 +  7 * 1048576 + 64,           /* 33: r7 = 64     */
+	G_LD  * 16777216 +  4 * 1048576 + 6 * 65536,    /* 34: r4 = m[r6]  */
+	G_MUL * 16777216 +  4 * 1048576 + 3 * 65536,    /* 35: r4 *= r3    */
+	G_XOR * 16777216 +  4 * 1048576 + 6 * 65536,    /* 36: r4 ^= r6    */
+	G_ST  * 16777216 +  4 * 1048576 + 6 * 65536 + 128,/*37: m[r6+128]=r4 */
+	G_ADDI* 16777216 +  6 * 1048576 + 1,            /* 38: r6 += 1     */
+	G_BNE * 16777216 +  6 * 1048576 + 7 * 65536 + 34,/*39: loop to 34  */
+	G_OUT * 16777216 +  3 * 1048576,                /* 40: emit r3     */
+	G_HALT* 16777216,                               /* 41: halt        */
+	0, 0, 0, 0, 0, 0,
+	0, 0, 0, 0, 0, 0, 0, 0,
+	0, 0, 0, 0, 0, 0, 0, 0
+};
+
+/* Machine-description helper: the ALU (paper: Data_path). */
+int Data_path(int op, int a, int b) {
+	switch (op) {
+	case G_ADD: return a + b;
+	case G_SUB: return a - b;
+	case G_MUL: return a * b;
+	case G_AND: return a & b;
+	case G_OR:  return a | b;
+	case G_XOR: return a ^ b;
+	}
+	return a;
+}
+
+/* Decode helper (paper: test_issue): consults the guest program
+   memory itself, like a real simulator's fetch path. */
+int test_issue(int pc, int field) {
+	int w;
+	w = gprog[pc & 63];
+	if (field == 0) { return (w >> 24) & 255; }
+	if (field == 1) { return (w >> 20) & 15; }
+	if (field == 2) { return (w >> 16) & 15; }
+	return w & 65535;
+}
+
+/* Next-pc logic (paper: Pc). */
+int Pc(int pc, int op, int taken, int imm) {
+	if (op == G_JMP || op == G_JAL) { return imm; }
+	if ((op == G_BEQ || op == G_BNE) && taken) { return imm; }
+	return pc + 1;
+}
+
+void display_trace() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 16; i++) { s = s + gregs[i]; }
+	traceacc = traceacc ^ s;
+}
+
+/* One guest instruction (paper: execute). */
+void execute() {
+	int w;
+	int op;
+	int rd;
+	int rs;
+	int imm;
+	int taken;
+	w = gpc;
+	op = test_issue(w, 0);
+	rd = test_issue(w, 1);
+	rs = test_issue(w, 2);
+	imm = test_issue(w, 3);
+	taken = 0;
+	switch (op) {
+	case G_HALT: grunning = 0; break;
+	case G_LI:   gregs[rd] = imm; break;
+	case G_MOV:  gregs[rd] = gregs[rs]; break;
+	case G_ADD:
+	case G_SUB:
+	case G_MUL:
+	case G_AND:
+	case G_OR:
+	case G_XOR:
+		gregs[rd] = Data_path(op, gregs[rd], gregs[rs]);
+		break;
+	case G_LD:   gregs[rd] = gmem[(gregs[rs] + imm) & 1023]; break;
+	case G_ST:   gmem[(gregs[rs] + imm) & 1023] = gregs[rd]; break;
+	case G_BEQ:  taken = gregs[rd] == gregs[rs]; break;
+	case G_BNE:  taken = gregs[rd] != gregs[rs]; break;
+	case G_ADDI: gregs[rd] = gregs[rd] + imm; break;
+	case G_SHLI: gregs[rd] = gregs[rd] << imm; break;
+	case G_SHRI: gregs[rd] = gregs[rd] >> imm; break;
+	case G_JAL:  gregs[15] = gpc + 1; break;
+	case G_RET:  break;
+	case G_OUT:  outacc = outacc + gregs[rd]; break;
+	}
+	if (op == G_RET) {
+		gpc = gregs[15];
+	} else {
+		gpc = Pc(gpc, op, taken, imm);
+	}
+	gsteps++;
+	if ((gsteps & 255) == 0) { display_trace(); }
+}
+
+int readnum() {
+	int c;
+	int v;
+	v = 0;
+	c = getchar();
+	while (c >= '0' && c <= '9') {
+		v = v * 10 + (c - '0');
+		c = getchar();
+	}
+	return v;
+}
+
+void resetguest(int limit) {
+	int i;
+	for (i = 0; i < 16; i++) { gregs[i] = 0; }
+	for (i = 0; i < 1024; i++) { gmem[i] = gdata[i & 511] + (i >> 2); }
+	gpc = 0;
+	grunning = 1;
+	/* Patch the guest loop bound from the config (ctl.in analog). */
+	gprog[1] = G_LI * 16777216 + 2 * 1048576 + limit;
+}
+
+int main() {
+	int runs;
+	int limit;
+	int run;
+	int steps;
+	gmem = malloc(1024 * sizeof(int));
+	runs = readnum();
+	limit = readnum();
+	read_block(gdata, 512);
+	for (run = 0; run < runs; run++) {
+		resetguest(limit);
+		steps = 0;
+		while (grunning && steps < 100000) {
+			execute();
+			steps++;
+		}
+		if ((run & 15) == 0) {
+			print_int(outacc ^ traceacc);
+			putchar(10);
+		}
+	}
+	return outacc;
+}
+`

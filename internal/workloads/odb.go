@@ -1,0 +1,271 @@
+package workloads
+
+// odb is the analog of SPEC95 "vortex": an in-memory object database
+// processing a transaction stream. Its signature property is deep
+// chains of tiny accessor functions (the paper's Table 9 lists
+// Mem_GetWord, TmFetchCoreDb, Chunk_ChkGetChunk, Mem_GetAddr,
+// TmGetObject — all ~50 instructions), which make prologue/epilogue
+// the largest overhead category (24% of dynamic instructions in
+// Table 5). The analog keeps that shape: every field access goes
+// through Mem_GetWord/Mem_PutWord, every object fetch through
+// Tm_FetchObj and Chunk_ChkGetObj.
+var odb = &Workload{
+	Name:        "odb",
+	Analog:      "vortex",
+	Description: "object database running an insert/lookup/update transaction stream",
+	Input:       odbInput,
+	Source:      odbSource,
+}
+
+// odbInput builds a binary transaction stream: op byte + id byte pairs.
+func odbInput(variant int) []byte {
+	r := newLCG(uint64(7 + 29*variant))
+	n := 2048
+	out := make([]byte, 0, 2*n)
+	for i := 0; i < n; i++ {
+		op := byte(r.intn(16))
+		switch {
+		case op < 5:
+			op = 0 // insert
+		case op < 12:
+			op = 1 // lookup
+		case op < 13:
+			op = 2 // update
+		case op < 14:
+			op = 3 // validate scan
+		case op < 15:
+			op = 4 // delete
+		default:
+			op = 5 // kind scan
+		}
+		out = append(out, op, byte(r.intn(250)))
+	}
+	return out
+}
+
+const odbSource = `
+enum { F_ID, F_KIND, F_REF, F_SUM, F_GEN };
+
+struct obj {
+	int id;
+	int kind;
+	int ref;
+	int sum;
+	int gen;
+	int next;	/* hash chain, index+1, 0 = end */
+};
+
+struct obj *objs;	/* heap-allocated object pool */
+int nobjs;
+int hashtab[256];
+int txcount;
+int hits;
+int misses;
+int checksum;
+
+char txbuf[8192];
+int txlen;
+
+/* --- the accessor layer (Mem_GetWord analog chain) --- */
+
+int Chunk_ChkGetObj(int i) {
+	if (i < 0 || i >= nobjs) { return -1; }
+	return i;
+}
+
+struct obj *Tm_FetchObj(int i) {
+	return &objs[i];
+}
+
+int Mem_GetWord(int i, int field) {
+	struct obj *o;
+	o = Tm_FetchObj(i);
+	switch (field) {
+	case F_ID:   return o->id;
+	case F_KIND: return o->kind;
+	case F_REF:  return o->ref;
+	case F_SUM:  return o->sum;
+	case F_GEN:  return o->gen;
+	}
+	return 0;
+}
+
+void Mem_PutWord(int i, int field, int v) {
+	struct obj *o;
+	o = Tm_FetchObj(i);
+	switch (field) {
+	case F_ID:   o->id = v; break;
+	case F_KIND: o->kind = v; break;
+	case F_REF:  o->ref = v; break;
+	case F_SUM:  o->sum = v; break;
+	case F_GEN:  o->gen = v; break;
+	}
+}
+
+int Hash_Key(int id) {
+	int h;
+	h = id * 40503;
+	h = (h >> 4) ^ h;
+	return h & 255;
+}
+
+/* --- database operations --- */
+
+/* Unlink id from its hash chain (the object slot is retired in
+   place; vortex-style tombstoning). */
+int Db_Delete(int id) {
+	int h;
+	int i;
+	int prev;
+	h = Hash_Key(id);
+	i = hashtab[h];
+	prev = 0;
+	while (i) {
+		if (Mem_GetWord(i - 1, F_ID) == id) {
+			if (prev) {
+				objs[prev - 1].next = objs[i - 1].next;
+			} else {
+				hashtab[h] = objs[i - 1].next;
+			}
+			Mem_PutWord(i - 1, F_ID, -1);
+			Mem_PutWord(i - 1, F_GEN, 0);
+			return 1;
+		}
+		prev = i;
+		i = objs[i - 1].next;
+	}
+	return 0;
+}
+
+/* Secondary access path: scan objects of one kind and fold their
+   sums (an index-range-query stand-in). */
+int Db_KindScan(int kind) {
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < nobjs; i++) {
+		if (Mem_GetWord(i, F_KIND) == kind && Mem_GetWord(i, F_GEN) > 0) {
+			acc = acc + Mem_GetWord(i, F_SUM);
+		}
+	}
+	return acc;
+}
+
+int Db_Lookup(int id) {
+	int h;
+	int i;
+	h = Hash_Key(id);
+	i = hashtab[h];
+	while (i) {
+		if (Mem_GetWord(i - 1, F_ID) == id) { return i - 1; }
+		i = objs[i - 1].next;
+	}
+	return -1;
+}
+
+int Db_Insert(int id, int kind) {
+	int h;
+	int i;
+	i = Db_Lookup(id);
+	if (i >= 0) {
+		Mem_PutWord(i, F_GEN, Mem_GetWord(i, F_GEN) + 1);
+		return i;
+	}
+	if (nobjs >= 1024) { return -1; }
+	i = nobjs;
+	nobjs++;
+	Mem_PutWord(i, F_ID, id);
+	Mem_PutWord(i, F_KIND, kind);
+	Mem_PutWord(i, F_REF, 0);
+	Mem_PutWord(i, F_SUM, id * 3 + kind);
+	Mem_PutWord(i, F_GEN, 1);
+	h = Hash_Key(id);
+	objs[i].next = hashtab[h];
+	hashtab[h] = i + 1;
+	return i;
+}
+
+void Db_Update(int id, int delta) {
+	int i;
+	i = Db_Lookup(id);
+	if (i < 0) { misses++; return; }
+	Mem_PutWord(i, F_SUM, Mem_GetWord(i, F_SUM) + delta);
+	Mem_PutWord(i, F_REF, Mem_GetWord(i, F_REF) + 1);
+	hits++;
+}
+
+int Db_Validate(int i) {
+	int ok;
+	if (Chunk_ChkGetObj(i) < 0) { return 0; }
+	ok = Mem_GetWord(i, F_GEN) > 0;
+	ok = ok && Mem_GetWord(i, F_ID) >= 0;
+	ok = ok && Mem_GetWord(i, F_REF) >= 0;
+	return ok;
+}
+
+int Db_Scan() {
+	int i;
+	int good;
+	good = 0;
+	for (i = 0; i < nobjs; i += 4) {
+		if (Db_Validate(i)) {
+			good = good + Mem_GetWord(i, F_SUM);
+		}
+	}
+	return good;
+}
+
+void Db_Reset() {
+	int i;
+	nobjs = 0;
+	for (i = 0; i < 256; i++) { hashtab[i] = 0; }
+}
+
+void transaction(int op, int id) {
+	int i;
+	txcount++;
+	switch (op) {
+	case 0:
+		Db_Insert(id, id & 7);
+		break;
+	case 4:
+		if (Db_Delete(id)) { hits++; } else { misses++; }
+		break;
+	case 5:
+		checksum = checksum ^ Db_KindScan(id & 7);
+		break;
+	case 1:
+		i = Db_Lookup(id);
+		if (i >= 0) {
+			checksum = checksum + Mem_GetWord(i, F_SUM);
+			hits++;
+		} else {
+			misses++;
+		}
+		break;
+	case 2:
+		Db_Update(id, op + id);
+		break;
+	default:
+		checksum = checksum ^ Db_Scan();
+	}
+}
+
+int main() {
+	int round;
+	int p;
+	objs = malloc(1024 * sizeof(struct obj));
+	txlen = read_block(txbuf, 8192);
+	for (round = 0; round < 1000000; round++) {
+		Db_Reset();
+		p = 0;
+		while (p + 1 < txlen) {
+			transaction(txbuf[p], txbuf[p + 1]);
+			p += 2;
+		}
+		print_int(checksum + hits - misses);
+		putchar(10);
+	}
+	return checksum & 127;
+}
+`

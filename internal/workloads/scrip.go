@@ -1,0 +1,412 @@
+package workloads
+
+import "strings"
+
+// scrip is the analog of SPEC95 "perl": an interpreter for a tiny
+// scripting language. The input carries a script (a scrabble-like word
+// scorer, the scrabble.in analog) and a word list; the interpreter
+// tokenizes the script once and then re-runs it over the word list
+// forever. The recursive eval chain (eval_cmp/add/mul/factor) mirrors
+// perl's large recursive eval, and the external input (script + words)
+// flows through most slices, matching perl's high external-input share
+// in Table 3.
+var scrip = &Workload{
+	Name:        "scrip",
+	Analog:      "perl",
+	Description: "script interpreter running a word-scoring program over a word list",
+	Input:       scripInput,
+	Source:      scripSource,
+}
+
+const scripScript2 = `
+t = 0; v = 0; n = 0;
+read c;
+while (c + 1) {
+	l = 0;
+	while (c > 96) {
+		i = 0;
+		if (c == 97) { i = 1; }
+		if (c == 101) { i = 1; }
+		if (c == 105) { i = 1; }
+		if (c == 111) { i = 1; }
+		if (c == 117) { i = 1; }
+		v = v + i;
+		l = l + 1;
+		read c;
+	}
+	t = t + l * l;
+	n = n + 1;
+	read c;
+}
+print t;
+print v;
+print n;
+`
+
+const scripScript = `
+s = 0; m = 0; n = 0; b = 0;
+read c;
+while (c + 1) {
+	w = 0;
+	l = 0;
+	while (c > 96) {
+		v = c - 96;
+		p = 1;
+		if (v > 4) { p = 2; }
+		if (v > 10) { p = 3; }
+		if (v > 16) { p = 5; }
+		if (v > 22) { p = 8; }
+		w = w + p * (v % 7 + 1);
+		l = l + 1;
+		read c;
+	}
+	if (l > 6) { w = w + 50; }
+	n = n + 1;
+	s = s + w;
+	if (w > m) { m = w; b = n; }
+	read c;
+}
+print s;
+print m;
+print b;
+print n;
+`
+
+// scripInput is the script, a '~' delimiter, then ~600 generated
+// lowercase words.
+func scripInput(variant int) []byte {
+	r := newLCG(uint64(42 + 17*variant))
+	var b strings.Builder
+	b.WriteString(scripScript)
+	b.WriteByte('|')
+	b.WriteString(scripScript2)
+	b.WriteByte('~')
+	for i := 0; i < 150; i++ {
+		n := 2 + r.intn(8)
+		for j := 0; j < n; j++ {
+			// Skew toward common letters.
+			c := byte('a' + r.intn(26))
+			if r.intn(3) == 0 {
+				c = "etaoinshrdlu"[r.intn(12)]
+			}
+			b.WriteByte(c)
+		}
+		b.WriteByte(' ')
+	}
+	return []byte(b.String())
+}
+
+const scripSource = `
+enum {
+	T_EOF, T_NUM, T_VAR, T_ASSIGN, T_SEMI, T_LP, T_RP, T_LB, T_RB,
+	T_ADD, T_SUB, T_MUL, T_DIV, T_MOD,
+	T_LT, T_GT, T_EQ, T_NE,
+	T_WHILE, T_IF, T_ELSE, T_PRINT, T_READ
+};
+
+char script[2048];
+int scriptlen;
+char words[8192];
+int wordlen;
+int wordpos;
+
+int *toks;	/* heap-allocated token stream */
+int *tvals;
+int ntoks;
+int scriptstart[8];
+int nscripts;
+
+int vars[26];
+int pos;
+int outsum;
+
+/* Variable accessors (perl-style symbol table indirection). */
+int getvar(int i) {
+	return vars[i];
+}
+
+void setvar(int i, int v) {
+	vars[i] = v;
+}
+
+int iskeyword(char *kw, int at) {
+	int i;
+	i = 0;
+	while (kw[i]) {
+		if (script[at + i] != kw[i]) { return 0; }
+		i++;
+	}
+	/* must not be followed by an identifier char */
+	if (script[at + i] >= 'a' && script[at + i] <= 'z') { return 0; }
+	return i;
+}
+
+void addtok(int t, int v) {
+	toks[ntoks] = t;
+	tvals[ntoks] = v;
+	ntoks++;
+}
+
+void tokenize() {
+	int i;
+	int c;
+	int v;
+	int k;
+	ntoks = 0;
+	nscripts = 1;
+	scriptstart[0] = 0;
+	i = 0;
+	while (i < scriptlen) {
+		c = script[i];
+		if (c == ' ' || c == 9 || c == 10 || c == 13) { i++; continue; }
+		if (c == '|') {
+			/* script separator: close this program, open the next */
+			addtok(T_EOF, 0);
+			if (nscripts < 8) {
+				scriptstart[nscripts] = ntoks;
+				nscripts++;
+			}
+			i++;
+			continue;
+		}
+		if (c >= '0' && c <= '9') {
+			v = 0;
+			while (script[i] >= '0' && script[i] <= '9') {
+				v = v * 10 + (script[i] - '0');
+				i++;
+			}
+			addtok(T_NUM, v);
+			continue;
+		}
+		k = iskeyword("while", i);
+		if (k) { addtok(T_WHILE, 0); i += k; continue; }
+		k = iskeyword("if", i);
+		if (k) { addtok(T_IF, 0); i += k; continue; }
+		k = iskeyword("else", i);
+		if (k) { addtok(T_ELSE, 0); i += k; continue; }
+		k = iskeyword("print", i);
+		if (k) { addtok(T_PRINT, 0); i += k; continue; }
+		k = iskeyword("read", i);
+		if (k) { addtok(T_READ, 0); i += k; continue; }
+		if (c >= 'a' && c <= 'z') {
+			addtok(T_VAR, c - 'a');
+			i++;
+			continue;
+		}
+		if (c == '=' && script[i + 1] == '=') { addtok(T_EQ, 0); i += 2; continue; }
+		if (c == '!' && script[i + 1] == '=') { addtok(T_NE, 0); i += 2; continue; }
+		switch (c) {
+		case '=': addtok(T_ASSIGN, 0); break;
+		case ';': addtok(T_SEMI, 0); break;
+		case '(': addtok(T_LP, 0); break;
+		case ')': addtok(T_RP, 0); break;
+		case '{': addtok(T_LB, 0); break;
+		case '}': addtok(T_RB, 0); break;
+		case '+': addtok(T_ADD, 0); break;
+		case '-': addtok(T_SUB, 0); break;
+		case '*': addtok(T_MUL, 0); break;
+		case '/': addtok(T_DIV, 0); break;
+		case '%': addtok(T_MOD, 0); break;
+		case '<': addtok(T_LT, 0); break;
+		case '>': addtok(T_GT, 0); break;
+		}
+		i++;
+	}
+	addtok(T_EOF, 0);
+}
+
+int nextwordchar() {
+	int c;
+	if (wordpos >= wordlen) { return -1; }
+	c = words[wordpos];
+	wordpos++;
+	return c;
+}
+
+int eval_cmp();
+
+int eval_factor() {
+	int v;
+	int t;
+	t = toks[pos];
+	if (t == T_NUM) {
+		v = tvals[pos];
+		pos++;
+		return v;
+	}
+	if (t == T_VAR) {
+		v = getvar(tvals[pos]);
+		pos++;
+		return v;
+	}
+	if (t == T_SUB) {
+		pos++;
+		return -eval_factor();
+	}
+	if (t == T_LP) {
+		pos++;
+		v = eval_cmp();
+		pos++;	/* ) */
+		return v;
+	}
+	pos++;
+	return 0;
+}
+
+int eval_mul() {
+	int v;
+	int r;
+	int t;
+	v = eval_factor();
+	t = toks[pos];
+	while (t == T_MUL || t == T_DIV || t == T_MOD) {
+		pos++;
+		r = eval_factor();
+		if (t == T_MUL) { v = v * r; }
+		else {
+			if (r == 0) { r = 1; }
+			if (t == T_DIV) { v = v / r; } else { v = v % r; }
+		}
+		t = toks[pos];
+	}
+	return v;
+}
+
+int eval_add() {
+	int v;
+	int t;
+	v = eval_mul();
+	t = toks[pos];
+	while (t == T_ADD || t == T_SUB) {
+		pos++;
+		if (t == T_ADD) { v = v + eval_mul(); } else { v = v - eval_mul(); }
+		t = toks[pos];
+	}
+	return v;
+}
+
+int eval_cmp() {
+	int v;
+	int r;
+	int t;
+	v = eval_add();
+	t = toks[pos];
+	while (t == T_LT || t == T_GT || t == T_EQ || t == T_NE) {
+		pos++;
+		r = eval_add();
+		if (t == T_LT) { v = v < r; }
+		if (t == T_GT) { v = v > r; }
+		if (t == T_EQ) { v = v == r; }
+		if (t == T_NE) { v = v != r; }
+		t = toks[pos];
+	}
+	return v;
+}
+
+void skip_block() {
+	int depth;
+	pos++;	/* { */
+	depth = 1;
+	while (depth > 0 && toks[pos] != T_EOF) {
+		if (toks[pos] == T_LB) { depth++; }
+		if (toks[pos] == T_RB) { depth--; }
+		pos++;
+	}
+}
+
+void exec_stmt();
+
+void exec_block() {
+	pos++;	/* { */
+	while (toks[pos] != T_RB && toks[pos] != T_EOF) {
+		exec_stmt();
+	}
+	pos++;	/* } */
+}
+
+void exec_stmt() {
+	int t;
+	int v;
+	int c;
+	int start;
+	t = toks[pos];
+	switch (t) {
+	case T_VAR:
+		v = tvals[pos];
+		pos += 2;	/* var = */
+		setvar(v, eval_cmp());
+		pos++;		/* ; */
+		break;
+	case T_PRINT:
+		pos++;
+		outsum = outsum * 17 + eval_cmp();
+		pos++;		/* ; */
+		break;
+	case T_READ:
+		pos++;
+		setvar(tvals[pos], nextwordchar());
+		pos += 2;	/* var ; */
+		break;
+	case T_WHILE:
+		start = pos;
+		pos += 2;	/* while ( */
+		c = eval_cmp();
+		pos++;		/* ) */
+		if (c) {
+			exec_block();
+			pos = start;
+		} else {
+			skip_block();
+		}
+		break;
+	case T_IF:
+		pos += 2;	/* if ( */
+		c = eval_cmp();
+		pos++;		/* ) */
+		if (c) {
+			exec_block();
+			if (toks[pos] == T_ELSE) { pos++; skip_block(); }
+		} else {
+			skip_block();
+			if (toks[pos] == T_ELSE) { pos++; exec_block(); }
+		}
+		break;
+	default:
+		pos++;
+	}
+}
+
+void run(int k) {
+	pos = scriptstart[k];
+	wordpos = 0;
+	while (toks[pos] != T_EOF) {
+		exec_stmt();
+	}
+}
+
+int main() {
+	int c;
+	int iter;
+	toks = malloc(2048 * sizeof(int));
+	tvals = malloc(2048 * sizeof(int));
+	/* Read the script up to the '~' delimiter, then the word list. */
+	scriptlen = 0;
+	c = getchar();
+	while (c >= 0 && c != '~') {
+		script[scriptlen] = c;
+		scriptlen++;
+		c = getchar();
+	}
+	wordlen = read_block(words, 8192);
+	tokenize();
+	for (iter = 0; iter < 1000000; iter++) {
+		int k;
+		for (k = 0; k < nscripts; k++) {
+			run(k);
+		}
+		print_int(outsum);
+		putchar(10);
+	}
+	return outsum;
+}
+`

@@ -1,0 +1,88 @@
+// Package workloads provides the eight SPEC '95 integer benchmark
+// analogs used by the reproduction. Each workload is a MiniC program
+// (compiled by internal/minic) plus a deterministic input generator.
+//
+// The analogs recreate the *structural character* of each SPEC
+// benchmark — the properties the paper attributes repetition to — not
+// its exact code: global tables and boards (go), a machine simulator
+// (m88ksim), block-transform image coding (ijpeg), script
+// interpretation (perl), an object database with deep accessor chains
+// (vortex), list interpretation over a cons heap (li), compilation
+// (gcc), and LZW compression (compress). See DESIGN.md §6.
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/minic"
+	"repro/internal/program"
+)
+
+// Workload is one benchmark analog.
+type Workload struct {
+	// Name is the short identifier used by the CLI and reports.
+	Name string
+	// Analog is the SPEC '95 benchmark this stands in for.
+	Analog string
+	// Description summarizes the program.
+	Description string
+	// Source is the MiniC program text.
+	Source string
+	// Input generates the deterministic external input for the given
+	// variant (1 = the standard data set; 2+ = alternates for the
+	// paper's input-sensitivity check).
+	Input func(variant int) []byte
+
+	once  sync.Once
+	image *program.Image
+	err   error
+}
+
+// Image compiles the workload (cached).
+func (w *Workload) Image() (*program.Image, error) {
+	w.once.Do(func() {
+		w.image, w.err = minic.Compile(w.Source)
+		if w.err != nil {
+			w.err = fmt.Errorf("workloads: compiling %s: %w", w.Name, w.err)
+		}
+	})
+	return w.image, w.err
+}
+
+var registry = []*Workload{goban, m88k, jpeg, scrip, odb, lisp, cc1, lzw}
+
+// All returns every workload in report order.
+func All() []*Workload { return registry }
+
+// ByName returns the named workload.
+func ByName(name string) (*Workload, bool) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the workload names in report order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, w := range registry {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// lcg is the deterministic generator used by input builders.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed*6364136223846793005 + 1442695040888963407} }
+
+func (r *lcg) next() uint32 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return uint32(r.s >> 33)
+}
+
+// intn returns a value in [0, n).
+func (r *lcg) intn(n int) int { return int(r.next() % uint32(n)) }

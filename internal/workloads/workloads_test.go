@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// TestAllCompile verifies every workload compiles.
+func TestAllCompile(t *testing.T) {
+	for _, w := range All() {
+		if _, err := w.Image(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+// TestAllRun runs each workload for 2M instructions and checks it
+// neither faults nor exits prematurely, and that it produces output
+// (the periodic checksums).
+func TestAllRun(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			im, err := w.Image()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := cpu.New(im, w.Input(1))
+			n, err := m.Run(10_000_000)
+			if err != nil {
+				t.Fatalf("after %d instructions: %v", n, err)
+			}
+			if m.Halted {
+				t.Fatalf("exited after only %d instructions (exit=%d, out=%q)",
+					n, m.ExitCode, tail(m.Output.String(), 120))
+			}
+			if m.Output.Len() == 0 {
+				t.Error("produced no output in 10M instructions")
+			}
+			t.Logf("%s: %d instructions, output tail %q", w.Name, n, tail(m.Output.String(), 60))
+		})
+	}
+}
+
+// TestDeterministic verifies two runs produce identical output.
+func TestDeterministic(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			im, err := w.Image()
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs := make([]string, 2)
+			for i := range outs {
+				m := cpu.New(im, w.Input(1))
+				if _, err := m.Run(1_000_000); err != nil {
+					t.Fatal(err)
+				}
+				outs[i] = m.Output.String()
+			}
+			if outs[0] != outs[1] {
+				t.Error("output differs between identical runs")
+			}
+		})
+	}
+}
+
+// TestInputsDeterministic verifies input generators are pure.
+func TestInputsDeterministic(t *testing.T) {
+	for _, w := range All() {
+		a, b := w.Input(1), w.Input(1)
+		if string(a) != string(b) {
+			t.Errorf("%s: input generator is not deterministic", w.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		w, ok := ByName(name)
+		if !ok || w.Name != name {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return "..." + s[len(s)-n:]
+}
+
+// TestBinaryEncodingRoundTrip pushes every instruction of every
+// compiled workload through the binary encoder and decoder: the
+// full generated instruction mix must round-trip exactly.
+func TestBinaryEncodingRoundTrip(t *testing.T) {
+	for _, w := range All() {
+		im, err := w.Image()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, in := range im.Text {
+			word, err := isa.Encode(in)
+			if err != nil {
+				t.Fatalf("%s: inst %d (%v): %v", w.Name, i, in, err)
+			}
+			back, err := isa.Decode(word)
+			if err != nil {
+				t.Fatalf("%s: inst %d decode: %v", w.Name, i, err)
+			}
+			if back != in {
+				t.Fatalf("%s: inst %d: %v -> %#08x -> %v", w.Name, i, in, word, back)
+			}
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package repro reproduces "An Empirical Analysis of Instruction
+// Repetition" (Sodani & Sohi, ASPLOS 1998): a characterization of how
+// often dynamic instructions consume the same inputs and produce the
+// same outputs as earlier instances, and where that repetition comes
+// from.
+//
+// The package is the public face of the reproduction. It compiles the
+// eight SPEC '95 integer workload analogs (written in MiniC, compiled
+// by the bundled compiler to a MIPS-I-like ISA), simulates them on the
+// bundled functional simulator, and runs the paper's analyses:
+//
+//   - the repetition census (Tables 1-2, Figures 1, 3, 4)
+//   - the global dataflow-source analysis (Table 3)
+//   - the function-level argument analysis (Tables 4, 8, Figure 5)
+//   - the local within-function analysis (Tables 5-7, 9, Figure 6)
+//   - the reuse-buffer capture measurement (Table 10)
+//
+// Quick start:
+//
+//	reports, err := repro.RunAll(repro.DefaultConfig())
+//	fmt.Print(repro.FormatTable1(reports))
+//
+// Custom programs can be analyzed with RunSource, which accepts MiniC
+// source text.
+package repro
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/minic"
+	"repro/internal/program"
+	"repro/internal/workloads"
+)
+
+// Config controls an experiment run; see the field documentation in
+// internal/core. The zero value measures a whole program with the
+// paper's buffer sizes.
+type Config = core.Config
+
+// Report holds every measurement of the paper for one benchmark run.
+type Report = core.Report
+
+// DefaultConfig returns the standard experiment window: skip 1M
+// instructions of initialization, measure the next 5M with the paper's
+// 2000-instance buffers and 8K/4-way reuse buffer. (The paper skipped
+// 500M and measured 1B on hardware of its day; the window scales, the
+// shapes do not — see EXPERIMENTS.md.)
+func DefaultConfig() Config {
+	return Config{
+		SkipInstructions:    1_000_000,
+		MeasureInstructions: 5_000_000,
+	}
+}
+
+// QuickConfig returns a reduced window for tests and smoke runs.
+func QuickConfig() Config {
+	return Config{
+		SkipInstructions:    100_000,
+		MeasureInstructions: 500_000,
+	}
+}
+
+// Workloads lists the benchmark analog names in report order.
+func Workloads() []string { return workloads.Names() }
+
+// WorkloadInfo describes one workload.
+type WorkloadInfo struct {
+	Name        string
+	Analog      string // the SPEC '95 benchmark it stands in for
+	Description string
+}
+
+// WorkloadInfos returns metadata for every workload.
+func WorkloadInfos() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, w := range workloads.All() {
+		out = append(out, WorkloadInfo{Name: w.Name, Analog: w.Analog, Description: w.Description})
+	}
+	return out
+}
+
+// RunWorkload runs the full analysis pipeline on one named workload.
+func RunWorkload(name string, cfg Config) (*Report, error) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown workload %q (have %v)", name, workloads.Names())
+	}
+	im, err := w.Image()
+	if err != nil {
+		return nil, err
+	}
+	variant := cfg.InputVariant
+	if variant <= 0 {
+		variant = 1
+	}
+	return core.Run(im, w.Input(variant), w.Name, cfg)
+}
+
+// RunAll runs every workload — in parallel, since each simulation is
+// independent and deterministic — and returns the reports in report
+// order.
+func RunAll(cfg Config) ([]*Report, error) {
+	names := workloads.Names()
+	out := make([]*Report, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			r, err := RunWorkload(name, cfg)
+			out[i] = r
+			errs[i] = err
+		}(i, name)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("repro: %s: %w", names[i], err)
+		}
+	}
+	return out, nil
+}
+
+// Compile compiles MiniC source (with the bundled runtime library)
+// into a loadable program image. It is exposed so examples and
+// downstream users can analyze their own programs.
+func Compile(source string) (*program.Image, error) {
+	return minic.Compile(source)
+}
+
+// CompileOptions selects optional compiler passes (see minic.Options).
+type CompileOptions = minic.Options
+
+// CompileWith compiles MiniC source with compiler options (e.g.
+// inlining, for the Section 6 compiler ablation).
+func CompileWith(source string, opts CompileOptions) (*program.Image, error) {
+	return minic.CompileOpt(source, opts)
+}
+
+// WorkloadSource returns the MiniC source text of a bundled workload
+// (for compiler ablations and study).
+func WorkloadSource(name string) (string, bool) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return "", false
+	}
+	return w.Source, true
+}
+
+// WorkloadInput returns the workload's input bytes for a variant.
+func WorkloadInput(name string, variant int) ([]byte, bool) {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, false
+	}
+	if variant <= 0 {
+		variant = 1
+	}
+	return w.Input(variant), true
+}
+
+// RunSource compiles MiniC source and runs the analysis pipeline on it
+// with the given input bytes.
+func RunSource(source string, input []byte, name string, cfg Config) (*Report, error) {
+	im, err := minic.Compile(source)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(im, input, name, cfg)
+}
+
+// RunImage runs the analysis pipeline on an already-compiled image
+// (e.g. one built with the bundled assembler).
+func RunImage(im *program.Image, input []byte, name string, cfg Config) (*Report, error) {
+	return core.Run(im, input, name, cfg)
+}

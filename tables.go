@@ -1,0 +1,370 @@
+package repro
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/local"
+	"repro/internal/repetition"
+	"repro/internal/report"
+	"repro/internal/taint"
+)
+
+// This file renders the paper's tables and figures from a set of
+// Reports. Each Format* function regenerates the rows/series of the
+// correspondingly numbered table or figure.
+
+// FormatTable1 renders Table 1: dynamic and static instruction counts
+// and repetition percentages.
+func FormatTable1(rs []*Report) string {
+	t := report.NewTable(
+		"Table 1: dynamic/static instructions and repetition",
+		"bench", "dyn total", "repeat%", "static", "exec%", "static-repeat%")
+	for _, r := range rs {
+		t.Row(r.Benchmark, report.FormatCount(r.DynTotal), r.DynRepeatedPct,
+			report.FormatCount(uint64(r.StaticTotal)), r.StaticExecPct, r.StaticRepeatPct)
+	}
+	return t.String()
+}
+
+// FormatFigure1 renders Figure 1: the percentage of repeated static
+// instructions needed to cover each fraction of dynamic repetition.
+func FormatFigure1(rs []*Report) string {
+	var b strings.Builder
+	b.WriteString("Figure 1: % of repeated static instructions covering X% of repetition\n")
+	for _, r := range rs {
+		b.WriteString(report.Series(r.Benchmark, r.Fig1Targets, r.Fig1))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable2 renders Table 2: unique repeatable instances and
+// average repeats.
+func FormatTable2(rs []*Report) string {
+	t := report.NewTable("Table 2: unique repeatable instances",
+		"bench", "count", "avg repeats")
+	for _, r := range rs {
+		t.Row(r.Benchmark, report.FormatCount(r.UniqueInstances),
+			fmt.Sprintf("%.0f", r.AvgRepeats))
+	}
+	return t.String()
+}
+
+// FormatFigure3 renders Figure 3: repetition contribution by
+// unique-repeatable-instance bucket.
+func FormatFigure3(rs []*Report) string {
+	t := report.NewTable(
+		"Figure 3: repetition by #unique repeatable instances per static instruction (%)",
+		"bench", "1", "2-10", "11-100", "101-1000", ">1000")
+	for _, r := range rs {
+		t.Row(r.Benchmark, r.Fig3[0], r.Fig3[1], r.Fig3[2], r.Fig3[3], r.Fig3[4])
+	}
+	return t.String()
+}
+
+// FormatFigure4 renders Figure 4: the percentage of unique repeatable
+// instances needed to cover each fraction of repetition.
+func FormatFigure4(rs []*Report) string {
+	var b strings.Builder
+	b.WriteString("Figure 4: % of unique repeatable instances covering X% of repetition\n")
+	for _, r := range rs {
+		b.WriteString(report.Series(r.Benchmark, r.Fig4Targets, r.Fig4))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable3 renders Table 3: the global-analysis breakdown
+// (overall, repeated, propensity per source category).
+func FormatTable3(rs []*Report) string {
+	var b strings.Builder
+	sections := []struct {
+		name string
+		get  func(*Report) [taint.NumTags]float64
+	}{
+		{"Overall (% of all dynamic instructions)", func(r *Report) [taint.NumTags]float64 { return r.Table3.OverallPct }},
+		{"Repeated (% of all repeated instructions)", func(r *Report) [taint.NumTags]float64 { return r.Table3.RepeatedPct }},
+		{"Propensity (% of category that repeated)", func(r *Report) [taint.NumTags]float64 { return r.Table3.PropensityPct }},
+	}
+	b.WriteString("Table 3: global analysis — sources of input values\n")
+	for _, sec := range sections {
+		headers := []string{sec.name}
+		for _, r := range rs {
+			headers = append(headers, r.Benchmark)
+		}
+		t := report.NewTable("", headers...)
+		// Paper row order: internals, global init data, external
+		// input, uninit.
+		for _, tag := range []taint.Tag{taint.TagInternal, taint.TagGlobalInit, taint.TagExternal, taint.TagUninit} {
+			row := []any{tag.String()}
+			for _, r := range rs {
+				row = append(row, sec.get(r)[tag])
+			}
+			t.Row(row...)
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable4 renders Table 4: function-level argument repetition.
+func FormatTable4(rs []*Report) string {
+	t := report.NewTable("Table 4: function-level analysis",
+		"bench", "funcs", "dyn calls", "all-args-rep%", "no-args-rep%")
+	for _, r := range rs {
+		t.Row(r.Benchmark, r.Table4.Funcs, report.FormatCount(r.Table4.DynCalls),
+			r.Table4.AllArgsPct, r.Table4.NoArgsPct)
+	}
+	return t.String()
+}
+
+// localSection renders one of Tables 5-7.
+func localSection(title string, rs []*Report, get func(*Report) [local.NumCats]float64) string {
+	headers := []string{"category"}
+	for _, r := range rs {
+		headers = append(headers, r.Benchmark)
+	}
+	t := report.NewTable(title, headers...)
+	for c := local.Cat(0); c < local.NumCats; c++ {
+		row := []any{c.String()}
+		for _, r := range rs {
+			row = append(row, get(r)[c])
+		}
+		t.Row(row...)
+	}
+	return t.String()
+}
+
+// FormatTable5 renders Table 5: overall local analysis (% of all
+// dynamic instructions per category).
+func FormatTable5(rs []*Report) string {
+	return localSection("Table 5: overall local analysis (% of all dynamic instructions)",
+		rs, func(r *Report) [local.NumCats]float64 { return r.Local.OverallPct })
+}
+
+// FormatTable6 renders Table 6: contribution of each local category to
+// total repetition.
+func FormatTable6(rs []*Report) string {
+	return localSection("Table 6: local category contribution to repetition (% of repeated instructions)",
+		rs, func(r *Report) [local.NumCats]float64 { return r.Local.RepeatedPct })
+}
+
+// FormatTable7 renders Table 7: propensity of each local category to
+// repetition.
+func FormatTable7(rs []*Report) string {
+	return localSection("Table 7: local category propensity (% of category repeated)",
+		rs, func(r *Report) [local.NumCats]float64 { return r.Local.PropensityPct })
+}
+
+// FormatTable8 renders Table 8: memoization candidates.
+func FormatTable8(rs []*Report) string {
+	t := report.NewTable("Table 8: dynamic calls without side effects or implicit inputs",
+		"bench", "% of all calls", "% of all-arg-rep calls")
+	for _, r := range rs {
+		t.Row(r.Benchmark, r.Table8.PureOfAllPct, r.Table8.PureOfAllArgRepPct)
+	}
+	return t.String()
+}
+
+// FormatFigure5 renders Figure 5: all-argument repetition covered by
+// each function's top 1-5 argument sets.
+func FormatFigure5(rs []*Report) string {
+	t := report.NewTable("Figure 5: all-arg repetition covered by top-k argument sets (%)",
+		"bench", "top1", "top2", "top3", "top4", "top5")
+	for _, r := range rs {
+		row := []any{r.Benchmark}
+		for _, v := range r.Fig5 {
+			row = append(row, v)
+		}
+		t.Row(row...)
+	}
+	return t.String()
+}
+
+// FormatTable9 renders Table 9: top prologue/epilogue contributors.
+func FormatTable9(rs []*Report) string {
+	var b strings.Builder
+	b.WriteString("Table 9: top-5 contributors to prologue+epilogue repetition (name/size)\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%-8s", r.Benchmark)
+		for _, row := range r.Table9 {
+			fmt.Fprintf(&b, "  %s/%d", row.Name, row.Size)
+		}
+		fmt.Fprintf(&b, "  coverage=%s%%\n", report.FormatPct(r.Table9Coverage))
+	}
+	return b.String()
+}
+
+// FormatFigure6 renders Figure 6: global-load repetition covered by
+// the top 1-5 values per load site.
+func FormatFigure6(rs []*Report) string {
+	t := report.NewTable("Figure 6: global+heap load repetition covered by top-k values (%)",
+		"bench", "top1", "top2", "top3", "top4", "top5")
+	for _, r := range rs {
+		row := []any{r.Benchmark}
+		for _, v := range r.Fig6 {
+			row = append(row, v)
+		}
+		t.Row(row...)
+	}
+	return t.String()
+}
+
+// FormatTable10 renders Table 10: repetition captured by the reuse
+// buffer.
+func FormatTable10(rs []*Report) string {
+	t := report.NewTable("Table 10: repetition captured by 8K 4-way reuse buffer",
+		"bench", "% of all inst", "% of repeated inst")
+	for _, r := range rs {
+		t.Row(r.Benchmark, r.ReusePctAll, r.ReusePctRepeated)
+	}
+	return t.String()
+}
+
+// FormatTypeBreakdown renders the extension experiment "ext-types":
+// the per-instruction-class census Section 2 of the paper mentions but
+// omits ("we can also carry out a total analysis for different types
+// of instructions ... but do not do so in this paper").
+func FormatTypeBreakdown(rs []*Report) string {
+	var b strings.Builder
+	b.WriteString("Extension: per-instruction-class repetition (share% / propensity%)\n")
+	headers := []string{"bench"}
+	for c := repetition.InstClass(0); c < repetition.NumClasses; c++ {
+		headers = append(headers, c.String())
+	}
+	t := report.NewTable("", headers...)
+	for _, r := range rs {
+		row := []any{r.Benchmark}
+		for c := repetition.InstClass(0); c < repetition.NumClasses; c++ {
+			row = append(row, fmt.Sprintf("%.1f/%.1f", r.TypeOverallPct[c], r.TypePropensityPct[c]))
+		}
+		t.Row(row...)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}
+
+// FormatVPred renders the extension experiment "ext-vpred": value
+// prediction accuracy (Section 7's other hardware mechanism) with
+// tables matched to the reuse buffer's 8K-entry budget.
+func FormatVPred(rs []*Report) string {
+	t := report.NewTable(
+		"Extension: value prediction accuracy (8K-entry tables, % of value-producing instructions)",
+		"bench", "eligible%", "last-value", "stride", "hybrid", "repetition%")
+	for _, r := range rs {
+		t.Row(r.Benchmark, r.VPred.EligiblePct, r.VPred.LastValuePct,
+			r.VPred.StridePct, r.VPred.HybridPct, r.DynRepeatedPct)
+	}
+	return t.String()
+}
+
+// FormatProfile renders the extension experiment "ext-profile": the
+// per-function drill-down — which functions execute the most dynamic
+// instructions and how repetitive each one is.
+func FormatProfile(rs []*Report) string {
+	var b strings.Builder
+	b.WriteString("Extension: per-function profile (top 8 by self instructions)\n")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%s:\n", r.Benchmark)
+		t := report.NewTable("", "function", "size", "calls", "self instrs", "repeat%", "all-args-rep%")
+		for i, row := range r.Profile {
+			if i >= 8 {
+				break
+			}
+			t.Row(row.Name, row.Size, report.FormatCount(row.Calls),
+				report.FormatCount(row.Instrs), row.RepeatPct, row.AllArgsPct)
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// FormatVProfile renders the extension experiment "ext-vprofile":
+// output-value invariance per Calder et al. (the paper's reference
+// [3]), contrasted with the repetition census. High invariance means
+// one value dominates an instruction's outputs; repetition is the
+// broader phenomenon (many values, each recurring).
+func FormatVProfile(rs []*Report) string {
+	t := report.NewTable(
+		"Extension: value-profile invariance (Calder TNV, register-writing instructions)",
+		"bench", "sites", "Inv(1)%", "Inv(4)%", "invariant-sites%", "repetition%")
+	for _, r := range rs {
+		t.Row(r.Benchmark, r.VProfile.Sites, r.VProfile.Top1Pct,
+			r.VProfile.Top4Pct, r.VProfile.InvariantSitesPct, r.DynRepeatedPct)
+	}
+	return t.String()
+}
+
+// Experiment names accepted by Format.
+var experimentOrder = []string{
+	"table1", "fig1", "fig3", "table2", "fig4", "table3", "table4",
+	"table5", "table6", "table7", "table8", "fig5", "table9", "fig6",
+	"table10", "ext-types", "ext-vpred", "ext-profile", "ext-vprofile",
+}
+
+// Experiments lists the renderable experiment identifiers in paper
+// order.
+func Experiments() []string {
+	out := make([]string, len(experimentOrder))
+	copy(out, experimentOrder)
+	return out
+}
+
+// Format renders one experiment ("table1".."table10", "fig1", "fig3",
+// "fig4", "fig5", "fig6") for the given reports.
+func Format(experiment string, rs []*Report) (string, error) {
+	switch experiment {
+	case "table1":
+		return FormatTable1(rs), nil
+	case "table2":
+		return FormatTable2(rs), nil
+	case "table3":
+		return FormatTable3(rs), nil
+	case "table4":
+		return FormatTable4(rs), nil
+	case "table5":
+		return FormatTable5(rs), nil
+	case "table6":
+		return FormatTable6(rs), nil
+	case "table7":
+		return FormatTable7(rs), nil
+	case "table8":
+		return FormatTable8(rs), nil
+	case "table9":
+		return FormatTable9(rs), nil
+	case "table10":
+		return FormatTable10(rs), nil
+	case "fig1":
+		return FormatFigure1(rs), nil
+	case "fig3":
+		return FormatFigure3(rs), nil
+	case "fig4":
+		return FormatFigure4(rs), nil
+	case "fig5":
+		return FormatFigure5(rs), nil
+	case "fig6":
+		return FormatFigure6(rs), nil
+	case "ext-types":
+		return FormatTypeBreakdown(rs), nil
+	case "ext-vpred":
+		return FormatVPred(rs), nil
+	case "ext-profile":
+		return FormatProfile(rs), nil
+	case "ext-vprofile":
+		return FormatVProfile(rs), nil
+	}
+	return "", fmt.Errorf("repro: unknown experiment %q (have %v)", experiment, experimentOrder)
+}
+
+// FormatAll renders every table and figure in paper order.
+func FormatAll(rs []*Report) string {
+	var b strings.Builder
+	for _, e := range experimentOrder {
+		s, _ := Format(e, rs)
+		b.WriteString(s)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

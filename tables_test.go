@@ -1,0 +1,96 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// synthReport builds a deterministic report without simulation so the
+// formatters can be tested directly.
+func synthReport(name string) *repro.Report {
+	r := &repro.Report{
+		Benchmark:      name,
+		DynTotal:       1_000_000,
+		DynRepeatedPct: 85.2,
+		StaticTotal:    84552,
+		StaticExecuted: 53183,
+		StaticExecPct:  62.9,
+		Fig1Targets:    []float64{50, 90},
+		Fig1:           []float64{8.0, 20.0},
+		Fig4Targets:    []float64{50, 90},
+		Fig4:           []float64{1.0, 15.0},
+		Fig3:           [5]float64{25, 12, 30, 33, 0},
+		Fig5:           []float64{5, 10, 15, 20, 25},
+		Fig6:           []float64{18, 25, 30, 34, 38},
+	}
+	r.UniqueInstances = 3_947_406
+	r.AvgRepeats = 216
+	r.Table4.Funcs = 481
+	r.Table4.DynCalls = 11_000_000
+	r.Table4.AllArgsPct = 78
+	r.Table4.NoArgsPct = 0.49
+	r.Table8.PureOfAllPct = 0.0
+	r.ReusePctAll = 46.5
+	r.ReusePctRepeated = 65.4
+	return r
+}
+
+func TestFormattersRenderSynthetic(t *testing.T) {
+	rs := []*repro.Report{synthReport("go"), synthReport("gcc")}
+	checks := map[string][]string{
+		"table1":  {"go", "gcc", "1,000,000", "85.2", "84,552", "62.9"},
+		"fig1":    {"50%:8.0", "90%:20.0"},
+		"fig3":    {"25.0", "12.0", "33.0"},
+		"table2":  {"3,947,406", "216"},
+		"fig4":    {"50%:1.0", "90%:15.0"},
+		"table3":  {"internals", "global init data", "external input", "uninit"},
+		"table4":  {"481", "11,000,000", "78.0", "0.5"},
+		"table5":  {"prologue", "epilogue", "glb_addr_calc", "heap"},
+		"table6":  {"function internals", "arguments"},
+		"table7":  {"return values", "SP"},
+		"table8":  {"0.0"},
+		"fig5":    {"5.0", "25.0"},
+		"table9":  {"coverage"},
+		"fig6":    {"18.0", "38.0"},
+		"table10": {"46.5", "65.4"},
+	}
+	for exp, wants := range checks {
+		out, err := repro.Format(exp, rs)
+		if err != nil {
+			t.Fatalf("Format(%s): %v", exp, err)
+		}
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("Format(%s) missing %q:\n%s", exp, w, out)
+			}
+		}
+	}
+}
+
+func TestFormatTableColumnsAligned(t *testing.T) {
+	rs := []*repro.Report{synthReport("a"), synthReport("longername")}
+	out := repro.FormatTable1(rs)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("table too short:\n%s", out)
+	}
+	// All data rows must be the same width as the header row
+	// (right-aligned numeric columns).
+	header := lines[1]
+	for _, row := range lines[3:] {
+		if len(row) != len(header) {
+			t.Errorf("row width %d != header width %d:\n%s", len(row), len(header), out)
+		}
+	}
+}
+
+func TestExperimentsListMatchesFormat(t *testing.T) {
+	rs := []*repro.Report{synthReport("x")}
+	for _, e := range repro.Experiments() {
+		if _, err := repro.Format(e, rs); err != nil {
+			t.Errorf("advertised experiment %q does not format: %v", e, err)
+		}
+	}
+}
