@@ -1,11 +1,20 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test bench repro lint examples
+.PHONY: all test vet race check bench repro lint examples
 
-all: test
+all: check
+
+# Default gate: build+test, static analysis, and the race detector.
+check: test vet race
 
 test:
-	go build ./... && go vet ./... && go test ./...
+	go build ./... && go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./...
 
 # Full bench harness: one benchmark per table/figure plus ablations.
 bench:

@@ -8,8 +8,14 @@
 //
 //	instrep run [-bench NAME] [-experiment ID] [-skip N] [-measure N]
 //	            [-instances N] [-reuse-entries N] [-reuse-assoc N]
+//	            [-metrics text|json] [-progress] [-cpuprofile FILE]
+//	            [-memprofile FILE]
 //	    Run the analysis pipeline and print the requested tables and
 //	    figures ("all" runs every benchmark / renders everything).
+//	    -metrics prints the run's observability document (phase wall
+//	    times, simulator counters, per-observer attributed cost) after
+//	    the tables; -progress renders a live stderr ticker; the
+//	    profile flags write runtime/pprof profiles.
 //
 //	instrep exec [-input FILE] [-max N] PROGRAM.c
 //	    Compile a MiniC program and execute it on the simulator,
@@ -28,11 +34,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
+	"time"
 
 	"repro"
 	"repro/internal/cpu"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/workloads"
 )
@@ -86,6 +97,18 @@ func cmdList() error {
 	return nil
 }
 
+// validateChoice checks value against the valid choices ("all" plus
+// the listed names), returning an error that enumerates the choices.
+func validateChoice(flagName, value string, valid []string) error {
+	for _, v := range valid {
+		if value == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("invalid -%s %q (valid: %s, or \"all\")",
+		flagName, value, strings.Join(valid, ", "))
+}
+
 func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	bench := fs.String("bench", "all", "workload name or 'all'")
@@ -97,8 +120,55 @@ func cmdRun(args []string) error {
 	reuseAssoc := fs.Int("reuse-assoc", 0, "reuse buffer associativity (0 = paper's 4)")
 	variant := fs.Int("input-variant", 1, "workload input data set (1 = standard, 2 = alternate)")
 	asJSON := fs.Bool("json", false, "emit the raw reports as JSON instead of tables")
+	metrics := fs.String("metrics", "", "print run metrics after the tables: 'text' or 'json'")
+	progress := fs.Bool("progress", false, "render a live progress ticker on stderr")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Validate the selectors up front so a bad name fails with the
+	// choices listed instead of deep in the pipeline.
+	if *bench != "all" {
+		if err := validateChoice("bench", *bench, repro.Workloads()); err != nil {
+			return err
+		}
+	}
+	if *experiment != "all" {
+		for _, e := range strings.Split(*experiment, ",") {
+			if err := validateChoice("experiment", strings.TrimSpace(e), repro.Experiments()); err != nil {
+				return err
+			}
+		}
+	}
+	switch *metrics {
+	case "", "text", "json":
+	default:
+		return fmt.Errorf("invalid -metrics %q (valid: text, json)", *metrics)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
 	}
 
 	cfg := repro.Config{
@@ -108,6 +178,11 @@ func cmdRun(args []string) error {
 		ReuseEntries:        *reuseEntries,
 		ReuseAssoc:          *reuseAssoc,
 		InputVariant:        *variant,
+	}
+	if *progress {
+		t := newTicker(os.Stderr)
+		cfg.Progress = t.update
+		defer t.finish()
 	}
 
 	var reports []*repro.Report
@@ -130,18 +205,100 @@ func cmdRun(args []string) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(reports)
 	}
+	// -metrics json emits only the machine-readable metrics document;
+	// text metrics follow the tables.
+	if *metrics == "json" {
+		var ms []*repro.RunMetrics
+		for _, r := range reports {
+			ms = append(ms, r.Metrics)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(ms)
+	}
 	if *experiment == "all" {
 		fmt.Print(repro.FormatAll(reports))
-		return nil
-	}
-	for _, e := range strings.Split(*experiment, ",") {
-		s, err := repro.Format(strings.TrimSpace(e), reports)
-		if err != nil {
-			return err
+	} else {
+		for _, e := range strings.Split(*experiment, ",") {
+			s, err := repro.Format(strings.TrimSpace(e), reports)
+			if err != nil {
+				return err
+			}
+			fmt.Println(s)
 		}
-		fmt.Println(s)
+	}
+	if *metrics == "text" {
+		fmt.Println(repro.FormatMetrics(reports))
 	}
 	return nil
+}
+
+// ticker renders a single-line live progress display on w: phase,
+// instructions retired, retire rate, and ETA. It is safe for
+// concurrent updates (RunAll runs workloads in parallel).
+type ticker struct {
+	mu      sync.Mutex
+	w       *os.File
+	last    time.Time
+	started map[string]time.Time // bench/phase -> start
+	active  bool
+}
+
+func newTicker(w *os.File) *ticker {
+	return &ticker{w: w, started: make(map[string]time.Time)}
+}
+
+func (t *ticker) update(p repro.Progress) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := p.Benchmark + "/" + p.Phase
+	start, ok := t.started[key]
+	if !ok {
+		start = time.Now()
+		t.started[key] = start
+	}
+	now := time.Now()
+	// Throttle redraws; always draw phase-final updates.
+	if !p.Final && now.Sub(t.last) < 200*time.Millisecond {
+		return
+	}
+	t.last = now
+	elapsed := now.Sub(start).Seconds()
+	// Rates over a few milliseconds are noise; wait for a real sample.
+	var rate float64
+	if elapsed >= 0.05 {
+		rate = float64(p.Done) / elapsed / 1e6
+	}
+	line := fmt.Sprintf("%s %s: %s insts", p.Benchmark, p.Phase, fmtMillions(p.Done))
+	if rate > 0 {
+		line += fmt.Sprintf("  %.1f MIPS", rate)
+	}
+	if p.Total > 0 && rate > 0 && p.Done < p.Total {
+		eta := float64(p.Total-p.Done) / (rate * 1e6)
+		line += fmt.Sprintf("  %3.0f%%  ETA %.1fs", 100*float64(p.Done)/float64(p.Total), eta)
+	}
+	if p.Final {
+		line += "  done"
+	}
+	fmt.Fprintf(t.w, "\r\x1b[K%s", line)
+	t.active = true
+}
+
+// finish terminates the ticker line so later output starts clean.
+func (t *ticker) finish() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.active {
+		fmt.Fprintln(t.w)
+		t.active = false
+	}
+}
+
+func fmtMillions(n uint64) string {
+	if n >= 1_000_000 {
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	}
+	return fmt.Sprintf("%.0fk", float64(n)/1e3)
 }
 
 func cmdExec(args []string) error {
@@ -179,10 +336,11 @@ func cmdExec(args []string) error {
 	if err != nil {
 		return fmt.Errorf("after %d instructions: %w", n, err)
 	}
+	log := obs.NewLogger(os.Stderr, obs.LevelInfo)
 	if m.Halted {
-		fmt.Fprintf(os.Stderr, "[exit %d after %d instructions]\n", m.ExitCode, n)
+		log.Info("program exited", "code", m.ExitCode, "instructions", n)
 	} else {
-		fmt.Fprintf(os.Stderr, "[instruction budget exhausted after %d]\n", n)
+		log.Warn("instruction budget exhausted", "instructions", n)
 	}
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "ran %d workloads x %d instructions in %v\n",
-		len(reports), *measure, time.Since(start).Round(time.Millisecond))
+	obs.NewLogger(os.Stderr, obs.LevelInfo).Info("full paper run complete",
+		"workloads", len(reports), "measured", *measure,
+		"elapsed", time.Since(start).Round(time.Millisecond))
 
 	fmt.Print(repro.FormatAll(reports))
 }

@@ -7,10 +7,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/funcanal"
+	"repro/internal/isa"
 	"repro/internal/local"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/repetition"
 	"repro/internal/reuse"
@@ -47,6 +50,44 @@ type Config struct {
 	DisableReuse bool
 	DisableVPred bool
 	DisableVProf bool
+
+	// ObserverSampleEvery is the cost-attribution sampling period:
+	// one in every N retired instructions is individually timed per
+	// observer (0 = the default of 64; negative disables attribution).
+	ObserverSampleEvery int
+
+	// Span, when set, is the enclosing run span (e.g. opened around
+	// compilation by the caller); Run adds its phase children to it,
+	// ends it, and snapshots it into the report's RunMetrics. When nil
+	// Run opens its own root span.
+	Span *obs.Span
+
+	// Progress, when set, receives periodic updates during the skip
+	// and measure phases. It may be called from multiple goroutines
+	// when workloads run in parallel, so implementations must be
+	// concurrency-safe.
+	Progress func(Progress)
+}
+
+// Progress is one progress-callback update.
+type Progress struct {
+	Benchmark string
+	Phase     string // "skip" or "measure"
+	Done      uint64 // instructions retired in this phase so far
+	Total     uint64 // phase budget (0 = run to completion)
+	Retired   uint64 // instructions retired since machine start
+	Final     bool   // last update for this phase
+}
+
+// defaultSampleEvery is the default observer-attribution period.
+const defaultSampleEvery = 64
+
+// stage is one named observer step of the pipeline; the name is used
+// for per-observer cost attribution in RunMetrics.
+type stage struct {
+	name string
+	fn   func(ev *cpu.Event, repeated bool)
+	ns   time.Duration // summed time of sampled calls
 }
 
 // Pipeline dispatches simulator events to the enabled analyses in the
@@ -64,6 +105,15 @@ type Pipeline struct {
 	counting          bool
 	reuseHits         uint64
 	reuseHitsRepeated uint64
+
+	// Observer cost attribution: every sampleEvery-th instruction is
+	// dispatched through timed calls; repNS covers the repetition
+	// tracker (which runs before the stages to produce the verdict).
+	stages      []stage
+	sampleEvery uint64
+	countdown   uint64
+	samples     uint64
+	repNS       time.Duration
 }
 
 // SetCounting opens (or closes) the measurement window. While closed,
@@ -90,56 +140,124 @@ func NewPipeline(im *program.Image, cfg Config) *Pipeline {
 	if cfg.MaxInstances > 0 {
 		p.Rep.MaxInstances = cfg.MaxInstances
 	}
+	switch {
+	case cfg.ObserverSampleEvery > 0:
+		p.sampleEvery = uint64(cfg.ObserverSampleEvery)
+	case cfg.ObserverSampleEvery == 0:
+		p.sampleEvery = defaultSampleEvery
+	}
+	p.countdown = p.sampleEvery
+	add := func(name string, fn func(*cpu.Event, bool)) {
+		p.stages = append(p.stages, stage{name: name, fn: fn})
+	}
 	if !cfg.DisableTaint {
 		p.Taint = taint.New(im)
+		add(p.Taint.Name(), p.Taint.Observe)
 	}
 	if !cfg.DisableLocal {
 		p.Local = local.New(im)
+		add(p.Local.Name(), p.Local.Observe)
 	}
 	if !cfg.DisableFunc {
 		p.Funcs = funcanal.New(im)
+		add(p.Funcs.Name(), p.Funcs.Observe)
 	}
 	if !cfg.DisableReuse {
 		p.Reuse = reuse.New(cfg.ReuseEntries, cfg.ReuseAssoc)
+		add(p.Reuse.Name(), func(ev *cpu.Event, repeated bool) {
+			if !p.counting {
+				return
+			}
+			if p.Reuse.Observe(ev, repeated) {
+				p.reuseHits++
+				if repeated {
+					p.reuseHitsRepeated++
+				}
+			}
+		})
 	}
 	if !cfg.DisableVPred {
 		p.VPred = vpred.New(cfg.VPredEntries)
+		add(p.VPred.Name(), func(ev *cpu.Event, _ bool) {
+			if p.counting {
+				p.VPred.Observe(ev)
+			}
+		})
 	}
 	if !cfg.DisableVProf {
 		p.VProf = vprofile.New()
+		add(p.VProf.Name(), func(ev *cpu.Event, _ bool) {
+			if p.counting {
+				p.VProf.Observe(ev)
+			}
+		})
 	}
 	return p
 }
 
 // OnInst implements cpu.Observer.
 func (p *Pipeline) OnInst(ev *cpu.Event) {
+	if p.sampleEvery > 0 {
+		p.countdown--
+		if p.countdown == 0 {
+			p.countdown = p.sampleEvery
+			p.onInstTimed(ev)
+			return
+		}
+	}
 	repeated := false
 	if p.counting {
 		repeated = p.Rep.Observe(ev)
 	}
-	if p.Taint != nil {
-		p.Taint.Observe(ev, repeated)
+	for i := range p.stages {
+		p.stages[i].fn(ev, repeated)
 	}
-	if p.Local != nil {
-		p.Local.Observe(ev, repeated)
+}
+
+// onInstTimed is the sampled slow path: identical dispatch, but each
+// observer call is individually timed so its cost can be attributed.
+func (p *Pipeline) onInstTimed(ev *cpu.Event) {
+	p.samples++
+	repeated := false
+	start := time.Now()
+	if p.counting {
+		repeated = p.Rep.Observe(ev)
 	}
-	if p.Funcs != nil {
-		p.Funcs.Observe(ev, repeated)
+	now := time.Now()
+	p.repNS += now.Sub(start)
+	for i := range p.stages {
+		p.stages[i].fn(ev, repeated)
+		next := time.Now()
+		p.stages[i].ns += next.Sub(now)
+		now = next
 	}
-	if p.Reuse != nil && p.counting {
-		if p.Reuse.Observe(ev, repeated) {
-			p.reuseHits++
-			if repeated {
-				p.reuseHitsRepeated++
-			}
+}
+
+// ObserverCosts extrapolates the sampled per-observer times into the
+// RunMetrics attribution table.
+func (p *Pipeline) ObserverCosts() []obs.ObserverCost {
+	if p.samples == 0 {
+		return nil
+	}
+	out := []obs.ObserverCost{{Name: p.Rep.Name(), SampledNS: p.repNS.Nanoseconds()}}
+	for i := range p.stages {
+		out = append(out, obs.ObserverCost{
+			Name:      p.stages[i].name,
+			SampledNS: p.stages[i].ns.Nanoseconds(),
+		})
+	}
+	var total int64
+	for i := range out {
+		out[i].Samples = p.samples
+		out[i].EstimatedNS = out[i].SampledNS * int64(p.sampleEvery)
+		total += out[i].EstimatedNS
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].SharePct = 100 * float64(out[i].EstimatedNS) / float64(total)
 		}
 	}
-	if p.VPred != nil && p.counting {
-		p.VPred.Observe(ev)
-	}
-	if p.VProf != nil && p.counting {
-		p.VProf.Observe(ev)
-	}
+	return out
 }
 
 // OnCall implements cpu.CallObserver.
@@ -242,6 +360,11 @@ type Report struct {
 	// Extension: Calder-style output-value invariance (the paper's
 	// reference [3], contrasted with input+output repetition).
 	VProfile vprofile.Result
+
+	// Metrics is the run's observability document: phase wall times,
+	// simulator counters, retire rate, and per-observer attributed
+	// cost (see internal/obs). Wall-clock values vary run to run.
+	Metrics *obs.RunMetrics `json:"RunMetrics,omitempty"`
 }
 
 // Collect gathers the report after a run.
@@ -299,32 +422,108 @@ func (p *Pipeline) Collect(im *program.Image, name string) *Report {
 	return r
 }
 
+// progressChunk is how many instructions run between progress
+// callbacks when Config.Progress is set.
+const progressChunk = 1 << 18
+
+// runPhase executes up to max instructions (0 = to completion),
+// reporting progress through cb when non-nil.
+func runPhase(m *cpu.Machine, max uint64, name, phase string, cb func(Progress)) (uint64, error) {
+	if cb == nil {
+		return m.Run(max)
+	}
+	var done uint64
+	var err error
+	for !m.Halted && err == nil && (max == 0 || done < max) {
+		chunk := uint64(progressChunk)
+		if max > 0 && max-done < chunk {
+			chunk = max - done
+		}
+		var n uint64
+		n, err = m.Run(chunk)
+		done += n
+		cb(Progress{Benchmark: name, Phase: phase, Done: done, Total: max, Retired: m.Count})
+	}
+	cb(Progress{Benchmark: name, Phase: phase, Done: done, Total: max, Retired: m.Count, Final: true})
+	return done, err
+}
+
 // Run executes a full experiment: fast-forward, attach the pipeline,
-// measure, and collect the report.
+// measure, and collect the report with its run metrics. If cfg.Span
+// is set Run treats it as the enclosing run span (adding phase
+// children and ending it); otherwise it opens its own.
 func Run(im *program.Image, input []byte, name string, cfg Config) (*Report, error) {
+	root := cfg.Span
+	if root == nil {
+		root = obs.StartSpan("run")
+	}
+
+	load := root.StartChild("load")
 	m := cpu.New(im, input)
 	p := NewPipeline(im, cfg)
 	m.Attach(p)
+	load.End()
+
 	var skipped uint64
 	if cfg.SkipInstructions > 0 {
 		// Warmup: the pipeline propagates dataflow state (so tags
 		// from initialization-time input reads survive) but counts
 		// nothing.
+		skip := root.StartChild("skip")
 		var err error
-		skipped, err = m.Run(cfg.SkipInstructions)
+		skipped, err = runPhase(m, cfg.SkipInstructions, name, "skip", cfg.Progress)
+		skip.End()
 		if err != nil {
 			return nil, fmt.Errorf("core: warmup: %w", err)
 		}
 	}
+
 	p.SetCounting(true)
-	measured, err := m.Run(cfg.MeasureInstructions)
+	measure := root.StartChild("measure")
+	measured, err := runPhase(m, cfg.MeasureInstructions, name, "measure", cfg.Progress)
+	measureWall := measure.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: measure: %w", err)
 	}
+
+	collect := root.StartChild("collect")
 	r := p.Collect(im, name)
 	r.SkippedInstructions = skipped
 	r.MeasuredInstructions = measured
 	r.ProgramExited = m.Halted
 	r.ExitCode = m.ExitCode
+	collect.End()
+	root.End()
+
+	r.Metrics = runMetrics(root, m, p, name, measured, measureWall)
 	return r, nil
+}
+
+// runMetrics assembles the observability document for one run.
+func runMetrics(root *obs.Span, m *cpu.Machine, p *Pipeline, name string, measured uint64, measureWall time.Duration) *obs.RunMetrics {
+	rm := &obs.RunMetrics{
+		Benchmark:           name,
+		Phases:              root.Tree(),
+		ObserverSampleEvery: p.sampleEvery,
+		Observers:           p.ObserverCosts(),
+		Sim: obs.SimCounters{
+			Retired:       m.Count,
+			Loads:         m.Stats.Loads,
+			Stores:        m.Stats.Stores,
+			Branches:      m.Stats.Branches,
+			BranchesTaken: m.Stats.BranchesTaken,
+			Syscalls:      m.Stats.Syscalls,
+		},
+	}
+	for k, n := range m.Stats.Kinds {
+		if n > 0 {
+			rm.Sim.ClassMix = append(rm.Sim.ClassMix, obs.ClassCount{
+				Class: isa.Kind(k).String(), Count: n,
+			})
+		}
+	}
+	if secs := measureWall.Seconds(); secs > 0 {
+		rm.RetireRateMIPS = float64(measured) / secs / 1e6
+	}
+	return rm
 }

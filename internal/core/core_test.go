@@ -217,3 +217,115 @@ int main() {
 		t.Errorf("type shares sum to %v", sum)
 	}
 }
+
+func TestRunMetricsCollected(t *testing.T) {
+	w, _ := workloads.ByName("lzw")
+	im, err := w.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var updates []core.Progress
+	cfg := core.Config{
+		SkipInstructions:    10_000,
+		MeasureInstructions: 100_000,
+		ObserverSampleEvery: 16,
+		Progress:            func(p core.Progress) { updates = append(updates, p) },
+	}
+	r, err := core.Run(im, w.Input(1), "lzw", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Metrics
+	if m == nil {
+		t.Fatal("no RunMetrics on report")
+	}
+	if m.Benchmark != "lzw" {
+		t.Errorf("benchmark = %q", m.Benchmark)
+	}
+	// Phase tree: load/skip/measure/collect under the root.
+	names := map[string]bool{}
+	for _, c := range m.Phases.Children {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"load", "skip", "measure", "collect"} {
+		if !names[want] {
+			t.Errorf("phase %q missing from %v", want, m.Phases.Children)
+		}
+	}
+	if m.Phases.WallNS <= 0 {
+		t.Error("root phase has no wall time")
+	}
+	if m.Sim.Retired != r.SkippedInstructions+r.MeasuredInstructions {
+		t.Errorf("retired = %d, want %d", m.Sim.Retired, r.SkippedInstructions+r.MeasuredInstructions)
+	}
+	if m.Sim.Loads == 0 || m.Sim.Branches == 0 || len(m.Sim.ClassMix) == 0 {
+		t.Errorf("sim counters empty: %+v", m.Sim)
+	}
+	var mixTotal uint64
+	for _, c := range m.Sim.ClassMix {
+		mixTotal += c.Count
+	}
+	if mixTotal != m.Sim.Retired {
+		t.Errorf("class mix sums to %d, want %d", mixTotal, m.Sim.Retired)
+	}
+	if m.RetireRateMIPS <= 0 {
+		t.Error("retire rate not computed")
+	}
+	// Observer attribution: repetition plus the six analyses.
+	if len(m.Observers) != 7 {
+		t.Errorf("got %d observer costs: %+v", len(m.Observers), m.Observers)
+	}
+	var share float64
+	for _, o := range m.Observers {
+		if o.Samples == 0 {
+			t.Errorf("observer %s never sampled", o.Name)
+		}
+		share += o.SharePct
+	}
+	if share < 99.9 || share > 100.1 {
+		t.Errorf("observer shares sum to %.2f", share)
+	}
+	// Progress: updates for both phases, each ending with a final one.
+	byPhase := map[string][]core.Progress{}
+	for _, u := range updates {
+		byPhase[u.Phase] = append(byPhase[u.Phase], u)
+	}
+	for _, phase := range []string{"skip", "measure"} {
+		us := byPhase[phase]
+		if len(us) == 0 {
+			t.Fatalf("no progress updates for %s", phase)
+		}
+		last := us[len(us)-1]
+		if !last.Final {
+			t.Errorf("%s: last update not final: %+v", phase, last)
+		}
+		if last.Done == 0 || last.Retired == 0 {
+			t.Errorf("%s: empty final update: %+v", phase, last)
+		}
+	}
+	if got := byPhase["measure"][len(byPhase["measure"])-1].Done; got != r.MeasuredInstructions {
+		t.Errorf("final measure Done = %d, want %d", got, r.MeasuredInstructions)
+	}
+}
+
+func TestRunMetricsSamplingDisabled(t *testing.T) {
+	w, _ := workloads.ByName("lzw")
+	im, err := w.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		MeasureInstructions: 50_000,
+		ObserverSampleEvery: -1,
+	}
+	r, err := core.Run(im, w.Input(1), "lzw", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics == nil {
+		t.Fatal("no RunMetrics on report")
+	}
+	if len(r.Metrics.Observers) != 0 {
+		t.Errorf("attribution should be disabled, got %+v", r.Metrics.Observers)
+	}
+}

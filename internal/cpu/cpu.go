@@ -107,6 +107,21 @@ type CallObserver interface {
 	OnReturn(ev *RetEvent)
 }
 
+// Counters aggregates retirement statistics the simulator maintains
+// for the observability layer: memory traffic, control flow, syscall
+// count, and the per-opcode-kind instruction mix. They cover every
+// retired instruction (warmup included) and cost a few increments per
+// step.
+type Counters struct {
+	Loads         uint64
+	Stores        uint64
+	Branches      uint64
+	BranchesTaken uint64
+	Syscalls      uint64
+	// Kinds tallies retired instructions per isa.Kind.
+	Kinds [isa.NumKinds]uint64
+}
+
 // Machine is one simulated CPU with its memory and OS interface.
 type Machine struct {
 	Image *program.Image
@@ -115,6 +130,9 @@ type Machine struct {
 	PC    uint32
 	Brk   uint32 // heap break, grows via sbrk
 	Count uint64 // instructions retired
+
+	// Stats are the retirement counters (see Counters).
+	Stats Counters
 
 	Halted   bool
 	ExitCode int32
@@ -217,6 +235,20 @@ func (m *Machine) Step() error {
 	m.Regs[isa.RegZero] = 0
 
 	m.Count++
+	m.Stats.Kinds[isa.OpKind(in.Op)]++
+	switch {
+	case ev.IsLoad:
+		m.Stats.Loads++
+	case ev.IsStore:
+		m.Stats.Stores++
+	case ev.IsBranch:
+		m.Stats.Branches++
+		if ev.Taken {
+			m.Stats.BranchesTaken++
+		}
+	case in.Op == isa.OpSYSCALL:
+		m.Stats.Syscalls++
+	}
 	m.PC = ev.NextPC
 
 	for _, o := range m.observers {

@@ -14,11 +14,15 @@ import (
 // (cmd/instrep exec -trace).
 type Tracer struct {
 	W io.Writer
-	// Limit stops output after this many lines (0 = unlimited).
+	// Limit stops output after this many instruction lines
+	// (0 = unlimited); a single truncation marker is emitted when the
+	// limit is reached so a capped trace is distinguishable from a
+	// program that stopped.
 	Limit uint64
 
-	lines uint64
-	depth int
+	lines     uint64
+	depth     int
+	truncated bool
 }
 
 // NewTracer builds a tracer writing to w, stopping after limit lines.
@@ -26,9 +30,22 @@ func NewTracer(w io.Writer, limit uint64) *Tracer {
 	return &Tracer{W: w, Limit: limit}
 }
 
+// open reports whether the tracer may still write, emitting the
+// truncation marker the first time the limit is hit.
+func (t *Tracer) open() bool {
+	if t.Limit == 0 || t.lines < t.Limit {
+		return true
+	}
+	if !t.truncated {
+		t.truncated = true
+		fmt.Fprintf(t.W, "... trace truncated after %d lines\n", t.Limit)
+	}
+	return false
+}
+
 // OnInst implements Observer.
 func (t *Tracer) OnInst(ev *Event) {
-	if t.Limit > 0 && t.lines >= t.Limit {
+	if !t.open() {
 		return
 	}
 	t.lines++
@@ -56,7 +73,7 @@ func (t *Tracer) OnInst(ev *Event) {
 
 // OnCall implements CallObserver.
 func (t *Tracer) OnCall(ev *CallEvent) {
-	if t.Limit > 0 && t.lines >= t.Limit {
+	if !t.open() {
 		return
 	}
 	t.depth++
@@ -78,7 +95,7 @@ func (t *Tracer) OnCall(ev *CallEvent) {
 
 // OnReturn implements CallObserver.
 func (t *Tracer) OnReturn(ev *RetEvent) {
-	if t.Limit > 0 && t.lines >= t.Limit {
+	if !t.open() {
 		return
 	}
 	if t.depth > 0 {

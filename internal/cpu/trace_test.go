@@ -62,9 +62,17 @@ loop:
 	if _, err := m.Run(0); err != nil {
 		t.Fatal(err)
 	}
-	lines := strings.Count(buf.String(), "\n")
-	if lines > 7 { // 5 instruction lines + possible call markers
-		t.Errorf("limit not enforced: %d lines", lines)
+	out := buf.String()
+	lines := strings.Count(out, "\n")
+	if lines > 8 { // 5 instruction lines + call marker + truncation marker
+		t.Errorf("limit not enforced: %d lines\n%s", lines, out)
+	}
+	marker := "... trace truncated after 5 lines"
+	if got := strings.Count(out, marker); got != 1 {
+		t.Errorf("want exactly one truncation marker, got %d:\n%s", got, out)
+	}
+	if !strings.HasSuffix(strings.TrimSuffix(out, "\n"), marker) {
+		t.Errorf("truncation marker should be the last line:\n%s", out)
 	}
 }
 

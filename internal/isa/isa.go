@@ -228,7 +228,23 @@ const (
 	KindJump                // j/jal absolute
 	KindJumpReg             // jr/jalr
 	KindSys                 // syscall/break
+
+	// NumKinds counts the operation kinds (for per-kind tallies).
+	NumKinds = int(KindSys) + 1
 )
+
+var kindNames = [NumKinds]string{
+	"alu", "shift", "mul/div", "movehl", "aluimm", "lui",
+	"load", "store", "branch", "jump", "jumpreg", "sys",
+}
+
+// String returns a short lowercase label for the kind.
+func (k Kind) String() string {
+	if int(k) < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
 
 // OpKind returns the Kind of op.
 func OpKind(op Op) Kind {

@@ -493,3 +493,6 @@ func pct(a, b uint64) float64 {
 	}
 	return 100 * float64(a) / float64(b)
 }
+
+// Name identifies the analysis in observability output.
+func (a *Analysis) Name() string { return "local" }

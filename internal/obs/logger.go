@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level is a log severity.
+type Level int32
+
+// Severities, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the fixed-width label used in log lines.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO "
+	case LevelWarn:
+		return "WARN "
+	case LevelError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("L(%d)", int32(l))
+	}
+}
+
+// Logger is a small leveled key=value logger for pipeline
+// diagnostics, replacing ad-hoc fmt.Fprintln(os.Stderr, ...) lines.
+// A nil *Logger discards everything, so optional diagnostics can call
+// it unconditionally. Loggers are safe for concurrent use.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	level  Level
+	fields []any
+	// now is the clock; tests may replace it for stable output.
+	now func() time.Time
+}
+
+// NewLogger creates a logger writing lines at or above level to w.
+func NewLogger(w io.Writer, level Level) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, now: time.Now}
+}
+
+// With returns a logger that appends the given key/value pairs to
+// every line. The child shares the parent's writer and lock.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	child := *l
+	child.fields = append(append([]any{}, l.fields...), kv...)
+	return &child
+}
+
+// Enabled reports whether lines at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && level >= l.level
+}
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(level Level, msg string, kv []any) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s", l.now().Format("15:04:05.000"), level, msg)
+	writeKV(&b, l.fields)
+	writeKV(&b, kv)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}
+
+// writeKV appends " key=value" pairs; a trailing odd value is
+// rendered under the key "!extra" rather than dropped.
+func writeKV(b *strings.Builder, kv []any) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		fmt.Fprintf(b, " %v=%s", kv[i], formatValue(kv[i+1]))
+	}
+	if len(kv)%2 == 1 {
+		fmt.Fprintf(b, " !extra=%s", formatValue(kv[len(kv)-1]))
+	}
+}
+
+func formatValue(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if strings.ContainsAny(s, " \t\"") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span measures the wall time of one phase of work. Spans nest:
+// StartChild opens a sub-phase whose duration is reported under its
+// parent, giving the hierarchical "where did the time go" breakdown
+// that RunMetrics serializes. Spans are safe for concurrent use,
+// though a single phase is normally driven by one goroutine.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	dur      time.Duration
+	ended    bool
+	children []*Span
+}
+
+// StartSpan begins a root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Name returns the span's label.
+func (s *Span) Name() string { return s.name }
+
+// StartChild begins a sub-span recorded under s.
+func (s *Span) StartChild(name string) *Span {
+	c := StartSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Time runs fn inside a child span and returns its duration.
+func (s *Span) Time(name string, fn func()) time.Duration {
+	c := s.StartChild(name)
+	fn()
+	return c.End()
+}
+
+// End stops the span and returns its duration. Ending twice is safe;
+// the first End wins.
+func (s *Span) End() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.dur = time.Since(s.start)
+		s.ended = true
+	}
+	return s.dur
+}
+
+// Duration returns the recorded duration, or the running elapsed time
+// if the span has not ended.
+func (s *Span) Duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// Tree snapshots the span hierarchy as a serializable PhaseTiming.
+func (s *Span) Tree() PhaseTiming {
+	s.mu.Lock()
+	pt := PhaseTiming{Name: s.name}
+	if s.ended {
+		pt.WallNS = s.dur.Nanoseconds()
+	} else {
+		pt.WallNS = time.Since(s.start).Nanoseconds()
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	pt.Wall = FormatDuration(time.Duration(pt.WallNS))
+	for _, c := range children {
+		pt.Children = append(pt.Children, c.Tree())
+	}
+	return pt
+}
+
+// PhaseTiming is the serialized form of a span subtree.
+type PhaseTiming struct {
+	Name     string        `json:"name"`
+	WallNS   int64         `json:"wall_ns"`
+	Wall     string        `json:"wall"` // human-readable WallNS
+	Children []PhaseTiming `json:"children,omitempty"`
+}
+
+// FormatDuration renders a duration rounded to a readable precision
+// (three or so significant digits) for metrics output.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(time.Nanosecond).String()
+	default:
+		return d.String()
+	}
+}

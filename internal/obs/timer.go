@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxTimerSamples bounds the per-timer sample buffer. When full the
+// buffer is decimated (every other sample dropped) and the sampling
+// stride doubles, so long runs keep an evenly spaced subset rather
+// than only the earliest observations.
+const maxTimerSamples = 4096
+
+// Timer accumulates durations and summarizes them as count/sum/max
+// plus p50/p95 percentiles. The zero value is ready to use and safe
+// for concurrent use.
+type Timer struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	stride  uint64 // record one sample per stride observations
+	samples []time.Duration
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.count++
+	t.sum += d
+	if d > t.max {
+		t.max = d
+	}
+	if t.stride == 0 {
+		t.stride = 1
+	}
+	if t.count%t.stride != 0 {
+		return
+	}
+	if len(t.samples) >= maxTimerSamples {
+		kept := t.samples[:0]
+		for i := 0; i < len(t.samples); i += 2 {
+			kept = append(kept, t.samples[i])
+		}
+		t.samples = kept
+		t.stride *= 2
+		if t.count%t.stride != 0 {
+			return
+		}
+	}
+	t.samples = append(t.samples, d)
+}
+
+// Time runs fn and records how long it took.
+func (t *Timer) Time(fn func()) {
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// TimerStats is a point-in-time summary of a Timer.
+type TimerStats struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Snapshot summarizes the observations so far. Percentiles are
+// nearest-rank over the retained (possibly decimated) samples.
+func (t *Timer) Snapshot() TimerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TimerStats{Count: t.count, Sum: t.sum, Max: t.max}
+	if t.count > 0 {
+		s.Mean = t.sum / time.Duration(t.count)
+	}
+	if len(t.samples) > 0 {
+		sorted := make([]time.Duration, len(t.samples))
+		copy(sorted, t.samples)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50 = percentile(sorted, 50)
+		s.P95 = percentile(sorted, 95)
+	}
+	return s
+}
+
+// percentile returns the nearest-rank p-th percentile of sorted.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(p/100*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

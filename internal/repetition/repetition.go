@@ -331,3 +331,6 @@ func pct(a, b uint64) float64 {
 	}
 	return 100 * float64(a) / float64(b)
 }
+
+// Name identifies the tracker in observability output.
+func (t *Tracker) Name() string { return "repetition" }

@@ -188,3 +188,6 @@ func (b *Buffer) HitPercent() float64 {
 	}
 	return 100 * float64(b.hits) / float64(b.attempts)
 }
+
+// Name identifies the buffer in observability output.
+func (b *Buffer) Name() string { return "reuse" }

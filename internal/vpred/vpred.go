@@ -105,3 +105,6 @@ func pctv(a, b uint64) float64 {
 	}
 	return 100 * float64(a) / float64(b)
 }
+
+// Name identifies the predictor in observability output.
+func (p *Predictor) Name() string { return "vpred" }

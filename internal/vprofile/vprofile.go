@@ -133,3 +133,6 @@ func (p *Profiler) Result() Result {
 	}
 	return r
 }
+
+// Name identifies the profiler in observability output.
+func (p *Profiler) Name() string { return "vprofile" }

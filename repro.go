@@ -26,10 +26,12 @@ package repro
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/program"
 	"repro/internal/workloads"
 )
@@ -41,6 +43,14 @@ type Config = core.Config
 
 // Report holds every measurement of the paper for one benchmark run.
 type Report = core.Report
+
+// Progress is one progress-callback update (see Config.Progress).
+type Progress = core.Progress
+
+// RunMetrics is the per-run observability document (phase wall times,
+// simulator counters, retire rate, per-observer attributed cost)
+// attached to every Report.
+type RunMetrics = obs.RunMetrics
 
 // DefaultConfig returns the standard experiment window: skip 1M
 // instructions of initialization, measure the next 5M with the paper's
@@ -87,7 +97,12 @@ func RunWorkload(name string, cfg Config) (*Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("repro: unknown workload %q (have %v)", name, workloads.Names())
 	}
+	// Open the run span here so compilation is visible as a phase
+	// alongside core.Run's load/skip/measure/collect children.
+	root := obs.StartSpan("run")
+	compile := root.StartChild("compile")
 	im, err := w.Image()
+	compile.End()
 	if err != nil {
 		return nil, err
 	}
@@ -95,7 +110,22 @@ func RunWorkload(name string, cfg Config) (*Report, error) {
 	if variant <= 0 {
 		variant = 1
 	}
+	cfg.Span = root
 	return core.Run(im, w.Input(variant), w.Name, cfg)
+}
+
+// FormatMetrics renders each report's run metrics as text (the
+// `instrep run -metrics text` output).
+func FormatMetrics(rs []*Report) string {
+	var b strings.Builder
+	for _, r := range rs {
+		if r.Metrics == nil {
+			continue
+		}
+		b.WriteString(r.Metrics.FormatText())
+		b.WriteByte('\n')
+	}
+	return strings.TrimSuffix(b.String(), "\n")
 }
 
 // RunAll runs every workload — in parallel, since each simulation is
