@@ -1,11 +1,13 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race check bench repro lint examples
+.PHONY: all test vet race check bench benchsmoke repro lint examples
 
 all: check
 
-# Default gate: build+test, static analysis, and the race detector.
-check: test vet race
+# Default gate: build+test, static analysis, the race detector
+# (includes the concurrent-Progress ticker test), and a quick
+# benchmark smoke run.
+check: test vet race benchsmoke
 
 test:
 	go build ./... && go test ./...
@@ -16,9 +18,18 @@ vet:
 race:
 	go test -race ./...
 
-# Full bench harness: one benchmark per table/figure plus ablations.
+# Full bench harness: one benchmark per table/figure plus ablations
+# and the hot-path micro-benchmarks, then a BENCH_run.json snapshot of
+# the per-workload RunMetrics (retire rate, observer shares) so the
+# perf trajectory is comparable across PRs.
 bench:
-	go test -bench=. -benchmem ./...
+	go test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 .
+	go run ./cmd/instrep run -bench all -metrics json > BENCH_run.json
+
+# One-iteration smoke of the throughput benchmarks (fast enough for
+# the default check gate).
+benchsmoke:
+	go test -run '^$$' -bench 'SimulatorRaw|PipelineFull|CensusObserve|ReuseObserve' -benchtime 1x .
 
 # Regenerate every table and figure of the paper.
 repro:

@@ -17,6 +17,10 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/repetition"
+	"repro/internal/reuse"
 )
 
 // benchConfig is the per-workload window used by the experiment
@@ -263,6 +267,75 @@ func BenchmarkAblationInlining(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Hot-path micro-benchmarks: the two measurement-loop data structures
+// in isolation (per-event cost of the census's dense-table +
+// open-addressing instance set and the reuse buffer's flat sets with
+// the bounded invalidation index).
+
+// synthEvents builds a deterministic event stream over `pcs` static
+// instructions with `vals` distinct operand values, mixing ALU ops,
+// loads, and stores the way the workloads do.
+func synthEvents(n, pcs, vals int) []cpu.Event {
+	evs := make([]cpu.Event, n)
+	state := uint32(12345)
+	for i := range evs {
+		state = state*1664525 + 1013904223 // deterministic LCG
+		pc := uint32(0x400000 + 4*int(state>>8)%(4*pcs))
+		v := state % uint32(vals)
+		ev := cpu.Event{
+			PC:   pc,
+			Inst: isa.Inst{Op: isa.OpADDU, Rd: 2, Rs: 4, Rt: 5},
+			Src1: 4, Src1Val: v,
+			Src2: 5, Src2Val: v + 1,
+			Dst: 2, DstVal: 2*v + 1,
+			Aux: -1,
+		}
+		switch state % 8 {
+		case 0: // load
+			ev.Inst.Op = isa.OpLW
+			ev.IsLoad = true
+			ev.Addr = 0x10000000 + 4*(v%64)
+			ev.Src2 = -1
+		case 1: // store
+			ev.Inst.Op = isa.OpSW
+			ev.IsStore = true
+			ev.Addr = 0x10000000 + 4*(v%64)
+			ev.Dst = -1
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+// BenchmarkCensusObserve measures the repetition tracker's per-event
+// cost on a pre-sized dense table.
+func BenchmarkCensusObserve(b *testing.B) {
+	evs := synthEvents(1<<16, 1024, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := repetition.NewTracker()
+		tr.SetTextBounds(0x400000, 1024)
+		for j := range evs {
+			tr.Observe(&evs[j])
+		}
+	}
+	b.ReportMetric(float64(len(evs)*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkReuseObserve measures the reuse buffer's per-event cost,
+// store invalidations included.
+func BenchmarkReuseObserve(b *testing.B) {
+	evs := synthEvents(1<<16, 1024, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := reuse.New(0, 0)
+		for j := range evs {
+			buf.Observe(&evs[j], false)
+		}
+	}
+	b.ReportMetric(float64(len(evs)*b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // Extension experiments.

@@ -8,14 +8,17 @@
 //
 //	instrep run [-bench NAME] [-experiment ID] [-skip N] [-measure N]
 //	            [-instances N] [-reuse-entries N] [-reuse-assoc N]
-//	            [-metrics text|json] [-progress] [-cpuprofile FILE]
-//	            [-memprofile FILE]
+//	            [-parallel N] [-metrics text|json] [-progress]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //	    Run the analysis pipeline and print the requested tables and
 //	    figures ("all" runs every benchmark / renders everything).
-//	    -metrics prints the run's observability document (phase wall
-//	    times, simulator counters, per-observer attributed cost) after
-//	    the tables; -progress renders a live stderr ticker; the
-//	    profile flags write runtime/pprof profiles.
+//	    -parallel bounds how many workloads simulate concurrently
+//	    (default GOMAXPROCS); -metrics prints the run's observability
+//	    document (phase wall times, simulator counters, per-observer
+//	    attributed cost) after the tables; -progress renders a live
+//	    stderr ticker; the profile flags write runtime/pprof profiles.
+//	    If some workloads fail, the tables for the ones that succeeded
+//	    still print and the command exits nonzero.
 //
 //	instrep exec [-input FILE] [-max N] PROGRAM.c
 //	    Compile a MiniC program and execute it on the simulator,
@@ -119,6 +122,7 @@ func cmdRun(args []string) error {
 	reuseEntries := fs.Int("reuse-entries", 0, "reuse buffer entries (0 = paper's 8192)")
 	reuseAssoc := fs.Int("reuse-assoc", 0, "reuse buffer associativity (0 = paper's 4)")
 	variant := fs.Int("input-variant", 1, "workload input data set (1 = standard, 2 = alternate)")
+	parallel := fs.Int("parallel", 0, "max workloads simulated concurrently (0 = GOMAXPROCS)")
 	asJSON := fs.Bool("json", false, "emit the raw reports as JSON instead of tables")
 	metrics := fs.String("metrics", "", "print run metrics after the tables: 'text' or 'json'")
 	progress := fs.Bool("progress", false, "render a live progress ticker on stderr")
@@ -178,6 +182,7 @@ func cmdRun(args []string) error {
 		ReuseEntries:        *reuseEntries,
 		ReuseAssoc:          *reuseAssoc,
 		InputVariant:        *variant,
+		Parallel:            *parallel,
 	}
 	if *progress {
 		t := newTicker(os.Stderr)
@@ -185,12 +190,18 @@ func cmdRun(args []string) error {
 		defer t.finish()
 	}
 
+	// runErr carries a partial-failure from RunAll: the surviving
+	// reports still render below, and the error is returned at the end
+	// so the exit status reflects the failure.
+	var runErr error
 	var reports []*repro.Report
 	if *bench == "all" {
-		var err error
-		reports, err = repro.RunAll(cfg)
-		if err != nil {
-			return err
+		reports, runErr = repro.RunAll(cfg)
+		if runErr != nil && len(reports) == 0 {
+			return runErr
+		}
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "instrep: continuing with %d workloads: %v\n", len(reports), runErr)
 		}
 	} else {
 		r, err := repro.RunWorkload(*bench, cfg)
@@ -203,7 +214,10 @@ func cmdRun(args []string) error {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(reports)
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+		return runErr
 	}
 	// -metrics json emits only the machine-readable metrics document;
 	// text metrics follow the tables.
@@ -214,7 +228,10 @@ func cmdRun(args []string) error {
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(ms)
+		if err := enc.Encode(ms); err != nil {
+			return err
+		}
+		return runErr
 	}
 	if *experiment == "all" {
 		fmt.Print(repro.FormatAll(reports))
@@ -230,7 +247,7 @@ func cmdRun(args []string) error {
 	if *metrics == "text" {
 		fmt.Println(repro.FormatMetrics(reports))
 	}
-	return nil
+	return runErr
 }
 
 // ticker renders a single-line live progress display on w: phase,

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro"
+)
+
+// TestTickerConcurrentProgress proves the CLI progress ticker honors
+// the core.Config.Progress contract: the callback may be invoked from
+// multiple goroutines when workloads run in parallel. Run under the
+// race detector (the Makefile `race` target) this fails on any
+// unsynchronized ticker state.
+func TestTickerConcurrentProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run in -short mode")
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	tk := newTicker(devnull)
+	cfg := repro.QuickConfig()
+	// Force real concurrency regardless of the machine's core count:
+	// the contract is concurrency-safety, not parallel speedup.
+	cfg.Parallel = 4
+	cfg.Progress = tk.update
+	reports, err := repro.RunAll(cfg)
+	tk.finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(repro.Workloads()); len(reports) != want {
+		t.Fatalf("got %d reports, want %d", len(reports), want)
+	}
+	for _, r := range reports {
+		if r.MeasuredInstructions == 0 {
+			t.Errorf("%s: no instructions measured", r.Benchmark)
+		}
+	}
+}

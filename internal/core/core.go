@@ -56,6 +56,12 @@ type Config struct {
 	// observer (0 = the default of 64; negative disables attribution).
 	ObserverSampleEvery int
 
+	// Parallel bounds the worker pool repro.RunAll uses to run
+	// workloads concurrently (0 = GOMAXPROCS). Individual core.Run
+	// calls are single-threaded; this only matters to multi-workload
+	// drivers.
+	Parallel int
+
 	// Span, when set, is the enclosing run span (e.g. opened around
 	// compilation by the caller); Run adds its phase children to it,
 	// ends it, and snapshots it into the report's RunMetrics. When nil
@@ -93,6 +99,11 @@ type stage struct {
 // Pipeline dispatches simulator events to the enabled analyses in the
 // order the measurements require: the repetition verdict for each
 // instruction feeds the category analyses and the reuse comparison.
+//
+// The common (non-sampled) path dispatches with direct nil-checked
+// calls on the typed observer fields; the stage closures below exist
+// only for the 1-in-sampleEvery timed path that feeds per-observer
+// cost attribution.
 type Pipeline struct {
 	Rep   *repetition.Tracker
 	Taint *taint.Analysis
@@ -102,9 +113,7 @@ type Pipeline struct {
 	VPred *vpred.Predictor
 	VProf *vprofile.Profiler
 
-	counting          bool
-	reuseHits         uint64
-	reuseHitsRepeated uint64
+	counting bool
 
 	// Observer cost attribution: every sampleEvery-th instruction is
 	// dispatched through timed calls; repNS covers the repetition
@@ -137,6 +146,9 @@ func (p *Pipeline) SetCounting(on bool) {
 // NewPipeline builds the analysis pipeline for an image.
 func NewPipeline(im *program.Image, cfg Config) *Pipeline {
 	p := &Pipeline{Rep: repetition.NewTracker()}
+	// Pre-size the census's dense per-PC table to the text segment so
+	// the hot path never grows it.
+	p.Rep.SetTextBounds(program.TextBase, im.StaticInstructions())
 	if cfg.MaxInstances > 0 {
 		p.Rep.MaxInstances = cfg.MaxInstances
 	}
@@ -165,14 +177,8 @@ func NewPipeline(im *program.Image, cfg Config) *Pipeline {
 	if !cfg.DisableReuse {
 		p.Reuse = reuse.New(cfg.ReuseEntries, cfg.ReuseAssoc)
 		add(p.Reuse.Name(), func(ev *cpu.Event, repeated bool) {
-			if !p.counting {
-				return
-			}
-			if p.Reuse.Observe(ev, repeated) {
-				p.reuseHits++
-				if repeated {
-					p.reuseHitsRepeated++
-				}
+			if p.counting {
+				p.Reuse.Observe(ev, repeated)
 			}
 		})
 	}
@@ -195,7 +201,10 @@ func NewPipeline(im *program.Image, cfg Config) *Pipeline {
 	return p
 }
 
-// OnInst implements cpu.Observer.
+// OnInst implements cpu.Observer. The common path dispatches to each
+// enabled analysis with a direct nil-checked call — no per-stage
+// closure indirection — in the same order the stage list uses, so the
+// timed path below observes identical behavior.
 func (p *Pipeline) OnInst(ev *cpu.Event) {
 	if p.sampleEvery > 0 {
 		p.countdown--
@@ -209,8 +218,28 @@ func (p *Pipeline) OnInst(ev *cpu.Event) {
 	if p.counting {
 		repeated = p.Rep.Observe(ev)
 	}
-	for i := range p.stages {
-		p.stages[i].fn(ev, repeated)
+	// Dataflow analyses run even while the window is closed (their
+	// Counting flags gate the statistics, not the propagation).
+	if p.Taint != nil {
+		p.Taint.Observe(ev, repeated)
+	}
+	if p.Local != nil {
+		p.Local.Observe(ev, repeated)
+	}
+	if p.Funcs != nil {
+		p.Funcs.Observe(ev, repeated)
+	}
+	if !p.counting {
+		return
+	}
+	if p.Reuse != nil {
+		p.Reuse.Observe(ev, repeated)
+	}
+	if p.VPred != nil {
+		p.VPred.Observe(ev)
+	}
+	if p.VProf != nil {
+		p.VProf.Observe(ev)
 	}
 }
 
@@ -405,10 +434,12 @@ func (p *Pipeline) Collect(im *program.Image, name string) *Report {
 		r.Fig6 = p.Local.TopLoadValueCoverage(5)
 	}
 	if p.Reuse != nil {
+		// Both Table 10 percentages derive from the buffer's own
+		// counters, all fed by the single Observe dispatch path.
 		r.ReusePctAll = p.Reuse.HitPercent()
 		rep := t.RepeatedInstructions()
 		if rep > 0 {
-			r.ReusePctRepeated = 100 * float64(p.reuseHitsRepeated) / float64(rep)
+			r.ReusePctRepeated = 100 * float64(p.Reuse.HitsRepeated()) / float64(rep)
 		}
 	}
 	r.TypeOverallPct = t.Types.OverallPct()

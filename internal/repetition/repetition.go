@@ -5,6 +5,20 @@
 // instance of that instruction (Section 2 of the paper). Up to
 // MaxInstances unique instances are buffered per static instruction,
 // matching the paper's 2000-entry limit.
+//
+// The census is the hot path of every run: it classifies each retired
+// instruction in the measurement window. Two layout decisions keep it
+// fast without changing any statistic:
+//
+//   - Per-PC records live in a dense table indexed by (pc-base)>>2.
+//     Instruction addresses are word-aligned and span the contiguous
+//     text segment, so the direct index replaces a Go map lookup per
+//     retired instruction. SetTextBounds pre-sizes the table; without
+//     it the table grows (and re-bases) on demand.
+//   - Each record's unique-instance buffer is an open-addressing hash
+//     set over the packed 16-byte instance keys with linear probing,
+//     replacing a per-PC Go map. A slot's occurrence count doubles as
+//     its occupancy marker (count 0 = empty).
 package repetition
 
 import (
@@ -17,18 +31,77 @@ import (
 const DefaultMaxInstances = 2000
 
 // instKey identifies one unique instance: input values and outputs.
+// It is compared and hashed as one packed 16-byte value.
 type instKey struct {
 	in1, in2 uint32
 	out, aux uint32
 }
 
-// instRecord is the per-static-instruction state.
+// minInstanceSlots is the initial open-addressing table size per
+// record; most static instructions have a handful of instances.
+const minInstanceSlots = 8
+
+// hashKey mixes the 16 key bytes into a table index seed
+// (splitmix64-style finalizer over the two packed words).
+func hashKey(k instKey) uint32 {
+	h := uint64(k.in1)<<32 | uint64(k.in2)
+	h ^= (uint64(k.out)<<32 | uint64(k.aux)) * 0x9e3779b97f4a7c15
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return uint32(h)
+}
+
+// instRecord is the per-static-instruction state. keys/counts form the
+// open-addressing instance set: counts[i] is the occurrence count of
+// keys[i], with 0 marking an empty slot (a buffered instance has seen
+// at least one occurrence, so counts are >= 1).
 type instRecord struct {
-	instances map[instKey]uint32 // occurrence count per unique instance
-	full      bool               // buffer hit MaxInstances; new instances dropped
-	dyn       uint64             // dynamic executions
-	repeated  uint64             // dynamic repeats
-	dropped   uint64             // instances not tracked because the buffer was full
+	keys   []instKey
+	counts []uint32
+	n      int // occupied slots
+
+	full     bool // buffer hit MaxInstances; new instances dropped
+	dyn      uint64
+	repeated uint64
+	dropped  uint64 // instances not tracked because the buffer was full
+}
+
+// find probes for k, returning its slot and whether it is occupied;
+// for a missing key the returned slot is the insertion point.
+func (rec *instRecord) find(k instKey) (int, bool) {
+	mask := uint32(len(rec.keys) - 1)
+	i := hashKey(k) & mask
+	for {
+		if rec.counts[i] == 0 {
+			return int(i), false
+		}
+		if rec.keys[i] == k {
+			return int(i), true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// insert adds k with count 1 at slot (from a failed find), growing and
+// rehashing first when the table would pass 7/8 occupancy.
+func (rec *instRecord) insert(slot int, k instKey) {
+	if (rec.n+1)*8 > len(rec.keys)*7 {
+		old := rec.keys
+		oldCounts := rec.counts
+		rec.keys = make([]instKey, 2*len(old))
+		rec.counts = make([]uint32, 2*len(old))
+		for i, c := range oldCounts {
+			if c != 0 {
+				j, _ := rec.find(old[i])
+				rec.keys[j] = old[i]
+				rec.counts[j] = c
+			}
+		}
+		slot, _ = rec.find(k)
+	}
+	rec.keys[slot] = k
+	rec.counts[slot] = 1
+	rec.n++
 }
 
 // Tracker is the repetition census. Attach it (via the core pipeline)
@@ -42,7 +115,11 @@ type Tracker struct {
 	// mentioned-but-omitted typed total analysis).
 	Types TypeStats
 
-	perPC map[uint32]*instRecord
+	// Dense per-PC table: recs[(pc-base)>>2]. A record with dyn == 0
+	// belongs to a never-executed slot.
+	base     uint32
+	haveBase bool
+	recs     []instRecord
 
 	totalDyn      uint64
 	totalRepeated uint64
@@ -50,10 +127,52 @@ type Tracker struct {
 
 // NewTracker returns a Tracker with the paper's buffer limit.
 func NewTracker() *Tracker {
-	return &Tracker{
-		MaxInstances: DefaultMaxInstances,
-		perPC:        make(map[uint32]*instRecord),
+	return &Tracker{MaxInstances: DefaultMaxInstances}
+}
+
+// SetTextBounds pre-sizes the dense per-PC table for a text segment of
+// `words` instructions starting at base, eliminating growth checks'
+// work from the hot path. It is a no-op after observation starts.
+func (t *Tracker) SetTextBounds(base uint32, words int) {
+	if t.haveBase || words <= 0 {
+		return
 	}
+	t.base = base
+	t.haveBase = true
+	t.recs = make([]instRecord, words)
+}
+
+// record returns the instRecord for pc, growing (or re-basing) the
+// dense table when pc falls outside it. With SetTextBounds in effect
+// neither slow path runs.
+func (t *Tracker) record(pc uint32) *instRecord {
+	if !t.haveBase {
+		t.base = pc
+		t.haveBase = true
+		t.recs = make([]instRecord, 1)
+		return &t.recs[0]
+	}
+	if pc < t.base {
+		// Re-base: prepend empty records down to pc (rare; only when
+		// execution visits a lower address than any seen before on a
+		// tracker without SetTextBounds).
+		shift := int((t.base - pc) >> 2)
+		grown := make([]instRecord, len(t.recs)+shift)
+		copy(grown[shift:], t.recs)
+		t.recs = grown
+		t.base = pc
+	}
+	idx := int((pc - t.base) >> 2)
+	if idx >= len(t.recs) {
+		if idx < cap(t.recs) {
+			t.recs = t.recs[:idx+1]
+		} else {
+			grown := make([]instRecord, idx+1, 2*idx+1)
+			copy(grown, t.recs)
+			t.recs = grown
+		}
+	}
+	return &t.recs[idx]
 }
 
 // keyOf builds the instance key for an event. Inputs are the register
@@ -84,17 +203,18 @@ func keyOf(ev *cpu.Event) instKey {
 // Observe classifies one retired instruction, returning whether it is
 // a repeat of a buffered instance.
 func (t *Tracker) Observe(ev *cpu.Event) bool {
-	rec := t.perPC[ev.PC]
-	if rec == nil {
-		rec = &instRecord{instances: make(map[instKey]uint32, 4)}
-		t.perPC[ev.PC] = rec
-	}
+	rec := t.record(ev.PC)
 	rec.dyn++
 	t.totalDyn++
 
 	k := keyOf(ev)
-	if n, seen := rec.instances[k]; seen {
-		rec.instances[k] = n + 1
+	if rec.keys == nil {
+		rec.keys = make([]instKey, minInstanceSlots)
+		rec.counts = make([]uint32, minInstanceSlots)
+	}
+	slot, seen := rec.find(k)
+	if seen {
+		rec.counts[slot]++
 		rec.repeated++
 		t.totalRepeated++
 		t.Types.ObserveClass(ev, true)
@@ -105,12 +225,12 @@ func (t *Tracker) Observe(ev *cpu.Event) bool {
 	if max == 0 {
 		max = DefaultMaxInstances
 	}
-	if len(rec.instances) >= max {
+	if rec.n >= max {
 		rec.full = true
 		rec.dropped++
 		return false
 	}
-	rec.instances[k] = 1
+	rec.insert(slot, k)
 	return false
 }
 
@@ -129,14 +249,22 @@ func (t *Tracker) RepeatedPercent() float64 {
 
 // StaticExecuted returns the number of distinct static instructions
 // observed (paper: "Executed").
-func (t *Tracker) StaticExecuted() int { return len(t.perPC) }
+func (t *Tracker) StaticExecuted() int {
+	n := 0
+	for i := range t.recs {
+		if t.recs[i].dyn > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // StaticRepeated returns the number of static instructions with at
 // least one repeated dynamic instance (paper: "Repeated").
 func (t *Tracker) StaticRepeated() int {
 	n := 0
-	for _, rec := range t.perPC {
-		if rec.repeated > 0 {
+	for i := range t.recs {
+		if t.recs[i].repeated > 0 {
 			n++
 		}
 	}
@@ -148,8 +276,8 @@ func (t *Tracker) StaticRepeated() int {
 // this is rare).
 func (t *Tracker) BuffersFilled() int {
 	n := 0
-	for _, rec := range t.perPC {
-		if rec.full {
+	for i := range t.recs {
+		if t.recs[i].full {
 			n++
 		}
 	}
@@ -160,8 +288,8 @@ func (t *Tracker) BuffersFilled() int {
 // that were repeated at least once (Table 2 "Count") and the average
 // number of repeats per such instance (Table 2 "Avg. Repeats").
 func (t *Tracker) UniqueRepeatableInstances() (count uint64, avgRepeats float64) {
-	for _, rec := range t.perPC {
-		for _, n := range rec.instances {
+	for i := range t.recs {
+		for _, n := range t.recs[i].counts {
 			if n >= 2 {
 				count++
 			}
@@ -178,9 +306,9 @@ func (t *Tracker) UniqueRepeatableInstances() (count uint64, avgRepeats float64)
 // static instructions* (ranked by contribution) needed to cover it.
 func (t *Tracker) StaticCoverage(targets []float64) []float64 {
 	var contribs []uint64
-	for _, rec := range t.perPC {
-		if rec.repeated > 0 {
-			contribs = append(contribs, rec.repeated)
+	for i := range t.recs {
+		if t.recs[i].repeated > 0 {
+			contribs = append(contribs, t.recs[i].repeated)
 		}
 	}
 	return coverageCurve(contribs, t.totalRepeated, targets)
@@ -192,12 +320,13 @@ func (t *Tracker) StaticCoverage(targets []float64) []float64 {
 // 11-100, 101-1000, >1000.
 func (t *Tracker) InstanceBuckets() BucketShares {
 	var b BucketShares
-	for _, rec := range t.perPC {
+	for i := range t.recs {
+		rec := &t.recs[i]
 		if rec.repeated == 0 {
 			continue
 		}
 		uniq := 0
-		for _, n := range rec.instances {
+		for _, n := range rec.counts {
 			if n >= 2 {
 				uniq++
 			}
@@ -243,8 +372,8 @@ func (t *Tracker) InstanceCoverage(targets []float64) []float64 {
 	// instances.
 	hist := make(map[uint32]uint64)
 	var totalInstances uint64
-	for _, rec := range t.perPC {
-		for _, n := range rec.instances {
+	for i := range t.recs {
+		for _, n := range t.recs[i].counts {
 			if n >= 2 {
 				hist[n-1]++ // n-1 repeats
 				totalInstances++
@@ -277,6 +406,13 @@ func (t *Tracker) InstanceCoverage(targets []float64) []float64 {
 			}
 			rem := need - cum
 			k := (rem + uint64(r) - 1) / uint64(r) // instances from this class
+			if k > cnt {
+				// Float rounding in need can demand a fraction of an
+				// instance beyond the class population; never report
+				// more instances than the class holds (Figure 4 must
+				// top out at exactly 100%).
+				k = cnt
+			}
 			out[ti] = 100 * float64(used+k) / float64(totalInstances)
 			ti++
 		}
@@ -292,11 +428,14 @@ func (t *Tracker) InstanceCoverage(targets []float64) []float64 {
 // PerPC returns the dynamic and repeated counts for one static
 // instruction (testing and drill-down).
 func (t *Tracker) PerPC(pc uint32) (dyn, repeated uint64, ok bool) {
-	rec, ok := t.perPC[pc]
-	if !ok {
+	if !t.haveBase || pc < t.base {
 		return 0, 0, false
 	}
-	return rec.dyn, rec.repeated, true
+	idx := int((pc - t.base) >> 2)
+	if idx >= len(t.recs) || t.recs[idx].dyn == 0 {
+		return 0, 0, false
+	}
+	return t.recs[idx].dyn, t.recs[idx].repeated, true
 }
 
 // coverageCurve sorts contributions descending and reports, for each

@@ -263,6 +263,101 @@ func TestCoverageMonotone(t *testing.T) {
 	}
 }
 
+// TestInstanceCoverageFullTargetExact is the Figure 4 overshoot
+// regression: the 100% target must report exactly 100% of instances
+// used — never more — including on repeat-count distributions where
+// the float-rounded need demands a fractional instance.
+func TestInstanceCoverageFullTargetExact(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		tr := NewTracker()
+		n := 50 + r.Intn(400)
+		for i := 0; i < n; i++ {
+			pc := uint32(0x400000 + 4*r.Intn(9))
+			v := uint32(r.Intn(7))
+			tr.Observe(ev(pc, v, v+1, 2*v))
+		}
+		targets := []float64{33.3, 66.7, 95, 99.9, 100}
+		cov := tr.InstanceCoverage(targets)
+		for i, c := range cov {
+			if c > 100 {
+				t.Fatalf("trial %d: coverage[%d] = %v exceeds 100%%", trial, i, c)
+			}
+		}
+		if tr.RepeatedInstructions() > 0 && cov[len(cov)-1] != 100 {
+			t.Fatalf("trial %d: 100%% target returned %v, want exactly 100", trial, cov[len(cov)-1])
+		}
+	}
+}
+
+// TestDenseTableGrowth exercises the dense per-PC table's on-demand
+// growth: observing PCs in descending order forces the re-base path,
+// ascending order the append path.
+func TestDenseTableGrowth(t *testing.T) {
+	tr := NewTracker()
+	// Descending: each observation re-bases the table.
+	for pc := uint32(0x400040); pc >= 0x400000; pc -= 4 {
+		if tr.Observe(ev(pc, 1, 1, 2)) {
+			t.Fatalf("pc %#x: first observation classified repeated", pc)
+		}
+	}
+	// Ascending far past the end: append growth.
+	for pc := uint32(0x400100); pc <= 0x400200; pc += 8 {
+		tr.Observe(ev(pc, 2, 2, 4))
+	}
+	if got := tr.StaticExecuted(); got != 17+33 {
+		t.Errorf("StaticExecuted = %d, want %d", got, 17+33)
+	}
+	// Every seen PC resolves; gaps and out-of-range PCs do not.
+	if _, _, ok := tr.PerPC(0x400000); !ok {
+		t.Error("lowest pc lost after re-basing")
+	}
+	if _, _, ok := tr.PerPC(0x400104); ok {
+		t.Error("gap pc should not resolve")
+	}
+	if _, _, ok := tr.PerPC(0x3ffff0); ok {
+		t.Error("pc below base should not resolve")
+	}
+	// Repeats still detected across the growth operations.
+	if !tr.Observe(ev(0x400000, 1, 1, 2)) {
+		t.Error("instance lost during table growth")
+	}
+}
+
+// TestSetTextBounds checks the pre-sized fast path matches the
+// growing path statistic-for-statistic.
+func TestSetTextBounds(t *testing.T) {
+	sized := NewTracker()
+	sized.SetTextBounds(0x400000, 64)
+	grown := NewTracker()
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		pc := uint32(0x400000 + 4*r.Intn(64))
+		v := uint32(r.Intn(9))
+		e := ev(pc, v, v, 3*v)
+		if sized.Observe(e) != grown.Observe(e) {
+			t.Fatalf("verdict diverged at step %d", i)
+		}
+	}
+	if sized.StaticExecuted() != grown.StaticExecuted() ||
+		sized.RepeatedInstructions() != grown.RepeatedInstructions() {
+		t.Errorf("stats diverged: %d/%d vs %d/%d",
+			sized.StaticExecuted(), sized.RepeatedInstructions(),
+			grown.StaticExecuted(), grown.RepeatedInstructions())
+	}
+	c1, _ := sized.UniqueRepeatableInstances()
+	c2, _ := grown.UniqueRepeatableInstances()
+	if c1 != c2 {
+		t.Errorf("unique instances diverged: %d vs %d", c1, c2)
+	}
+	// SetTextBounds after observation starts is a no-op.
+	before := grown.StaticExecuted()
+	grown.SetTextBounds(0, 10_000)
+	if grown.StaticExecuted() != before {
+		t.Error("late SetTextBounds disturbed the table")
+	}
+}
+
 func TestPerPC(t *testing.T) {
 	tr := NewTracker()
 	tr.Observe(ev(0x400000, 1, 1, 2))

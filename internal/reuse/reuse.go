@@ -6,6 +6,15 @@
 // entries are invalidated by stores to their address, preserving
 // memory consistency. Table 10 of the paper measures how much of the
 // repetition census an 8K-entry 4-way buffer captures.
+//
+// Layout: all sets live in one contiguous entry slice (set s occupies
+// entries[s*assoc : (s+1)*assoc]), and store invalidation uses a
+// bounded index — a power-of-two bucket array whose buckets head
+// doubly-linked chains threaded through the load entries themselves.
+// A load entry is linked while it is valid and unlinked when it is
+// invalidated or evicted, so the index never holds more nodes than
+// the buffer holds entries (the map it replaces grew without bound
+// between stores).
 package reuse
 
 import "repro/internal/cpu"
@@ -16,32 +25,41 @@ const (
 	DefaultAssoc   = 4
 )
 
+// noEntry terminates the intrusive address chains.
+const noEntry = int32(-1)
+
 type entry struct {
 	valid    bool
+	isLoad   bool
 	pc       uint32
 	in1, in2 uint32
 	result   uint32
 	aux      uint32
-	isLoad   bool
 	addr     uint32 // word-aligned load address (for invalidation)
 	lru      uint64
+	// Chain links within the entry's address bucket; meaningful only
+	// while the entry is a valid load.
+	nextA, prevA int32
 }
 
 // Buffer is a reuse buffer.
 type Buffer struct {
-	sets  [][]entry
-	assoc int
-	nsets int
+	entries []entry // nsets*assoc, contiguous
+	assoc   int
+	nsets   int
 
 	clock uint64
-	// byAddr maps word addresses to candidate entry slots holding
-	// loads from that address; slots are verified on use (lazy
-	// cleanup).
-	byAddr map[uint32][]int32
 
-	attempts uint64
-	hits     uint64
-	loadInv  uint64
+	// addrHead[bucket] heads the chain of valid load entries whose
+	// word address hashes to bucket; len(addrHead) is a power of two.
+	addrHead  []int32
+	addrShift uint
+
+	attempts        uint64
+	hits            uint64
+	hitsRepeated    uint64
+	hitsNonRepeated uint64
+	loadInv         uint64
 }
 
 // New creates a buffer with the given total entries and associativity
@@ -59,14 +77,23 @@ func New(entries, assoc int) *Buffer {
 		nsets = 1
 	}
 	b := &Buffer{
-		sets:   make([][]entry, nsets),
-		assoc:  assoc,
-		nsets:  nsets,
-		byAddr: make(map[uint32][]int32),
+		entries: make([]entry, nsets*assoc),
+		assoc:   assoc,
+		nsets:   nsets,
 	}
-	for i := range b.sets {
-		b.sets[i] = make([]entry, assoc)
+	// One bucket per entry (rounded up to a power of two) keeps the
+	// chains short: each valid load occupies exactly one chain node.
+	nbuckets := 1
+	bits := uint(0)
+	for nbuckets < nsets*assoc {
+		nbuckets <<= 1
+		bits++
 	}
+	b.addrHead = make([]int32, nbuckets)
+	for i := range b.addrHead {
+		b.addrHead[i] = noEntry
+	}
+	b.addrShift = 32 - bits
 	return b
 }
 
@@ -74,8 +101,42 @@ func (b *Buffer) setIndex(pc uint32) int {
 	return int(pc>>2) % b.nsets
 }
 
+// bucketOf hashes a word-aligned address to its chain bucket
+// (multiplicative hash, taking the high bits).
+func (b *Buffer) bucketOf(addr uint32) int {
+	return int(((addr >> 2) * 2654435761) >> b.addrShift)
+}
+
+// linkLoad threads entry ei into its address bucket's chain.
+func (b *Buffer) linkLoad(ei int32) {
+	e := &b.entries[ei]
+	bkt := b.bucketOf(e.addr)
+	e.prevA = noEntry
+	e.nextA = b.addrHead[bkt]
+	if e.nextA != noEntry {
+		b.entries[e.nextA].prevA = ei
+	}
+	b.addrHead[bkt] = ei
+}
+
+// unlinkLoad removes entry ei from its address bucket's chain.
+func (b *Buffer) unlinkLoad(ei int32) {
+	e := &b.entries[ei]
+	if e.prevA != noEntry {
+		b.entries[e.prevA].nextA = e.nextA
+	} else {
+		b.addrHead[b.bucketOf(e.addr)] = e.nextA
+	}
+	if e.nextA != noEntry {
+		b.entries[e.nextA].prevA = e.prevA
+	}
+	e.nextA, e.prevA = noEntry, noEntry
+}
+
 // Observe processes one retired instruction, returning whether it hit
-// (was reusable).
+// (was reusable). The repeated flag is the repetition census's verdict
+// for the same instruction; the buffer splits its hit count on it so
+// Table 10's two percentages derive from this one dispatch path.
 func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 	b.clock++
 
@@ -109,7 +170,7 @@ func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 	}
 
 	si := b.setIndex(ev.PC)
-	set := b.sets[si]
+	set := b.entries[si*b.assoc : si*b.assoc+b.assoc]
 	for w := range set {
 		e := &set[w]
 		if e.valid && e.pc == ev.PC && e.in1 == in1 && e.in2 == in2 {
@@ -119,6 +180,11 @@ func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 			if e.result == res && e.aux == aux {
 				e.lru = b.clock
 				b.hits++
+				if repeated {
+					b.hitsRepeated++
+				} else {
+					b.hitsNonRepeated++
+				}
 				return true
 			}
 			// Result mismatch (should not happen for loads thanks to
@@ -141,34 +207,38 @@ func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 			victim = w
 		}
 	}
-	e := &set[victim]
+	ei := int32(si*b.assoc + victim)
+	e := &b.entries[ei]
+	if e.valid && e.isLoad {
+		b.unlinkLoad(ei)
+	}
 	*e = entry{
 		valid: true, pc: ev.PC, in1: in1, in2: in2,
 		result: res, aux: aux, lru: b.clock,
+		nextA: noEntry, prevA: noEntry,
 	}
 	if ev.IsLoad {
 		e.isLoad = true
 		e.addr = ev.Addr &^ 3
-		slot := int32(si*b.assoc + victim)
-		b.byAddr[e.addr] = append(b.byAddr[e.addr], slot)
+		b.linkLoad(ei)
 	}
 	return false
 }
 
-// invalidate drops load entries for the given word address.
+// invalidate drops load entries for the given word address. The
+// bucket chain holds only valid load entries, so a walk touches at
+// most the loads hashing to this bucket.
 func (b *Buffer) invalidate(addr uint32) {
-	slots, ok := b.byAddr[addr]
-	if !ok {
-		return
-	}
-	for _, s := range slots {
-		e := &b.sets[int(s)/b.assoc][int(s)%b.assoc]
-		if e.valid && e.isLoad && e.addr == addr {
-			e.valid = false
+	ei := b.addrHead[b.bucketOf(addr)]
+	for ei != noEntry {
+		next := b.entries[ei].nextA
+		if b.entries[ei].addr == addr {
+			b.entries[ei].valid = false
 			b.loadInv++
+			b.unlinkLoad(ei)
 		}
+		ei = next
 	}
-	delete(b.byAddr, addr)
 }
 
 // Attempts returns the number of instructions observed.
@@ -176,6 +246,17 @@ func (b *Buffer) Attempts() uint64 { return b.attempts }
 
 // Hits returns the number of reuse hits.
 func (b *Buffer) Hits() uint64 { return b.hits }
+
+// HitsRepeated returns the reuse hits on instructions the repetition
+// census classified as repeated (Table 10's "% of repeated inst"
+// numerator).
+func (b *Buffer) HitsRepeated() uint64 { return b.hitsRepeated }
+
+// HitsNonRepeated returns the reuse hits on instructions the census
+// did not classify as repeated (a hit whose matching census instance
+// aged out of the 2000-entry buffer, or one observed before the
+// instruction's first census repeat).
+func (b *Buffer) HitsNonRepeated() uint64 { return b.hitsNonRepeated }
 
 // LoadInvalidations returns how many load entries stores invalidated.
 func (b *Buffer) LoadInvalidations() uint64 { return b.loadInv }

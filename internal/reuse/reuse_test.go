@@ -161,8 +161,9 @@ func TestReuseNeverStale(t *testing.T) {
 // way that affects the answer (we call it immediately before Observe).
 func wouldHit(b *Buffer, ev *cpu.Event) bool {
 	si := b.setIndex(ev.PC)
-	for w := range b.sets[si] {
-		e := &b.sets[si][w]
+	set := b.entries[si*b.assoc : si*b.assoc+b.assoc]
+	for w := range set {
+		e := &set[w]
 		if e.valid && e.pc == ev.PC && e.in1 == ev.Src1Val && e.in2 == ev.Src2Val &&
 			e.result == ev.DstVal {
 			return true
@@ -176,8 +177,78 @@ func TestGeometry(t *testing.T) {
 	if b.nsets != DefaultEntries/DefaultAssoc || b.assoc != DefaultAssoc {
 		t.Errorf("default geometry %d sets x %d ways", b.nsets, b.assoc)
 	}
+	if len(b.entries) != DefaultEntries {
+		t.Errorf("entry slice holds %d entries, want %d", len(b.entries), DefaultEntries)
+	}
 	b2 := New(16, 2)
 	if b2.nsets != 8 || b2.assoc != 2 {
 		t.Errorf("custom geometry %d sets x %d ways", b2.nsets, b2.assoc)
+	}
+}
+
+// TestHitIdentity pins the Table 10 accounting identity on a random
+// stream: every hit is split exactly once on the census verdict, and
+// hits never exceed attempts.
+func TestHitIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	b := New(64, 4)
+	memory := map[uint32]uint32{}
+	for i := 0; i < 5000; i++ {
+		pc := uint32(0x400000 + 4*r.Intn(40))
+		repeated := r.Intn(2) == 0
+		switch r.Intn(3) {
+		case 0:
+			x, y := uint32(r.Intn(6)), uint32(r.Intn(6))
+			b.Observe(aluEv(pc, x, y, x+y), repeated)
+		case 1:
+			addr := uint32(0x10000000 + 4*r.Intn(16))
+			b.Observe(loadEv(pc, addr, memory[addr]), repeated)
+		case 2:
+			addr := uint32(0x10000000 + 4*r.Intn(16))
+			v := uint32(r.Intn(50))
+			memory[addr] = v
+			b.Observe(storeEv(pc, addr, v), repeated)
+		}
+	}
+	if b.Hits() != b.HitsRepeated()+b.HitsNonRepeated() {
+		t.Errorf("hits %d != repeated %d + non-repeated %d",
+			b.Hits(), b.HitsRepeated(), b.HitsNonRepeated())
+	}
+	if b.Hits() > b.Attempts() {
+		t.Errorf("hits %d exceed attempts %d", b.Hits(), b.Attempts())
+	}
+	if b.Hits() == 0 {
+		t.Error("stream produced no hits; identity test is vacuous")
+	}
+}
+
+// TestInvalidationChainEviction checks the bounded address index stays
+// consistent through evictions: a load whose entry is evicted by set
+// pressure must not leave a stale chain node behind that a later store
+// would trip over.
+func TestInvalidationChainEviction(t *testing.T) {
+	// Direct-mapped, 2 sets. Loads at set 0, set 1, set 0: the third
+	// load evicts the first by set pressure.
+	b := New(2, 1)
+	b.Observe(loadEv(0x400000, 0x10000000, 1), false) // set 0
+	b.Observe(loadEv(0x400004, 0x10000004, 2), false) // set 1
+	b.Observe(loadEv(0x400008, 0x10000008, 3), false) // set 0: evicts the first
+	// A store to the evicted load's word finds nothing to invalidate
+	// (its chain node was unlinked at eviction); inserting the store
+	// itself then evicts the set-0 load.
+	b.Observe(storeEv(0x400010, 0x10000000, 9), false) // set 0
+	if b.LoadInvalidations() != 0 {
+		t.Errorf("invalidations = %d, want 0 (evicted load must not count)", b.LoadInvalidations())
+	}
+	// The set-1 load is still resident: its store invalidates it.
+	b.Observe(storeEv(0x400014, 0x10000004, 9), false) // set 1
+	if b.LoadInvalidations() != 1 {
+		t.Errorf("invalidations = %d, want 1", b.LoadInvalidations())
+	}
+	// No load entries remain; every chain must be empty.
+	for bkt, head := range b.addrHead {
+		if head != noEntry {
+			t.Errorf("bucket %d still heads a chain after full invalidation", bkt)
+		}
 	}
 }

@@ -25,7 +25,9 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 
@@ -128,28 +130,58 @@ func FormatMetrics(rs []*Report) string {
 	return strings.TrimSuffix(b.String(), "\n")
 }
 
-// RunAll runs every workload — in parallel, since each simulation is
+// RunAll runs every workload — concurrently, since each simulation is
 // independent and deterministic — and returns the reports in report
-// order.
+// order. Concurrency is bounded by cfg.Parallel workers (0 =
+// GOMAXPROCS), so an eight-workload run on a small machine no longer
+// time-slices eight simulators against each other.
+//
+// RunAll is fail-soft: when some workloads fail, the reports of the
+// ones that succeeded are still returned (in report order) alongside
+// an errors.Join-aggregated error naming every failure. Callers that
+// only care about total success can keep treating a non-nil error as
+// fatal.
 func RunAll(cfg Config) ([]*Report, error) {
-	names := workloads.Names()
-	out := make([]*Report, len(names))
+	return runAll(workloads.Names(), cfg, RunWorkload)
+}
+
+// runAll is RunAll with the workload set and runner injected (tested
+// with deliberately failing runners).
+func runAll(names []string, cfg Config, runOne func(string, Config) (*Report, error)) ([]*Report, error) {
+	parallel := cfg.Parallel
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(names) {
+		parallel = len(names)
+	}
+	byIndex := make([]*Report, len(names))
 	errs := make([]error, len(names))
+	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup
 	for i, name := range names {
+		sem <- struct{}{} // acquire before spawning: at most `parallel` goroutines exist
 		wg.Add(1)
 		go func(i int, name string) {
-			defer wg.Done()
-			r, err := RunWorkload(name, cfg)
-			out[i] = r
-			errs[i] = err
+			defer func() { <-sem; wg.Done() }()
+			byIndex[i], errs[i] = runOne(name, cfg)
 		}(i, name)
 	}
 	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("repro: %s: %w", names[i], err)
+
+	out := make([]*Report, 0, len(names))
+	var failures []error
+	for i := range names {
+		switch {
+		case errs[i] != nil:
+			failures = append(failures, fmt.Errorf("%s: %w", names[i], errs[i]))
+		case byIndex[i] != nil:
+			out = append(out, byIndex[i])
 		}
+	}
+	if len(failures) > 0 {
+		return out, fmt.Errorf("repro: %d of %d workloads failed: %w",
+			len(failures), len(names), errors.Join(failures...))
 	}
 	return out, nil
 }

@@ -1,0 +1,104 @@
+package repro
+
+// White-box tests for the RunAll worker pool: fail-soft error
+// aggregation and the concurrency bound.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunAllFailSoft injects one failing workload among successes and
+// asserts the successful reports survive alongside the aggregated
+// error.
+func TestRunAllFailSoft(t *testing.T) {
+	names := []string{"alpha", "broken", "gamma", "delta"}
+	sentinel := errors.New("simulated fault")
+	runOne := func(name string, cfg Config) (*Report, error) {
+		if name == "broken" {
+			return nil, sentinel
+		}
+		return &Report{Benchmark: name}, nil
+	}
+
+	reports, err := runAll(names, Config{Parallel: 2}, runOne)
+	if err == nil {
+		t.Fatal("failing workload must surface an error")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("aggregated error loses the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("aggregated error does not name the failed workload: %v", err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d partial reports, want 3: %v", len(reports), reports)
+	}
+	// Survivors keep report order.
+	for i, want := range []string{"alpha", "gamma", "delta"} {
+		if reports[i].Benchmark != want {
+			t.Errorf("reports[%d] = %s, want %s", i, reports[i].Benchmark, want)
+		}
+	}
+}
+
+// TestRunAllAggregatesEveryFailure checks errors.Join keeps all causes.
+func TestRunAllAggregatesEveryFailure(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	runOne := func(name string, cfg Config) (*Report, error) {
+		return nil, fmt.Errorf("fault in %s", name)
+	}
+	reports, err := runAll(names, Config{Parallel: 1}, runOne)
+	if len(reports) != 0 {
+		t.Errorf("no workload succeeded but got %d reports", len(reports))
+	}
+	if err == nil {
+		t.Fatal("all-failed run must error")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), "fault in "+name) {
+			t.Errorf("error drops %s's failure: %v", name, err)
+		}
+	}
+}
+
+// TestRunAllBoundedPool asserts the worker pool never runs more than
+// cfg.Parallel workloads at once.
+func TestRunAllBoundedPool(t *testing.T) {
+	const limit = 3
+	var active, peak int64
+	var mu sync.Mutex
+	names := make([]string, 16)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	runOne := func(name string, cfg Config) (*Report, error) {
+		n := atomic.AddInt64(&active, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		defer atomic.AddInt64(&active, -1)
+		return &Report{Benchmark: name}, nil
+	}
+	reports, err := runAll(names, Config{Parallel: limit}, runOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(names) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(names))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if peak > limit {
+		t.Errorf("observed %d concurrent workloads, limit %d", peak, limit)
+	}
+	if peak == 0 {
+		t.Error("pool never ran anything")
+	}
+}
