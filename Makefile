@@ -1,13 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race check bench benchsmoke repro lint examples
+.PHONY: all test vet race check bench benchsmoke fuzzsmoke repro lint examples
 
 all: check
 
 # Default gate: build+test, static analysis, the race detector
-# (includes the concurrent-Progress ticker test), and a quick
-# benchmark smoke run.
-check: test vet race benchsmoke
+# (includes the concurrent-Progress ticker test and the resilience
+# tests), a quick benchmark smoke run, and a bounded fuzz pass over
+# the panic-sensitive decoders.
+check: test vet race benchsmoke fuzzsmoke
 
 test:
 	go build ./... && go test ./...
@@ -30,6 +31,13 @@ bench:
 # the default check gate).
 benchsmoke:
 	go test -run '^$$' -bench 'SimulatorRaw|PipelineFull|CensusObserve|ReuseObserve' -benchtime 1x .
+
+# Bounded fuzz of the no-panic contracts: instruction decoding and the
+# MiniC compiler front end. `go test -fuzz` takes one target at a time,
+# so each gets its own short budget.
+fuzzsmoke:
+	go test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/isa
+	go test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 10s ./internal/minic
 
 # Regenerate every table and figure of the paper.
 repro:

@@ -14,6 +14,7 @@ package repro_test
 // a few hundred thousand instructions (see EXPERIMENTS.md).
 
 import (
+	"context"
 	"testing"
 
 	"repro"
@@ -37,7 +38,7 @@ func benchConfig() repro.Config {
 func runExperiment(b *testing.B, experiment string, cfg repro.Config) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		reports, err := repro.RunAll(cfg)
+		reports, err := repro.RunAll(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +161,7 @@ func BenchmarkAblationInstanceBuffer(b *testing.B) {
 			cfg := repetitionOnly()
 			cfg.MaxInstances = depth
 			for i := 0; i < b.N; i++ {
-				r, err := repro.RunWorkload("jpeg", cfg)
+				r, err := repro.RunWorkload(context.Background(), "jpeg", cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -180,7 +181,7 @@ func BenchmarkAblationReuseGeometry(b *testing.B) {
 			cfg := reuseOnly()
 			cfg.ReuseEntries = entries
 			for i := 0; i < b.N; i++ {
-				r, err := repro.RunWorkload("goban", cfg)
+				r, err := repro.RunWorkload(context.Background(), "goban", cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -205,7 +206,7 @@ func BenchmarkSimulatorRaw(b *testing.B) {
 	}
 	b.SetBytes(0)
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.RunWorkload("lzw", cfg); err != nil {
+		if _, err := repro.RunWorkload(context.Background(), "lzw", cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -217,7 +218,7 @@ func BenchmarkSimulatorRaw(b *testing.B) {
 func BenchmarkPipelineFull(b *testing.B) {
 	cfg := repro.Config{MeasureInstructions: 1_000_000}
 	for i := 0; i < b.N; i++ {
-		if _, err := repro.RunWorkload("lzw", cfg); err != nil {
+		if _, err := repro.RunWorkload(context.Background(), "lzw", cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -256,7 +257,7 @@ func BenchmarkAblationInlining(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				r, err := repro.RunImage(im, input, "odb", cfg)
+				r, err := repro.RunImage(context.Background(), im, input, "odb", cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -8,17 +8,25 @@
 //
 //	instrep run [-bench NAME] [-experiment ID] [-skip N] [-measure N]
 //	            [-instances N] [-reuse-entries N] [-reuse-assoc N]
-//	            [-parallel N] [-metrics text|json] [-progress]
+//	            [-parallel N] [-timeout D] [-watchdog D]
+//	            [-metrics text|json] [-progress]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //	    Run the analysis pipeline and print the requested tables and
 //	    figures ("all" runs every benchmark / renders everything).
 //	    -parallel bounds how many workloads simulate concurrently
-//	    (default GOMAXPROCS); -metrics prints the run's observability
-//	    document (phase wall times, simulator counters, per-observer
-//	    attributed cost) after the tables; -progress renders a live
-//	    stderr ticker; the profile flags write runtime/pprof profiles.
+//	    (default GOMAXPROCS); -timeout bounds each workload's wall
+//	    clock and -watchdog arms a deadman abort when a workload stops
+//	    retiring instructions for that long; -metrics prints the run's
+//	    observability document (phase wall times, simulator counters,
+//	    per-observer attributed cost, nonzero health counters) after
+//	    the tables; -progress renders a live stderr ticker; the profile
+//	    flags write runtime/pprof profiles.
 //	    If some workloads fail, the tables for the ones that succeeded
-//	    still print and the command exits nonzero.
+//	    still print and the command exits nonzero. A run cut short
+//	    (^C, -timeout, -watchdog) still renders what it measured: its
+//	    rows carry a dagger and a truncation footnote. A first ^C
+//	    cancels gracefully — tables and metrics for completed workloads
+//	    still print — and a second ^C kills the process.
 //
 //	instrep exec [-input FILE] [-max N] PROGRAM.c
 //	    Compile a MiniC program and execute it on the simulator,
@@ -33,10 +41,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -56,12 +66,21 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// First ^C cancels the run gracefully (partial tables and metrics
+	// still print); once the context is canceled, stop() restores the
+	// default handler so a second ^C kills the process immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
 	var err error
 	switch os.Args[1] {
 	case "list":
 		err = cmdList()
 	case "run":
-		err = cmdRun(os.Args[2:])
+		err = cmdRun(ctx, os.Args[2:])
 	case "exec":
 		err = cmdExec(os.Args[2:])
 	case "asm":
@@ -112,7 +131,7 @@ func validateChoice(flagName, value string, valid []string) error {
 		flagName, value, strings.Join(valid, ", "))
 }
 
-func cmdRun(args []string) error {
+func cmdRun(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	bench := fs.String("bench", "all", "workload name or 'all'")
 	experiment := fs.String("experiment", "all", "experiment id (table1..table10, fig1..fig6) or 'all'")
@@ -123,6 +142,8 @@ func cmdRun(args []string) error {
 	reuseAssoc := fs.Int("reuse-assoc", 0, "reuse buffer associativity (0 = paper's 4)")
 	variant := fs.Int("input-variant", 1, "workload input data set (1 = standard, 2 = alternate)")
 	parallel := fs.Int("parallel", 0, "max workloads simulated concurrently (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "per-workload wall-clock limit (0 = none)")
+	watchdog := fs.Duration("watchdog", 0, "abort a workload making no retire progress for this long (0 = off)")
 	asJSON := fs.Bool("json", false, "emit the raw reports as JSON instead of tables")
 	metrics := fs.String("metrics", "", "print run metrics after the tables: 'text' or 'json'")
 	progress := fs.Bool("progress", false, "render a live progress ticker on stderr")
@@ -183,6 +204,8 @@ func cmdRun(args []string) error {
 		ReuseAssoc:          *reuseAssoc,
 		InputVariant:        *variant,
 		Parallel:            *parallel,
+		Timeout:             *timeout,
+		WatchdogInterval:    *watchdog,
 	}
 	if *progress {
 		t := newTicker(os.Stderr)
@@ -190,13 +213,14 @@ func cmdRun(args []string) error {
 		defer t.finish()
 	}
 
-	// runErr carries a partial-failure from RunAll: the surviving
-	// reports still render below, and the error is returned at the end
-	// so the exit status reflects the failure.
+	// runErr carries a partial failure: the surviving reports —
+	// including truncated partial reports from runs cut short — still
+	// render below, and the error is returned at the end so the exit
+	// status reflects the failure.
 	var runErr error
 	var reports []*repro.Report
 	if *bench == "all" {
-		reports, runErr = repro.RunAll(cfg)
+		reports, runErr = repro.RunAll(ctx, cfg)
 		if runErr != nil && len(reports) == 0 {
 			return runErr
 		}
@@ -204,9 +228,13 @@ func cmdRun(args []string) error {
 			fmt.Fprintf(os.Stderr, "instrep: continuing with %d workloads: %v\n", len(reports), runErr)
 		}
 	} else {
-		r, err := repro.RunWorkload(*bench, cfg)
-		if err != nil {
+		r, err := repro.RunWorkload(ctx, *bench, cfg)
+		if err != nil && r == nil {
 			return err
+		}
+		if err != nil {
+			runErr = err
+			fmt.Fprintf(os.Stderr, "instrep: continuing with truncated report: %v\n", err)
 		}
 		reports = []*repro.Report{r}
 	}
@@ -246,6 +274,12 @@ func cmdRun(args []string) error {
 	}
 	if *metrics == "text" {
 		fmt.Println(repro.FormatMetrics(reports))
+		if hc := obs.HealthCounters(); len(hc) > 0 {
+			fmt.Println("health:")
+			for _, v := range hc {
+				fmt.Printf("  %-18s %d\n", v.Name, v.Value)
+			}
+		}
 	}
 	return runErr
 }

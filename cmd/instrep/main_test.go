@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
+	"io"
 	"os"
+	"strings"
 	"testing"
 
 	"repro"
@@ -28,7 +31,7 @@ func TestTickerConcurrentProgress(t *testing.T) {
 	// the contract is concurrency-safety, not parallel speedup.
 	cfg.Parallel = 4
 	cfg.Progress = tk.update
-	reports, err := repro.RunAll(cfg)
+	reports, err := repro.RunAll(context.Background(), cfg)
 	tk.finish()
 	if err != nil {
 		t.Fatal(err)
@@ -40,5 +43,36 @@ func TestTickerConcurrentProgress(t *testing.T) {
 		if r.MeasuredInstructions == 0 {
 			t.Errorf("%s: no instructions measured", r.Benchmark)
 		}
+	}
+}
+
+// TestRunCanceledStillEmitsMetrics is the SIGINT-path contract: a
+// canceled run exits with an error (nonzero status from main) but the
+// -metrics json document still reaches stdout, covering the truncated
+// partial report. The test drives cmdRun with an already-canceled
+// context, the same state main's signal.NotifyContext produces after ^C.
+func TestRunCanceledStillEmitsMetrics(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	runErr := cmdRun(ctx, []string{"-bench", "lzw", "-skip", "1000", "-measure", "50000", "-metrics", "json"})
+	wp.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if runErr == nil {
+		t.Fatal("canceled run must exit nonzero")
+	}
+	if !strings.Contains(string(out), `"benchmark": "lzw"`) {
+		t.Errorf("canceled run did not emit metrics JSON:\n%s", out)
 	}
 }

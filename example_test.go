@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -11,7 +12,7 @@ import (
 // headline measurements. The subject is a classic memoization
 // candidate: a loop recomputing the same lookup.
 func Example_analyzeCustomProgram() {
-	r, err := repro.RunSource(`
+	r, err := repro.RunSource(context.Background(), `
 int table[8] = {3, 1, 4, 1, 5, 9, 2, 6};
 int lookup(int i) { return table[i & 7]; }
 int main() {
@@ -38,7 +39,7 @@ int main() {
 // Example_runBenchmark runs one of the bundled SPEC '95 analogs with a
 // small measurement window.
 func Example_runBenchmark() {
-	r, err := repro.RunWorkload("m88k", repro.QuickConfig())
+	r, err := repro.RunWorkload(context.Background(), "m88k", repro.QuickConfig())
 	if err != nil {
 		panic(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -27,7 +28,7 @@ func main() {
 	}
 
 	start := time.Now()
-	reports, err := repro.RunAll(cfg)
+	reports, err := repro.RunAll(context.Background(), cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

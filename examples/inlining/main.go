@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -44,7 +45,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			r, err := repro.RunImage(im, input, name, cfg)
+			r, err := repro.RunImage(context.Background(), im, input, name, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

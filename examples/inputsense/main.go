@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		for v := 1; v <= 2; v++ {
 			cfg := base
 			cfg.InputVariant = v
-			r, err := repro.RunWorkload(name, cfg)
+			r, err := repro.RunWorkload(context.Background(), name, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

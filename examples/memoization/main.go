@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ int main() {
 `
 
 func main() {
-	r, err := repro.RunSource(subject, nil, "binomial", repro.Config{
+	r, err := repro.RunSource(context.Background(), subject, nil, "binomial", repro.Config{
 		MeasureInstructions: 4_000_000,
 	})
 	if err != nil {

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -20,7 +21,7 @@ func main() {
 	}
 
 	cfg := repro.QuickConfig() // 100k skip + 500k measured instructions
-	r, err := repro.RunWorkload(name, cfg)
+	r, err := repro.RunWorkload(context.Background(), name, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

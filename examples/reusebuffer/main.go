@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -28,7 +29,7 @@ func main() {
 	}
 
 	// The census ceiling (2000-instance buffers).
-	ceiling, err := repro.RunWorkload(name, base)
+	ceiling, err := repro.RunWorkload(context.Background(), name, base)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func main() {
 			cfg.DisableTaint = true
 			cfg.DisableLocal = true
 			cfg.DisableFunc = true
-			r, err := repro.RunWorkload(name, cfg)
+			r, err := repro.RunWorkload(context.Background(), name, cfg)
 			if err != nil {
 				log.Fatal(err)
 			}

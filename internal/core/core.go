@@ -6,10 +6,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/cpu"
+	"repro/internal/faultinject"
 	"repro/internal/funcanal"
 	"repro/internal/isa"
 	"repro/internal/local"
@@ -61,6 +63,24 @@ type Config struct {
 	// calls are single-threaded; this only matters to multi-workload
 	// drivers.
 	Parallel int
+
+	// Timeout bounds one workload's wall-clock run time (0 = none).
+	// An expired timeout truncates the run: Run returns a partial
+	// Report flagged Truncated alongside a *TimeoutError.
+	Timeout time.Duration
+
+	// WatchdogInterval arms the deadman watchdog (0 = off): when the
+	// run loop makes no retire progress for this long — a wedged step,
+	// a runaway observer — the run aborts with a *WatchdogError
+	// carrying a PC/phase diagnostic and a truncated partial Report.
+	// While armed, the simulator runs through a per-step checkpoint
+	// hook (a few percent slower), so leave it off for benchmarking.
+	WatchdogInterval time.Duration
+
+	// Faults is the deterministic fault-injection plan consulted at
+	// each fault point (nil = none); see internal/faultinject. Test
+	// and harness use only.
+	Faults *faultinject.Plan
 
 	// Span, when set, is the enclosing run span (e.g. opened around
 	// compilation by the caller); Run adds its phase children to it,
@@ -323,6 +343,15 @@ type Report struct {
 	ProgramExited        bool
 	ExitCode             int32
 
+	// Truncated marks a partial report: the run was cut short
+	// mid-window (cancellation, timeout, watchdog, fault, or recovered
+	// panic) and every statistic covers only the instructions measured
+	// before the cut. TruncatedReason is one of the core.Reason*
+	// constants; the error returned alongside the report carries the
+	// full diagnostic.
+	Truncated       bool   `json:",omitempty"`
+	TruncatedReason string `json:",omitempty"`
+
 	// Table 1.
 	DynTotal        uint64
 	DynRepeatedPct  float64
@@ -453,19 +482,25 @@ func (p *Pipeline) Collect(im *program.Image, name string) *Report {
 	return r
 }
 
-// progressChunk is how many instructions run between progress
-// callbacks when Config.Progress is set.
+// progressChunk is how many instructions run between run-loop
+// checkpoints: cancellation checks, watchdog progress publication,
+// and progress callbacks.
 const progressChunk = 1 << 18
 
-// runPhase executes up to max instructions (0 = to completion),
-// reporting progress through cb when non-nil.
-func runPhase(m *cpu.Machine, max uint64, name, phase string, cb func(Progress)) (uint64, error) {
-	if cb == nil {
-		return m.Run(max)
-	}
+// runPhase executes up to max instructions (0 = to completion) in
+// chunks, checking cancellation and publishing watchdog progress at
+// every chunk boundary and reporting through cb when non-nil. On
+// cancellation it returns the context's cause (the watchdog, timeout,
+// or caller-supplied cancellation error).
+func runPhase(ctx context.Context, st *runState, m *cpu.Machine, max uint64, name, phase string, cb func(Progress)) (uint64, error) {
+	st.setPhase(phase)
 	var done uint64
 	var err error
 	for !m.Halted && err == nil && (max == 0 || done < max) {
+		if ctx.Err() != nil {
+			err = cause(ctx)
+			break
+		}
 		chunk := uint64(progressChunk)
 		if max > 0 && max-done < chunk {
 			chunk = max - done
@@ -473,9 +508,14 @@ func runPhase(m *cpu.Machine, max uint64, name, phase string, cb func(Progress))
 		var n uint64
 		n, err = m.Run(chunk)
 		done += n
-		cb(Progress{Benchmark: name, Phase: phase, Done: done, Total: max, Retired: m.Count})
+		st.publish(m.Count, m.PC)
+		if cb != nil {
+			cb(Progress{Benchmark: name, Phase: phase, Done: done, Total: max, Retired: m.Count})
+		}
 	}
-	cb(Progress{Benchmark: name, Phase: phase, Done: done, Total: max, Retired: m.Count, Final: true})
+	if cb != nil {
+		cb(Progress{Benchmark: name, Phase: phase, Done: done, Total: max, Retired: m.Count, Final: true})
+	}
 	return done, err
 }
 
@@ -483,51 +523,127 @@ func runPhase(m *cpu.Machine, max uint64, name, phase string, cb func(Progress))
 // measure, and collect the report with its run metrics. If cfg.Span
 // is set Run treats it as the enclosing run span (adding phase
 // children and ending it); otherwise it opens its own.
-func Run(im *program.Image, input []byte, name string, cfg Config) (*Report, error) {
+//
+// Run degrades instead of discarding: when the run is cut short —
+// ctx canceled, cfg.Timeout expired, the watchdog fired, the
+// simulator faulted, or a panic was recovered — it returns a partial
+// Report flagged Truncated (statistics cover the instructions
+// measured so far, metrics included) alongside the error describing
+// the cut. Only a nil ctx is replaced with context.Background().
+func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg Config) (rep *Report, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	root := cfg.Span
 	if root == nil {
 		root = obs.StartSpan("run")
 	}
 
+	// Per-run cancel-cause plumbing: the watchdog and timeout record
+	// the precise abort reason, which runPhase surfaces via
+	// context.Cause.
+	ctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	if cfg.Timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeoutCause(ctx, cfg.Timeout,
+			&TimeoutError{Benchmark: name, Limit: cfg.Timeout})
+		defer cancelTimeout()
+	}
+
 	load := root.StartChild("load")
 	m := cpu.New(im, input)
+	m.Hook = cfg.Faults.StepHook(ctx, name)
 	p := NewPipeline(im, cfg)
 	m.Attach(p)
+	if o := cfg.Faults.Observer(name); o != nil {
+		m.Attach(o)
+	}
+	st := newRunState(name)
+	if cfg.WatchdogInterval > 0 {
+		// Fine-grained retire checkpoints so a slow chunk is not
+		// mistaken for a wedged run.
+		m.Hook = publishHook(st, m.Hook)
+		defer watch(ctx, cancel, st, cfg.WatchdogInterval)()
+	}
 	load.End()
 
-	var skipped uint64
+	var skipped, measured uint64
+	var measure *obs.Span
+
+	// finish assembles the final — possibly partial — report: on a
+	// truncated run the collected statistics cover the instructions
+	// measured so far and the report travels alongside the error.
+	finish := func(runErr error) *Report {
+		if measure != nil {
+			measure.End()
+		}
+		collect := root.StartChild("collect")
+		r := p.Collect(im, name)
+		r.SkippedInstructions = skipped
+		r.MeasuredInstructions = measured
+		r.ProgramExited = m.Halted
+		r.ExitCode = m.ExitCode
+		collect.End()
+		root.End()
+		var measureWall time.Duration
+		if measure != nil {
+			measureWall = measure.Duration()
+		}
+		r.Metrics = runMetrics(root, m, p, name, measured, measureWall)
+		if runErr != nil {
+			r.Truncated = true
+			r.TruncatedReason = TruncationReason(runErr)
+			recordTruncation(r.TruncatedReason)
+		}
+		return r
+	}
+
+	// Panic isolation: a panic in the simulator, an observer, or
+	// collection becomes a *PanicError with the partial report still
+	// assembled when the pipeline state allows it.
+	defer func() {
+		if pv := recover(); pv != nil {
+			perr := NewPanicError(name, pv)
+			obs.Health.PanicsRecovered.Inc()
+			rep, err = safeFinish(finish, perr), perr
+		}
+	}()
+
 	if cfg.SkipInstructions > 0 {
 		// Warmup: the pipeline propagates dataflow state (so tags
 		// from initialization-time input reads survive) but counts
 		// nothing.
 		skip := root.StartChild("skip")
-		var err error
-		skipped, err = runPhase(m, cfg.SkipInstructions, name, "skip", cfg.Progress)
+		var serr error
+		skipped, serr = runPhase(ctx, st, m, cfg.SkipInstructions, name, "skip", cfg.Progress)
 		skip.End()
-		if err != nil {
-			return nil, fmt.Errorf("core: warmup: %w", err)
+		if serr != nil {
+			return finish(serr), fmt.Errorf("core: warmup: %w", serr)
 		}
 	}
 
 	p.SetCounting(true)
-	measure := root.StartChild("measure")
-	measured, err := runPhase(m, cfg.MeasureInstructions, name, "measure", cfg.Progress)
-	measureWall := measure.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: measure: %w", err)
+	measure = root.StartChild("measure")
+	var merr error
+	measured, merr = runPhase(ctx, st, m, cfg.MeasureInstructions, name, "measure", cfg.Progress)
+	if merr != nil {
+		return finish(merr), fmt.Errorf("core: measure: %w", merr)
 	}
+	return finish(nil), nil
+}
 
-	collect := root.StartChild("collect")
-	r := p.Collect(im, name)
-	r.SkippedInstructions = skipped
-	r.MeasuredInstructions = measured
-	r.ProgramExited = m.Halted
-	r.ExitCode = m.ExitCode
-	collect.End()
-	root.End()
-
-	r.Metrics = runMetrics(root, m, p, name, measured, measureWall)
-	return r, nil
+// safeFinish runs finish under its own recover: after a mid-update
+// panic the pipeline state may be inconsistent enough that collection
+// panics too, in which case the partial report is dropped and only
+// the error survives.
+func safeFinish(finish func(error) *Report, perr error) (rep *Report) {
+	defer func() {
+		if recover() != nil {
+			rep = nil
+		}
+	}()
+	return finish(perr)
 }
 
 // runMetrics assembles the observability document for one run.

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -27,7 +28,7 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Run(im, nil, "test", core.Config{})
+	r, err := core.Run(context.Background(), im, nil, "test", core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestRunWorkloadWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := core.Config{SkipInstructions: 200_000, MeasureInstructions: 500_000}
-	r, err := core.Run(im, w.Input(1), w.Name, cfg)
+	r, err := core.Run(context.Background(), im, w.Input(1), w.Name, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestDisableFlags(t *testing.T) {
 		DisableTaint: true, DisableLocal: true,
 		DisableFunc: true, DisableReuse: true, DisableVPred: true,
 	}
-	r, err := core.Run(im, nil, "min", cfg)
+	r, err := core.Run(context.Background(), im, nil, "min", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestWarmupDoesNotCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Run(im, nil, "w", core.Config{
+	r, err := core.Run(context.Background(), im, nil, "w", core.Config{
 		SkipInstructions:    10_000,
 		MeasureInstructions: 20_000,
 	})
@@ -170,11 +171,11 @@ func TestRunFaultSurfacing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := core.Run(im, nil, "div0", core.Config{}); err == nil {
+	if _, err := core.Run(context.Background(), im, nil, "div0", core.Config{}); err == nil {
 		t.Error("runtime fault should surface from core.Run")
 	}
 	// Fault during warmup is reported as such.
-	if _, err := core.Run(im, nil, "div0", core.Config{SkipInstructions: 1_000_000}); err == nil {
+	if _, err := core.Run(context.Background(), im, nil, "div0", core.Config{SkipInstructions: 1_000_000}); err == nil {
 		t.Error("warmup fault should surface")
 	}
 }
@@ -190,7 +191,7 @@ int main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := core.Run(im, nil, "vp", core.Config{})
+	r, err := core.Run(context.Background(), im, nil, "vp", core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func TestRunMetricsCollected(t *testing.T) {
 		ObserverSampleEvery: 16,
 		Progress:            func(p core.Progress) { updates = append(updates, p) },
 	}
-	r, err := core.Run(im, w.Input(1), "lzw", cfg)
+	r, err := core.Run(context.Background(), im, w.Input(1), "lzw", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +319,7 @@ func TestRunMetricsSamplingDisabled(t *testing.T) {
 		MeasureInstructions: 50_000,
 		ObserverSampleEvery: -1,
 	}
-	r, err := core.Run(im, w.Input(1), "lzw", cfg)
+	r, err := core.Run(context.Background(), im, w.Input(1), "lzw", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

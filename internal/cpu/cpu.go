@@ -76,6 +76,13 @@ type Observer interface {
 	OnInst(ev *Event)
 }
 
+// StepHook intercepts the run loop before each step with the current
+// retire count and PC; a non-nil error aborts Run with that error.
+// Installed via Machine.Hook — used by the watchdog progress publisher
+// and the fault-injection harness. When no hook is installed the run
+// loop pays nothing for the feature.
+type StepHook func(count uint64, pc uint32) error
+
 // MaxTrackedArgs bounds how many argument values a CallEvent carries.
 const MaxTrackedArgs = 8
 
@@ -146,6 +153,10 @@ type Machine struct {
 	input []byte
 	inPos int
 
+	// Hook, when non-nil, runs before every step (see StepHook). Run
+	// switches to a hooked loop so the common path stays unchanged.
+	Hook StepHook
+
 	observers     []Observer
 	callObservers []CallObserver
 	ev            Event
@@ -185,10 +196,28 @@ func (m *Machine) DetachAll() {
 func (m *Machine) InputRemaining() int { return len(m.input) - m.inPos }
 
 // Run executes at most max instructions (all remaining if max == 0),
-// returning the number retired. It stops early when the program exits.
+// returning the number retired. It stops early when the program exits
+// or when the installed Hook (if any) returns an error.
 func (m *Machine) Run(max uint64) (uint64, error) {
 	start := m.Count
+	if m.Hook != nil {
+		return m.runHooked(max, start)
+	}
 	for !m.Halted && (max == 0 || m.Count-start < max) {
+		if err := m.Step(); err != nil {
+			return m.Count - start, err
+		}
+	}
+	return m.Count - start, nil
+}
+
+// runHooked is the Run loop with the per-step Hook consulted; kept
+// separate so the unhooked hot loop carries no extra branch.
+func (m *Machine) runHooked(max, start uint64) (uint64, error) {
+	for !m.Halted && (max == 0 || m.Count-start < max) {
+		if err := m.Hook(m.Count, m.PC); err != nil {
+			return m.Count - start, err
+		}
 		if err := m.Step(); err != nil {
 			return m.Count - start, err
 		}
@@ -208,7 +237,7 @@ func (m *Machine) faultf(format string, args ...any) error {
 // Step executes one instruction.
 func (m *Machine) Step() error {
 	if m.Halted {
-		return fmt.Errorf("cpu: machine is halted")
+		return m.faultf("machine is halted")
 	}
 	in, err := m.Image.InstAt(m.PC)
 	if err != nil {

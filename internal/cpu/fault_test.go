@@ -1,0 +1,118 @@
+package cpu_test
+
+// Regression tests pinning the simulator fault-message format: every
+// fault names the PC (and the containing function when the image knows
+// it), so a watchdog or fault report locates where a run died without
+// a debugger.
+
+import (
+	"regexp"
+	"testing"
+)
+
+// faultFormat is the contract for every simulator fault message.
+var faultFormat = regexp.MustCompile(`^cpu: pc=0x[0-9a-f]+( in \S+)?: .+`)
+
+func TestHaltedErrorNamesPC(t *testing.T) {
+	m := run(t, exitStub+`
+		.func main 0
+main:
+		li $v0, 0
+		jr $ra
+		.endfunc
+	`, "")
+	err := m.Step()
+	if err == nil {
+		t.Fatal("Step on a halted machine must fail")
+	}
+	if !faultFormat.MatchString(err.Error()) {
+		t.Errorf("halted error %q does not match fault format %v", err, faultFormat)
+	}
+	if want := "machine is halted"; !regexp.MustCompile(regexp.QuoteMeta(want) + `$`).MatchString(err.Error()) {
+		t.Errorf("halted error %q does not end with %q", err, want)
+	}
+	// Run on a halted machine is a no-op, not a fault: the loop
+	// condition sees Halted and retires nothing.
+	if n, rerr := m.Run(10); n != 0 || rerr != nil {
+		t.Errorf("Run on a halted machine = (%d, %v), want (0, nil)", n, rerr)
+	}
+}
+
+func TestFaultErrorsNamePC(t *testing.T) {
+	// An unaligned load faults mid-program; the message must carry the
+	// PC and the function name from the image.
+	m := load(t, exitStub+`
+		.func main 0
+main:
+		li $t0, 3
+		lw $t1, 0($t0)
+		jr $ra
+		.endfunc
+	`, "")
+	_, err := m.Run(100)
+	if err == nil {
+		t.Fatal("unaligned load must fault")
+	}
+	if !faultFormat.MatchString(err.Error()) {
+		t.Errorf("fault %q does not match fault format %v", err, faultFormat)
+	}
+}
+
+func TestStepHook(t *testing.T) {
+	m := load(t, exitStub+`
+		.func main 0
+main:
+		li $v0, 7
+		jr $ra
+		.endfunc
+	`, "")
+	var counts []uint64
+	m.Hook = func(count uint64, pc uint32) error {
+		counts = append(counts, count)
+		return nil
+	}
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(counts)) != m.Count {
+		t.Errorf("hook ran %d times, want once per %d retired instructions", len(counts), m.Count)
+	}
+	for i, c := range counts {
+		if c != uint64(i) {
+			t.Fatalf("hook call %d saw count %d, want %d", i, c, i)
+		}
+	}
+}
+
+func TestStepHookErrorAbortsRun(t *testing.T) {
+	m := load(t, exitStub+`
+		.func main 0
+main:
+		li $v0, 7
+		jr $ra
+		.endfunc
+	`, "")
+	sentinel := regexp.MustCompile("^injected$")
+	m.Hook = func(count uint64, pc uint32) error {
+		if count == 2 {
+			return errSentinel
+		}
+		return nil
+	}
+	n, err := m.Run(0)
+	if err == nil || !sentinel.MatchString(err.Error()) {
+		t.Fatalf("Run = %v, want sentinel error", err)
+	}
+	if n != 2 {
+		t.Errorf("retired %d instructions before the hook fault, want 2", n)
+	}
+	if m.Halted {
+		t.Error("hook error must not mark the machine halted")
+	}
+}
+
+type sentinelErr struct{}
+
+func (sentinelErr) Error() string { return "injected" }
+
+var errSentinel = sentinelErr{}

@@ -1,0 +1,95 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+)
+
+func TestNilPlanInjectsNothing(t *testing.T) {
+	var p *Plan
+	if err := p.CompileError("any"); err != nil {
+		t.Errorf("nil plan CompileError = %v", err)
+	}
+	if h := p.StepHook(context.Background(), "any"); h != nil {
+		t.Error("nil plan StepHook must be nil")
+	}
+	if o := p.Observer("any"); o != nil {
+		t.Error("nil plan Observer must be nil")
+	}
+}
+
+func TestCompileError(t *testing.T) {
+	p := NewPlan(Fault{Kind: CompileFail, Workload: "lzw", Message: "boom"})
+	if err := p.CompileError("jpeg"); err != nil {
+		t.Errorf("fault scoped to lzw fired for jpeg: %v", err)
+	}
+	err := p.CompileError("lzw")
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("CompileError = %v, want injected message", err)
+	}
+	// Empty Workload matches every workload.
+	any := NewPlan(Fault{Kind: CompileFail})
+	if any.CompileError("whatever") == nil {
+		t.Error("unscoped compile fault must fire for every workload")
+	}
+}
+
+func TestSimFaultFiresAtExactCount(t *testing.T) {
+	p := NewPlan(Fault{Kind: SimFault, At: 5})
+	hook := p.StepHook(context.Background(), "w")
+	if hook == nil {
+		t.Fatal("expected a hook")
+	}
+	for i := uint64(0); i < 5; i++ {
+		if err := hook(i, 0x1000); err != nil {
+			t.Fatalf("hook fired early at count %d: %v", i, err)
+		}
+	}
+	err := hook(5, 0x1234)
+	if err == nil || !strings.Contains(err.Error(), "pc=0x1234") {
+		t.Errorf("hook(5) = %v, want fault naming the PC", err)
+	}
+}
+
+func TestSlowStepIsCancellable(t *testing.T) {
+	p := NewPlan(Fault{Kind: SlowStep, Delay: time.Hour})
+	ctx, cancel := context.WithCancelCause(context.Background())
+	hook := p.StepHook(ctx, "w")
+	sentinel := errors.New("aborted by test")
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel(sentinel)
+	}()
+	start := time.Now()
+	err := hook(0, 0)
+	if !errors.Is(err, sentinel) {
+		t.Errorf("stalled hook returned %v, want the cancel cause", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("stall ignored cancellation for %v", elapsed)
+	}
+}
+
+func TestObserverPanics(t *testing.T) {
+	p := NewPlan(Fault{Kind: ObserverPanic, At: 2, Message: "kaboom"})
+	o := p.Observer("w")
+	if o == nil {
+		t.Fatal("expected an observer")
+	}
+	o.OnInst(&cpu.Event{Index: 1}) // must not panic
+	defer func() {
+		pv := recover()
+		if pv == nil {
+			t.Fatal("observer did not panic at its index")
+		}
+		if s, ok := pv.(string); !ok || s != "kaboom" {
+			t.Errorf("panic value = %v, want injected message", pv)
+		}
+	}()
+	o.OnInst(&cpu.Event{Index: 2})
+}

@@ -1,0 +1,34 @@
+package isa
+
+import "testing"
+
+// FuzzDecode feeds arbitrary instruction words to the decoder. The
+// contract: Decode never panics, and any word it accepts survives an
+// Encode/Decode round trip unchanged.
+func FuzzDecode(f *testing.F) {
+	// Seed with one instruction of each format plus edge words.
+	f.Add(uint32(0))
+	f.Add(uint32(0xffffffff))
+	f.Add(uint32(0x0000000c)) // syscall
+	f.Add(uint32(0x8c820004)) // lw
+	f.Add(uint32(0x00851020)) // add
+	f.Add(uint32(0x08000010)) // j
+	f.Add(uint32(0x1085fffe)) // beq backwards
+	f.Fuzz(func(t *testing.T, word uint32) {
+		in, err := Decode(word)
+		if err != nil {
+			return // rejected words just need to not panic
+		}
+		re, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Decode accepted %#08x as %+v but Encode rejects it: %v", word, in, err)
+		}
+		in2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded %#08x -> %#08x no longer decodes: %v", word, re, err)
+		}
+		if in != in2 {
+			t.Fatalf("round trip drifts: %#08x -> %+v -> %#08x -> %+v", word, in, re, in2)
+		}
+	})
+}

@@ -44,8 +44,16 @@ var sRegs = [...]int{
 	isa.RegS4, isa.RegS5, isa.RegS6, isa.RegS7,
 }
 
-// generate produces the complete assembler unit.
-func generate(u *unit) (string, error) {
+// generate produces the complete assembler unit. Internal invariant
+// violations (compiler bugs, not source errors) panic at their site;
+// the recover here converts them into compile errors so no input
+// reachable through Compile can crash the caller.
+func generate(u *unit) (out string, err error) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			out, err = "", fmt.Errorf("minic: internal error: %v", pv)
+		}
+	}()
 	cg := &codegen{u: u, gpOK: make(map[string]bool)}
 	cg.layoutData()
 
@@ -236,7 +244,7 @@ func analyzeCalls(fn *funcDecl) {
 
 // buildFrame assigns registers and stack slots to locals and computes
 // the frame size.
-func (cg *codegen) buildFrame(fn *funcDecl) {
+func (cg *codegen) buildFrame(fn *funcDecl) error {
 	analyzeCalls(fn)
 
 	// Candidates for s-registers: scalar, not address-taken.
@@ -302,13 +310,16 @@ func (cg *codegen) buildFrame(fn *funcDecl) {
 		}
 	}
 	if fn.frameSize > 32000 {
-		panic("minic: frame too large") // guarded by workload design
+		return errAt(fn.line, "function %s: frame too large (%d bytes, limit 32000)", fn.name, fn.frameSize)
 	}
+	return nil
 }
 
 func (cg *codegen) genFunc(fn *funcDecl) error {
 	cg.fn = fn
-	cg.buildFrame(fn)
+	if err := cg.buildFrame(fn); err != nil {
+		return err
+	}
 	cg.epilogue = cg.newLabel()
 	for i := range cg.temps {
 		cg.temps[i] = false

@@ -33,7 +33,8 @@ func (cg *codegen) freeTemp(reg int) {
 			return
 		}
 	}
-	panic(fmt.Sprintf("minic: freeing non-temp register %s", isa.RegName(reg)))
+	// Invariant violation: recovered into a compile error by generate.
+	panic(fmt.Sprintf("freeing non-temp register %s", isa.RegName(reg)))
 }
 
 func (cg *codegen) release(v value) {

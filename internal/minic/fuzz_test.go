@@ -1,0 +1,54 @@
+package minic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzCompile feeds arbitrary source to the full MiniC pipeline
+// (lexer, parser, type checker, codegen, assembler). The contract is
+// that no input panics: malformed programs must come back as errors,
+// and internal codegen invariants are recovered into compile errors.
+func FuzzCompile(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add("int g[4] = {1, 2, 3, 4}; int main() { return g[3]; }")
+	f.Add(`char *s = "str"; int main() { return s[0]; }`)
+	f.Add("int f(int a, int b) { return a % b; } int main() { return f(7, 3); }")
+	f.Add("int main() { int a[10000]; return 0; }")
+	f.Add("int main( {")
+	f.Add("\x00\xff")
+	f.Fuzz(func(t *testing.T, src string) {
+		// The recursive-descent parser has no depth limit; giant
+		// inputs can exhaust the stack, which recover cannot catch.
+		// Bound the input instead of the parser for fuzzing purposes.
+		if len(src) > 4096 {
+			t.Skip("oversized input")
+		}
+		_, _ = Compile(src)
+	})
+}
+
+// TestFrameTooLargeIsCompileError pins the buildFrame satellite fix: a
+// frame past the 32000-byte limit is a positioned compile error, not a
+// panic.
+func TestFrameTooLargeIsCompileError(t *testing.T) {
+	_, err := Compile(`
+int main() {
+	int big[10000];
+	big[0] = 1;
+	return big[0];
+}`)
+	if err == nil {
+		t.Fatal("oversized frame must fail to compile")
+	}
+	if !strings.Contains(err.Error(), "frame too large") {
+		t.Errorf("err = %v, want frame-too-large diagnostic", err)
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Errorf("err = %T, want *minic.Error with a line number", err)
+	} else if ce.Line <= 0 {
+		t.Errorf("frame error has no source line: %+v", ce)
+	}
+}

@@ -117,3 +117,33 @@ type NamedValue struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
 }
+
+// Health aggregates process-wide resilience counters incremented by
+// the run path: aborted runs by cause, recovered panics, and truncated
+// (partial) reports. cmd/instrep renders the nonzero ones after the
+// run metrics (-metrics text).
+var Health struct {
+	Cancels         Counter // runs aborted by context cancellation (e.g. SIGINT)
+	Timeouts        Counter // runs aborted by the per-workload timeout
+	Watchdogs       Counter // runs aborted by the deadman watchdog
+	PanicsRecovered Counter // panics converted to per-workload errors
+	TruncatedRuns   Counter // partial reports emitted instead of discarded runs
+}
+
+// HealthCounters snapshots the nonzero health counters, name-sorted.
+func HealthCounters() []NamedValue {
+	all := []NamedValue{
+		{Name: "panics_recovered", Value: int64(Health.PanicsRecovered.Value())},
+		{Name: "runs_canceled", Value: int64(Health.Cancels.Value())},
+		{Name: "runs_timed_out", Value: int64(Health.Timeouts.Value())},
+		{Name: "runs_truncated", Value: int64(Health.TruncatedRuns.Value())},
+		{Name: "watchdog_aborts", Value: int64(Health.Watchdogs.Value())},
+	}
+	out := all[:0]
+	for _, v := range all {
+		if v.Value != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -17,7 +17,7 @@
 //
 // Quick start:
 //
-//	reports, err := repro.RunAll(repro.DefaultConfig())
+//	reports, err := repro.RunAll(context.Background(), repro.DefaultConfig())
 //	fmt.Print(repro.FormatTable1(reports))
 //
 // Custom programs can be analyzed with RunSource, which accepts MiniC
@@ -25,6 +25,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -94,7 +95,13 @@ func WorkloadInfos() []WorkloadInfo {
 }
 
 // RunWorkload runs the full analysis pipeline on one named workload.
-func RunWorkload(name string, cfg Config) (*Report, error) {
+// A canceled ctx, an expired cfg.Timeout, or a watchdog abort cuts the
+// run short; the partial report (flagged Truncated) is returned
+// alongside the error. Panics in the run path are recovered into the
+// error instead of crashing the caller. A nil ctx is treated as
+// context.Background().
+func RunWorkload(ctx context.Context, name string, cfg Config) (rep *Report, err error) {
+	defer recoverToError(name, &rep, &err)
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("repro: unknown workload %q (have %v)", name, workloads.Names())
@@ -103,17 +110,31 @@ func RunWorkload(name string, cfg Config) (*Report, error) {
 	// alongside core.Run's load/skip/measure/collect children.
 	root := obs.StartSpan("run")
 	compile := root.StartChild("compile")
-	im, err := w.Image()
+	var im *program.Image
+	cerr := cfg.Faults.CompileError(w.Name)
+	if cerr == nil {
+		im, cerr = w.Image()
+	}
 	compile.End()
-	if err != nil {
-		return nil, err
+	if cerr != nil {
+		return nil, cerr
 	}
 	variant := cfg.InputVariant
 	if variant <= 0 {
 		variant = 1
 	}
 	cfg.Span = root
-	return core.Run(im, w.Input(variant), w.Name, cfg)
+	return core.Run(ctx, im, w.Input(variant), w.Name, cfg)
+}
+
+// recoverToError converts a panic that escaped the run path into a
+// per-workload *core.PanicError, so no input reachable through the
+// public Run functions can crash the process.
+func recoverToError(name string, rep **Report, err *error) {
+	if pv := recover(); pv != nil {
+		obs.Health.PanicsRecovered.Inc()
+		*rep, *err = nil, core.NewPanicError(name, pv)
+	}
 }
 
 // FormatMetrics renders each report's run metrics as text (the
@@ -137,17 +158,20 @@ func FormatMetrics(rs []*Report) string {
 // time-slices eight simulators against each other.
 //
 // RunAll is fail-soft: when some workloads fail, the reports of the
-// ones that succeeded are still returned (in report order) alongside
-// an errors.Join-aggregated error naming every failure. Callers that
-// only care about total success can keep treating a non-nil error as
-// fatal.
-func RunAll(cfg Config) ([]*Report, error) {
-	return runAll(workloads.Names(), cfg, RunWorkload)
+// ones that succeeded — plus any partial (Truncated) reports from
+// runs cut short mid-window — are still returned, in report order,
+// alongside an errors.Join-aggregated error naming every failure. A
+// panicking workload fails alone: its goroutine recovers the panic
+// into its error slot and the other workloads run to completion.
+// Callers that only care about total success can keep treating a
+// non-nil error as fatal.
+func RunAll(ctx context.Context, cfg Config) ([]*Report, error) {
+	return runAll(ctx, workloads.Names(), cfg, RunWorkload)
 }
 
 // runAll is RunAll with the workload set and runner injected (tested
 // with deliberately failing runners).
-func runAll(names []string, cfg Config, runOne func(string, Config) (*Report, error)) ([]*Report, error) {
+func runAll(ctx context.Context, names []string, cfg Config, runOne func(context.Context, string, Config) (*Report, error)) ([]*Report, error) {
 	parallel := cfg.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
@@ -164,7 +188,8 @@ func runAll(names []string, cfg Config, runOne func(string, Config) (*Report, er
 		wg.Add(1)
 		go func(i int, name string) {
 			defer func() { <-sem; wg.Done() }()
-			byIndex[i], errs[i] = runOne(name, cfg)
+			defer recoverToError(name, &byIndex[i], &errs[i])
+			byIndex[i], errs[i] = runOne(ctx, name, cfg)
 		}(i, name)
 	}
 	wg.Wait()
@@ -172,10 +197,12 @@ func runAll(names []string, cfg Config, runOne func(string, Config) (*Report, er
 	out := make([]*Report, 0, len(names))
 	var failures []error
 	for i := range names {
-		switch {
-		case errs[i] != nil:
+		if errs[i] != nil {
 			failures = append(failures, fmt.Errorf("%s: %w", names[i], errs[i]))
-		case byIndex[i] != nil:
+		}
+		if byIndex[i] != nil {
+			// Complete reports, and partial reports from truncated
+			// runs (which also carry an error above).
 			out = append(out, byIndex[i])
 		}
 	}
@@ -225,17 +252,26 @@ func WorkloadInput(name string, variant int) ([]byte, bool) {
 }
 
 // RunSource compiles MiniC source and runs the analysis pipeline on it
-// with the given input bytes.
-func RunSource(source string, input []byte, name string, cfg Config) (*Report, error) {
+// with the given input bytes. Like RunWorkload it recovers panics,
+// honors ctx/cfg.Timeout/cfg.WatchdogInterval, and returns a partial
+// Truncated report when the run is cut short.
+func RunSource(ctx context.Context, source string, input []byte, name string, cfg Config) (rep *Report, err error) {
+	defer recoverToError(name, &rep, &err)
+	if cerr := cfg.Faults.CompileError(name); cerr != nil {
+		return nil, cerr
+	}
 	im, err := minic.Compile(source)
 	if err != nil {
 		return nil, err
 	}
-	return core.Run(im, input, name, cfg)
+	return core.Run(ctx, im, input, name, cfg)
 }
 
 // RunImage runs the analysis pipeline on an already-compiled image
-// (e.g. one built with the bundled assembler).
-func RunImage(im *program.Image, input []byte, name string, cfg Config) (*Report, error) {
-	return core.Run(im, input, name, cfg)
+// (e.g. one built with the bundled assembler). It recovers panics,
+// honors ctx/cfg.Timeout/cfg.WatchdogInterval, and returns a partial
+// Truncated report when the run is cut short.
+func RunImage(ctx context.Context, im *program.Image, input []byte, name string, cfg Config) (rep *Report, err error) {
+	defer recoverToError(name, &rep, &err)
+	return core.Run(ctx, im, input, name, cfg)
 }

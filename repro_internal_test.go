@@ -4,6 +4,7 @@ package repro
 // aggregation and the concurrency bound.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -18,14 +19,14 @@ import (
 func TestRunAllFailSoft(t *testing.T) {
 	names := []string{"alpha", "broken", "gamma", "delta"}
 	sentinel := errors.New("simulated fault")
-	runOne := func(name string, cfg Config) (*Report, error) {
+	runOne := func(ctx context.Context, name string, cfg Config) (*Report, error) {
 		if name == "broken" {
 			return nil, sentinel
 		}
 		return &Report{Benchmark: name}, nil
 	}
 
-	reports, err := runAll(names, Config{Parallel: 2}, runOne)
+	reports, err := runAll(context.Background(), names, Config{Parallel: 2}, runOne)
 	if err == nil {
 		t.Fatal("failing workload must surface an error")
 	}
@@ -49,10 +50,10 @@ func TestRunAllFailSoft(t *testing.T) {
 // TestRunAllAggregatesEveryFailure checks errors.Join keeps all causes.
 func TestRunAllAggregatesEveryFailure(t *testing.T) {
 	names := []string{"a", "b", "c"}
-	runOne := func(name string, cfg Config) (*Report, error) {
+	runOne := func(ctx context.Context, name string, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("fault in %s", name)
 	}
-	reports, err := runAll(names, Config{Parallel: 1}, runOne)
+	reports, err := runAll(context.Background(), names, Config{Parallel: 1}, runOne)
 	if len(reports) != 0 {
 		t.Errorf("no workload succeeded but got %d reports", len(reports))
 	}
@@ -76,7 +77,7 @@ func TestRunAllBoundedPool(t *testing.T) {
 	for i := range names {
 		names[i] = fmt.Sprintf("w%d", i)
 	}
-	runOne := func(name string, cfg Config) (*Report, error) {
+	runOne := func(ctx context.Context, name string, cfg Config) (*Report, error) {
 		n := atomic.AddInt64(&active, 1)
 		mu.Lock()
 		if n > peak {
@@ -86,7 +87,7 @@ func TestRunAllBoundedPool(t *testing.T) {
 		defer atomic.AddInt64(&active, -1)
 		return &Report{Benchmark: name}, nil
 	}
-	reports, err := runAll(names, Config{Parallel: limit}, runOne)
+	reports, err := runAll(context.Background(), names, Config{Parallel: limit}, runOne)
 	if err != nil {
 		t.Fatal(err)
 	}

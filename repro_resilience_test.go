@@ -1,0 +1,175 @@
+package repro_test
+
+// Acceptance tests for the fault-tolerant run path at the public API:
+// a panicking workload and a stalled workload fail alone, the healthy
+// workloads' tables are byte-identical to an uninjected run, and runs
+// cut short surface well-formed partial reports.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+// resilienceWindow is small enough to run the full workload set twice
+// in a test, large enough that the injected fault points land inside
+// the measure window.
+func resilienceWindow() repro.Config {
+	return repro.Config{SkipInstructions: 20_000, MeasureInstructions: 100_000}
+}
+
+// TestFaultedRunIsolatesFailures is the headline acceptance test: with
+// an observer panic injected into one workload and a full stall (caught
+// by the watchdog) injected into another, RunAll still completes, the
+// two faulted workloads report their own failures, and every other
+// workload's tables are byte-identical to a clean run.
+func TestFaultedRunIsolatesFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload set in -short mode")
+	}
+	ctx := context.Background()
+
+	clean, err := repro.RunAll(ctx, resilienceWindow())
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+
+	cfg := resilienceWindow()
+	cfg.WatchdogInterval = 500 * time.Millisecond
+	cfg.Faults = faultinject.NewPlan(
+		faultinject.Fault{Kind: faultinject.ObserverPanic, Workload: "goban", At: 60_000, Message: "injected goban panic"},
+		faultinject.Fault{Kind: faultinject.SlowStep, Workload: "lzw", At: 70_000, Delay: time.Minute},
+	)
+	reports, err := repro.RunAll(ctx, cfg)
+	if err == nil {
+		t.Fatal("faulted run must surface an error")
+	}
+	var pe *core.PanicError
+	if !errors.As(err, &pe) || pe.Benchmark != "goban" {
+		t.Errorf("aggregated error lacks goban's PanicError: %v", err)
+	}
+	var we *core.WatchdogError
+	if !errors.As(err, &we) || we.Benchmark != "lzw" {
+		t.Errorf("aggregated error lacks lzw's WatchdogError: %v", err)
+	}
+
+	// The stalled workload degrades to a truncated partial report with
+	// the instructions measured before the stall.
+	var lzw *repro.Report
+	var healthy []*repro.Report
+	for _, r := range reports {
+		switch {
+		case r.Benchmark == "lzw":
+			lzw = r
+		case !r.Truncated:
+			healthy = append(healthy, r)
+		}
+	}
+	if lzw == nil {
+		t.Fatal("stalled lzw run did not yield a partial report")
+	}
+	if !lzw.Truncated || lzw.TruncatedReason != core.ReasonWatchdog {
+		t.Errorf("lzw partial report = Truncated:%v reason:%q, want watchdog truncation",
+			lzw.Truncated, lzw.TruncatedReason)
+	}
+	if lzw.MeasuredInstructions == 0 || lzw.MeasuredInstructions >= 100_000 {
+		t.Errorf("lzw measured %d instructions, want a mid-window count", lzw.MeasuredInstructions)
+	}
+	if lzw.Metrics == nil {
+		t.Error("lzw partial report lost its run metrics")
+	}
+
+	// Every untouched workload renders byte-identically to the clean
+	// run: fault injection in one goroutine cannot perturb another's
+	// deterministic simulation.
+	var cleanSurvivors []*repro.Report
+	for _, r := range clean {
+		if r.Benchmark != "goban" && r.Benchmark != "lzw" {
+			cleanSurvivors = append(cleanSurvivors, r)
+		}
+	}
+	if len(healthy) != len(cleanSurvivors) {
+		t.Fatalf("faulted run kept %d healthy reports, want %d", len(healthy), len(cleanSurvivors))
+	}
+	if got, want := repro.FormatAll(healthy), repro.FormatAll(cleanSurvivors); got != want {
+		t.Error("healthy workloads' tables differ from the uninjected run")
+	}
+}
+
+// TestRunWorkloadCompileFault checks the compile-time fault point:
+// the error surfaces before any simulation and no report is produced.
+func TestRunWorkloadCompileFault(t *testing.T) {
+	cfg := repro.QuickConfig()
+	cfg.Faults = faultinject.NewPlan(faultinject.Fault{Kind: faultinject.CompileFail, Workload: "m88k"})
+	r, err := repro.RunWorkload(context.Background(), "m88k", cfg)
+	if err == nil || !strings.Contains(err.Error(), "injected compile failure") {
+		t.Fatalf("err = %v, want injected compile failure", err)
+	}
+	if r != nil {
+		t.Errorf("compile failure produced a report: %+v", r)
+	}
+}
+
+// TestRunSourceTimeoutPartialReport drives the timeout path through
+// RunSource and checks the partial report travels with the error.
+func TestRunSourceTimeoutPartialReport(t *testing.T) {
+	cfg := repro.Config{
+		Timeout: 30 * time.Millisecond,
+		Faults:  faultinject.NewPlan(faultinject.Fault{Kind: faultinject.SlowStep, At: 1_000, Delay: time.Hour}),
+	}
+	r, err := repro.RunSource(context.Background(), `
+int main() {
+	int i;
+	for (i = 0; i < 1000000; i++) {}
+	return 0;
+}`, nil, "slowpoke", cfg)
+	var te *core.TimeoutError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *TimeoutError", err)
+	}
+	if r == nil || !r.Truncated || r.TruncatedReason != core.ReasonTimeout {
+		t.Fatalf("partial report = %+v, want timeout truncation", r)
+	}
+}
+
+// TestFormatMarksTruncatedReports checks the table renderers: truncated
+// rows carry a dagger and a footnote, and clean reports render exactly
+// as before.
+func TestFormatMarksTruncatedReports(t *testing.T) {
+	full := &repro.Report{Benchmark: "alpha"}
+	part := &repro.Report{Benchmark: "beta", Truncated: true,
+		TruncatedReason: core.ReasonWatchdog, MeasuredInstructions: 12_345}
+
+	cleanOnly, err := repro.Format("table1", []*repro.Report{full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cleanOnly, "†") {
+		t.Error("clean report rendered with a truncation mark")
+	}
+
+	mixed, err := repro.Format("table1", []*repro.Report{full, part})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mixed, "beta†") {
+		t.Errorf("truncated row lacks the dagger:\n%s", mixed)
+	}
+	if strings.Contains(mixed, "alpha†") {
+		t.Errorf("clean row gained a dagger:\n%s", mixed)
+	}
+	if !strings.Contains(mixed, "watchdog") || !strings.Contains(mixed, "truncated run") {
+		t.Errorf("missing truncation footnote:\n%s", mixed)
+	}
+
+	all := repro.FormatAll([]*repro.Report{full, part})
+	if n := strings.Count(all, "truncated run, statistics cover a partial window"); n != 1 {
+		t.Errorf("FormatAll renders %d truncation footnotes, want exactly 1", n)
+	}
+}

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -25,13 +26,13 @@ func TestWorkloadRegistry(t *testing.T) {
 }
 
 func TestRunWorkloadUnknown(t *testing.T) {
-	if _, err := repro.RunWorkload("bogus", repro.QuickConfig()); err == nil {
+	if _, err := repro.RunWorkload(context.Background(), "bogus", repro.QuickConfig()); err == nil {
 		t.Error("unknown workload should fail")
 	}
 }
 
 func TestRunSourceAndFormat(t *testing.T) {
-	r, err := repro.RunSource(`
+	r, err := repro.RunSource(context.Background(), `
 int main() {
 	int s;
 	s = 0;
@@ -70,7 +71,7 @@ int main() {
 }
 
 func TestRunSourceCompileError(t *testing.T) {
-	if _, err := repro.RunSource("int main( {", nil, "bad", repro.Config{}); err == nil {
+	if _, err := repro.RunSource(context.Background(), "int main( {", nil, "bad", repro.Config{}); err == nil {
 		t.Error("bad source should fail to compile")
 	}
 }
@@ -80,7 +81,7 @@ func TestCompilePublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := repro.RunImage(im, nil, "seven", repro.Config{})
+	r, err := repro.RunImage(context.Background(), im, nil, "seven", repro.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestPaperShapes(t *testing.T) {
 		t.Skip("suite run in -short mode")
 	}
 	cfg := repro.Config{SkipInstructions: 300_000, MeasureInstructions: 1_000_000}
-	reports, err := repro.RunAll(cfg)
+	reports, err := repro.RunAll(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,11 +194,11 @@ func TestWindowStability(t *testing.T) {
 		late := early
 		late.SkipInstructions = 2_000_000
 
-		r1, err := repro.RunWorkload(name, early)
+		r1, err := repro.RunWorkload(context.Background(), name, early)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r2, err := repro.RunWorkload(name, late)
+		r2, err := repro.RunWorkload(context.Background(), name, late)
 		if err != nil {
 			t.Fatal(err)
 		}

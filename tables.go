@@ -13,6 +13,38 @@ import (
 // This file renders the paper's tables and figures from a set of
 // Reports. Each Format* function regenerates the rows/series of the
 // correspondingly numbered table or figure.
+//
+// Partial reports (Report.Truncated, from runs cut short by
+// cancellation, timeout, watchdog, fault, or a recovered panic) render
+// like complete ones but their benchmark label carries a dagger and
+// Format/FormatAll append a footnote, so truncated statistics are
+// never mistaken for full-window numbers. Clean runs render
+// byte-identically to before the resilience layer existed.
+
+// label returns the report's benchmark name for table rows, with a
+// dagger marking truncated (partial) reports.
+func label(r *Report) string {
+	if r.Truncated {
+		return r.Benchmark + "†"
+	}
+	return r.Benchmark
+}
+
+// truncationNote returns the footnote explaining dagger-marked rows,
+// or "" when every report is complete.
+func truncationNote(rs []*Report) string {
+	var trunc []string
+	for _, r := range rs {
+		if r.Truncated {
+			trunc = append(trunc, fmt.Sprintf("%s: %s after %s instructions",
+				r.Benchmark, r.TruncatedReason, report.FormatCount(r.MeasuredInstructions)))
+		}
+	}
+	if len(trunc) == 0 {
+		return ""
+	}
+	return "† truncated run, statistics cover a partial window (" + strings.Join(trunc, "; ") + ")\n"
+}
 
 // FormatTable1 renders Table 1: dynamic and static instruction counts
 // and repetition percentages.
@@ -21,7 +53,7 @@ func FormatTable1(rs []*Report) string {
 		"Table 1: dynamic/static instructions and repetition",
 		"bench", "dyn total", "repeat%", "static", "exec%", "static-repeat%")
 	for _, r := range rs {
-		t.Row(r.Benchmark, report.FormatCount(r.DynTotal), r.DynRepeatedPct,
+		t.Row(label(r), report.FormatCount(r.DynTotal), r.DynRepeatedPct,
 			report.FormatCount(uint64(r.StaticTotal)), r.StaticExecPct, r.StaticRepeatPct)
 	}
 	return t.String()
@@ -33,7 +65,7 @@ func FormatFigure1(rs []*Report) string {
 	var b strings.Builder
 	b.WriteString("Figure 1: % of repeated static instructions covering X% of repetition\n")
 	for _, r := range rs {
-		b.WriteString(report.Series(r.Benchmark, r.Fig1Targets, r.Fig1))
+		b.WriteString(report.Series(label(r), r.Fig1Targets, r.Fig1))
 		b.WriteByte('\n')
 	}
 	return b.String()
@@ -45,7 +77,7 @@ func FormatTable2(rs []*Report) string {
 	t := report.NewTable("Table 2: unique repeatable instances",
 		"bench", "count", "avg repeats")
 	for _, r := range rs {
-		t.Row(r.Benchmark, report.FormatCount(r.UniqueInstances),
+		t.Row(label(r), report.FormatCount(r.UniqueInstances),
 			fmt.Sprintf("%.0f", r.AvgRepeats))
 	}
 	return t.String()
@@ -58,7 +90,7 @@ func FormatFigure3(rs []*Report) string {
 		"Figure 3: repetition by #unique repeatable instances per static instruction (%)",
 		"bench", "1", "2-10", "11-100", "101-1000", ">1000")
 	for _, r := range rs {
-		t.Row(r.Benchmark, r.Fig3[0], r.Fig3[1], r.Fig3[2], r.Fig3[3], r.Fig3[4])
+		t.Row(label(r), r.Fig3[0], r.Fig3[1], r.Fig3[2], r.Fig3[3], r.Fig3[4])
 	}
 	return t.String()
 }
@@ -69,7 +101,7 @@ func FormatFigure4(rs []*Report) string {
 	var b strings.Builder
 	b.WriteString("Figure 4: % of unique repeatable instances covering X% of repetition\n")
 	for _, r := range rs {
-		b.WriteString(report.Series(r.Benchmark, r.Fig4Targets, r.Fig4))
+		b.WriteString(report.Series(label(r), r.Fig4Targets, r.Fig4))
 		b.WriteByte('\n')
 	}
 	return b.String()
@@ -91,7 +123,7 @@ func FormatTable3(rs []*Report) string {
 	for _, sec := range sections {
 		headers := []string{sec.name}
 		for _, r := range rs {
-			headers = append(headers, r.Benchmark)
+			headers = append(headers, label(r))
 		}
 		t := report.NewTable("", headers...)
 		// Paper row order: internals, global init data, external
@@ -114,7 +146,7 @@ func FormatTable4(rs []*Report) string {
 	t := report.NewTable("Table 4: function-level analysis",
 		"bench", "funcs", "dyn calls", "all-args-rep%", "no-args-rep%")
 	for _, r := range rs {
-		t.Row(r.Benchmark, r.Table4.Funcs, report.FormatCount(r.Table4.DynCalls),
+		t.Row(label(r), r.Table4.Funcs, report.FormatCount(r.Table4.DynCalls),
 			r.Table4.AllArgsPct, r.Table4.NoArgsPct)
 	}
 	return t.String()
@@ -124,7 +156,7 @@ func FormatTable4(rs []*Report) string {
 func localSection(title string, rs []*Report, get func(*Report) [local.NumCats]float64) string {
 	headers := []string{"category"}
 	for _, r := range rs {
-		headers = append(headers, r.Benchmark)
+		headers = append(headers, label(r))
 	}
 	t := report.NewTable(title, headers...)
 	for c := local.Cat(0); c < local.NumCats; c++ {
@@ -163,7 +195,7 @@ func FormatTable8(rs []*Report) string {
 	t := report.NewTable("Table 8: dynamic calls without side effects or implicit inputs",
 		"bench", "% of all calls", "% of all-arg-rep calls")
 	for _, r := range rs {
-		t.Row(r.Benchmark, r.Table8.PureOfAllPct, r.Table8.PureOfAllArgRepPct)
+		t.Row(label(r), r.Table8.PureOfAllPct, r.Table8.PureOfAllArgRepPct)
 	}
 	return t.String()
 }
@@ -174,7 +206,7 @@ func FormatFigure5(rs []*Report) string {
 	t := report.NewTable("Figure 5: all-arg repetition covered by top-k argument sets (%)",
 		"bench", "top1", "top2", "top3", "top4", "top5")
 	for _, r := range rs {
-		row := []any{r.Benchmark}
+		row := []any{label(r)}
 		for _, v := range r.Fig5 {
 			row = append(row, v)
 		}
@@ -188,7 +220,7 @@ func FormatTable9(rs []*Report) string {
 	var b strings.Builder
 	b.WriteString("Table 9: top-5 contributors to prologue+epilogue repetition (name/size)\n")
 	for _, r := range rs {
-		fmt.Fprintf(&b, "%-8s", r.Benchmark)
+		fmt.Fprintf(&b, "%-8s", label(r))
 		for _, row := range r.Table9 {
 			fmt.Fprintf(&b, "  %s/%d", row.Name, row.Size)
 		}
@@ -203,7 +235,7 @@ func FormatFigure6(rs []*Report) string {
 	t := report.NewTable("Figure 6: global+heap load repetition covered by top-k values (%)",
 		"bench", "top1", "top2", "top3", "top4", "top5")
 	for _, r := range rs {
-		row := []any{r.Benchmark}
+		row := []any{label(r)}
 		for _, v := range r.Fig6 {
 			row = append(row, v)
 		}
@@ -218,7 +250,7 @@ func FormatTable10(rs []*Report) string {
 	t := report.NewTable("Table 10: repetition captured by 8K 4-way reuse buffer",
 		"bench", "% of all inst", "% of repeated inst")
 	for _, r := range rs {
-		t.Row(r.Benchmark, r.ReusePctAll, r.ReusePctRepeated)
+		t.Row(label(r), r.ReusePctAll, r.ReusePctRepeated)
 	}
 	return t.String()
 }
@@ -236,7 +268,7 @@ func FormatTypeBreakdown(rs []*Report) string {
 	}
 	t := report.NewTable("", headers...)
 	for _, r := range rs {
-		row := []any{r.Benchmark}
+		row := []any{label(r)}
 		for c := repetition.InstClass(0); c < repetition.NumClasses; c++ {
 			row = append(row, fmt.Sprintf("%.1f/%.1f", r.TypeOverallPct[c], r.TypePropensityPct[c]))
 		}
@@ -254,7 +286,7 @@ func FormatVPred(rs []*Report) string {
 		"Extension: value prediction accuracy (8K-entry tables, % of value-producing instructions)",
 		"bench", "eligible%", "last-value", "stride", "hybrid", "repetition%")
 	for _, r := range rs {
-		t.Row(r.Benchmark, r.VPred.EligiblePct, r.VPred.LastValuePct,
+		t.Row(label(r), r.VPred.EligiblePct, r.VPred.LastValuePct,
 			r.VPred.StridePct, r.VPred.HybridPct, r.DynRepeatedPct)
 	}
 	return t.String()
@@ -267,7 +299,7 @@ func FormatProfile(rs []*Report) string {
 	var b strings.Builder
 	b.WriteString("Extension: per-function profile (top 8 by self instructions)\n")
 	for _, r := range rs {
-		fmt.Fprintf(&b, "%s:\n", r.Benchmark)
+		fmt.Fprintf(&b, "%s:\n", label(r))
 		t := report.NewTable("", "function", "size", "calls", "self instrs", "repeat%", "all-args-rep%")
 		for i, row := range r.Profile {
 			if i >= 8 {
@@ -291,7 +323,7 @@ func FormatVProfile(rs []*Report) string {
 		"Extension: value-profile invariance (Calder TNV, register-writing instructions)",
 		"bench", "sites", "Inv(1)%", "Inv(4)%", "invariant-sites%", "repetition%")
 	for _, r := range rs {
-		t.Row(r.Benchmark, r.VProfile.Sites, r.VProfile.Top1Pct,
+		t.Row(label(r), r.VProfile.Sites, r.VProfile.Top1Pct,
 			r.VProfile.Top4Pct, r.VProfile.InvariantSitesPct, r.DynRepeatedPct)
 	}
 	return t.String()
@@ -313,8 +345,18 @@ func Experiments() []string {
 }
 
 // Format renders one experiment ("table1".."table10", "fig1", "fig3",
-// "fig4", "fig5", "fig6") for the given reports.
+// "fig4", "fig5", "fig6") for the given reports, with a truncation
+// footnote when any report is partial.
 func Format(experiment string, rs []*Report) (string, error) {
+	s, err := format(experiment, rs)
+	if err != nil {
+		return "", err
+	}
+	return s + truncationNote(rs), nil
+}
+
+// format renders one experiment without the truncation footnote.
+func format(experiment string, rs []*Report) (string, error) {
 	switch experiment {
 	case "table1":
 		return FormatTable1(rs), nil
@@ -358,13 +400,15 @@ func Format(experiment string, rs []*Report) (string, error) {
 	return "", fmt.Errorf("repro: unknown experiment %q (have %v)", experiment, experimentOrder)
 }
 
-// FormatAll renders every table and figure in paper order.
+// FormatAll renders every table and figure in paper order, with a
+// single truncation footnote at the end when any report is partial.
 func FormatAll(rs []*Report) string {
 	var b strings.Builder
 	for _, e := range experimentOrder {
-		s, _ := Format(e, rs)
+		s, _ := format(e, rs)
 		b.WriteString(s)
 		b.WriteByte('\n')
 	}
+	b.WriteString(truncationNote(rs))
 	return b.String()
 }
