@@ -1,14 +1,26 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race check bench benchsmoke fuzzsmoke repro lint examples
+.PHONY: all test vet race check cover bench benchsmoke fuzzsmoke repro lint examples
 
 all: check
 
 # Default gate: build+test, static analysis, the race detector
 # (includes the concurrent-Progress ticker test and the resilience
-# tests), a quick benchmark smoke run, and a bounded fuzz pass over
-# the panic-sensitive decoders.
-check: test vet race benchsmoke fuzzsmoke
+# tests), an enforced coverage floor, a quick benchmark smoke run,
+# and a bounded fuzz pass over the panic-sensitive decoders.
+check: test vet race cover benchsmoke fuzzsmoke
+
+# Enforced statement-coverage floor across the whole module. The
+# current baseline is ~81%; the floor sits a few points below so
+# honest refactors don't trip it while untested subsystems do.
+COVER_FLOOR := 75
+
+cover:
+	go test -count=1 -coverprofile=cover.out -coverpkg=./... ./... > /dev/null
+	@total=$$(go tool cover -func=cover.out | awk '/^total:/ { gsub("%","",$$3); print $$3 }'); \
+	awk -v t=$$total -v floor=$(COVER_FLOOR) 'BEGIN { \
+		if (t+0 < floor+0) { printf "FAIL: coverage %.1f%% is below the %d%% floor\n", t, floor; exit 1 } \
+		printf "coverage %.1f%% (floor %d%%)\n", t, floor }'
 
 test:
 	go build ./... && go test ./...
@@ -32,12 +44,15 @@ bench:
 benchsmoke:
 	go test -run '^$$' -bench 'SimulatorRaw|PipelineFull|CensusObserve|ReuseObserve' -benchtime 1x .
 
-# Bounded fuzz of the no-panic contracts: instruction decoding and the
-# MiniC compiler front end. `go test -fuzz` takes one target at a time,
-# so each gets its own short budget.
+# Bounded fuzz of the no-panic contracts: instruction decoding, the
+# MiniC compiler front end, and the result-cache fingerprint (equal
+# configs => equal keys, any measurement-field change => new key).
+# `go test -fuzz` takes one target at a time, so each gets its own
+# short budget.
 fuzzsmoke:
 	go test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/isa
 	go test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 10s ./internal/minic
+	go test -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime 10s ./internal/resultcache
 
 # Regenerate every table and figure of the paper.
 repro:

@@ -28,6 +28,17 @@
 //	    cancels gracefully — tables and metrics for completed workloads
 //	    still print — and a second ^C kills the process.
 //
+//	instrep serve [-addr HOST:PORT] [-cache-dir DIR] [-cache-entries N]
+//	              [-skip N] [-measure N] [-request-timeout D] [-quiet]
+//	    Serve reports over HTTP backed by the content-addressed result
+//	    cache: GET /v1/report/{workload} (canonical report JSON),
+//	    /v1/tables/{workload} (rendered tables; "all" serves every
+//	    workload, ?experiment= selects a subset), /v1/workloads,
+//	    /healthz, and /metrics. Each distinct (workload, config) pair
+//	    is simulated at most once — concurrent cold requests share one
+//	    simulation — then served from memory/disk. ^C shuts down
+//	    gracefully, canceling in-flight simulations.
+//
 //	instrep exec [-input FILE] [-max N] PROGRAM.c
 //	    Compile a MiniC program and execute it on the simulator,
 //	    echoing its output (a development aid for writing workloads).
@@ -58,6 +69,8 @@ import (
 	"repro/internal/minic"
 	"repro/internal/obs"
 	"repro/internal/program"
+	"repro/internal/reportserver"
+	"repro/internal/resultcache"
 	"repro/internal/workloads"
 )
 
@@ -81,6 +94,8 @@ func main() {
 		err = cmdList()
 	case "run":
 		err = cmdRun(ctx, os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "exec":
 		err = cmdExec(os.Args[2:])
 	case "asm":
@@ -105,6 +120,7 @@ func usage() {
 commands:
   list    list benchmark workloads
   run     run the repetition analyses and print tables/figures
+  serve   serve reports over HTTP with a content-addressed result cache
   exec    compile and run a MiniC program
   asm     compile a MiniC program to assembly
   disasm  disassemble a compiled MiniC program or workload`)
@@ -147,6 +163,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	asJSON := fs.Bool("json", false, "emit the raw reports as JSON instead of tables")
 	metrics := fs.String("metrics", "", "print run metrics after the tables: 'text' or 'json'")
 	progress := fs.Bool("progress", false, "render a live progress ticker on stderr")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory: reuse reports from prior runs with the same config (\"\" = off)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -213,6 +230,17 @@ func cmdRun(ctx context.Context, args []string) error {
 		defer t.finish()
 	}
 
+	// The cache-aware runner is the same code path the serve daemon
+	// uses; with no -cache-dir it degenerates to plain RunAll.
+	runner := &repro.Runner{}
+	if *cacheDir != "" {
+		c, err := resultcache.New(0, *cacheDir)
+		if err != nil {
+			return fmt.Errorf("opening -cache-dir: %w", err)
+		}
+		runner.Cache = c
+	}
+
 	// runErr carries a partial failure: the surviving reports —
 	// including truncated partial reports from runs cut short — still
 	// render below, and the error is returned at the end so the exit
@@ -220,7 +248,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	var runErr error
 	var reports []*repro.Report
 	if *bench == "all" {
-		reports, runErr = repro.RunAll(ctx, cfg)
+		reports, runErr = runner.RunAll(ctx, cfg)
 		if runErr != nil && len(reports) == 0 {
 			return runErr
 		}
@@ -228,7 +256,7 @@ func cmdRun(ctx context.Context, args []string) error {
 			fmt.Fprintf(os.Stderr, "instrep: continuing with %d workloads: %v\n", len(reports), runErr)
 		}
 	} else {
-		r, err := repro.RunWorkload(ctx, *bench, cfg)
+		r, err := runner.RunWorkload(ctx, *bench, cfg)
 		if err != nil && r == nil {
 			return err
 		}
@@ -282,6 +310,62 @@ func cmdRun(ctx context.Context, args []string) error {
 		}
 	}
 	return runErr
+}
+
+// cmdServe runs the report-serving daemon: an HTTP API over the
+// content-addressed result cache. The first request for a (workload,
+// config) pair simulates; every later one — and every concurrent
+// duplicate — is served from the cache.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8100", "listen address")
+	cacheDir := fs.String("cache-dir", "", "persist cached reports under this directory (\"\" = memory only)")
+	cacheEntries := fs.Int("cache-entries", 0, "in-memory cache capacity in reports (0 = default)")
+	skip := fs.Uint64("skip", 1_000_000, "instructions to skip before measuring")
+	measure := fs.Uint64("measure", 5_000_000, "instructions to measure (0 = to completion)")
+	instances := fs.Int("instances", 0, "per-instruction instance buffer limit (0 = paper's 2000)")
+	reuseEntries := fs.Int("reuse-entries", 0, "reuse buffer entries (0 = paper's 8192)")
+	reuseAssoc := fs.Int("reuse-assoc", 0, "reuse buffer associativity (0 = paper's 4)")
+	variant := fs.Int("input-variant", 1, "workload input data set (1 = standard, 2 = alternate)")
+	parallel := fs.Int("parallel", 0, "max workloads simulated concurrently for /v1/tables/all (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 0, "per-workload simulation wall-clock limit (0 = none)")
+	watchdog := fs.Duration("watchdog", 0, "abort a simulation making no retire progress for this long (0 = off)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request timeout including any simulation (0 = the 2m default, negative = none)")
+	quiet := fs.Bool("quiet", false, "suppress request logging")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("serve takes no positional arguments")
+	}
+
+	cache, err := resultcache.New(*cacheEntries, *cacheDir)
+	if err != nil {
+		return fmt.Errorf("opening -cache-dir: %w", err)
+	}
+	level := obs.LevelDebug
+	if *quiet {
+		level = obs.LevelError
+	}
+	log := obs.NewLogger(os.Stderr, level)
+	srv := reportserver.New(reportserver.Config{
+		RunConfig: repro.Config{
+			SkipInstructions:    *skip,
+			MeasureInstructions: *measure,
+			MaxInstances:        *instances,
+			ReuseEntries:        *reuseEntries,
+			ReuseAssoc:          *reuseAssoc,
+			InputVariant:        *variant,
+			Parallel:            *parallel,
+			Timeout:             *timeout,
+			WatchdogInterval:    *watchdog,
+		},
+		Cache:          cache,
+		RequestTimeout: *reqTimeout,
+		Log:            log,
+	})
+	log.Info("serving reports", "addr", *addr, "cache_dir", *cacheDir)
+	return srv.ListenAndServe(ctx, *addr)
 }
 
 // ticker renders a single-line live progress display on w: phase,

@@ -331,7 +331,13 @@ func (a *Analysis) PerFunction() []FuncRow {
 		if rows[i].Instrs != rows[j].Instrs {
 			return rows[i].Instrs > rows[j].Instrs
 		}
-		return rows[i].Calls > rows[j].Calls
+		if rows[i].Calls != rows[j].Calls {
+			return rows[i].Calls > rows[j].Calls
+		}
+		// Name breaks exact ties: rows come from map iteration, and
+		// the report must be byte-deterministic (golden corpus, result
+		// cache).
+		return rows[i].Name < rows[j].Name
 	})
 	return rows
 }

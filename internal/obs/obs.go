@@ -112,10 +112,46 @@ func (r *Registry) CounterValues() []NamedValue {
 	return out
 }
 
+// GaugeValues returns a name-sorted snapshot of every gauge.
+func (r *Registry) GaugeValues() []NamedValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]NamedValue, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		out = append(out, NamedValue{Name: name, Value: g.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TimerValues returns a name-sorted snapshot of every timer (count,
+// sum, mean, p50/p95, max) — the request-latency section of the report
+// server's /metrics document.
+func (r *Registry) TimerValues() []NamedTimer {
+	r.mu.Lock()
+	timers := make(map[string]*Timer, len(r.timers))
+	for name, t := range r.timers {
+		timers[name] = t
+	}
+	r.mu.Unlock()
+	out := make([]NamedTimer, 0, len(timers))
+	for name, t := range timers {
+		out = append(out, NamedTimer{Name: name, TimerStats: t.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // NamedValue is one registry entry in a snapshot.
 type NamedValue struct {
 	Name  string `json:"name"`
 	Value int64  `json:"value"`
+}
+
+// NamedTimer is one timer entry in a registry snapshot.
+type NamedTimer struct {
+	Name string `json:"name"`
+	TimerStats
 }
 
 // Health aggregates process-wide resilience counters incremented by

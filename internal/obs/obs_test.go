@@ -270,3 +270,27 @@ func TestLoggerNil(t *testing.T) {
 		t.Error("nil logger reports enabled")
 	}
 }
+
+func TestGaugeAndTimerSnapshots(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("inflight").Set(3)
+	r.Gauge("active").Set(1)
+	r.Timer("lat.b").Observe(2 * time.Millisecond)
+	r.Timer("lat.a").Observe(5 * time.Millisecond)
+	r.Timer("lat.a").Observe(7 * time.Millisecond)
+
+	gs := r.GaugeValues()
+	if len(gs) != 2 || gs[0].Name != "active" || gs[0].Value != 1 || gs[1].Name != "inflight" || gs[1].Value != 3 {
+		t.Errorf("gauge snapshot = %+v", gs)
+	}
+	ts := r.TimerValues()
+	if len(ts) != 2 || ts[0].Name != "lat.a" || ts[1].Name != "lat.b" {
+		t.Fatalf("timer snapshot order = %+v", ts)
+	}
+	if ts[0].Count != 2 || ts[1].Count != 1 {
+		t.Errorf("timer counts = %d, %d; want 2, 1", ts[0].Count, ts[1].Count)
+	}
+	if ts[0].Max < 7*time.Millisecond {
+		t.Errorf("lat.a max = %v, want >= 7ms", ts[0].Max)
+	}
+}

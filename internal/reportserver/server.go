@@ -1,0 +1,304 @@
+// Package reportserver serves precomputed repetition measurements
+// over HTTP: canonical report JSON, rendered tables, and workload
+// metadata, backed by the content-addressed result cache so each
+// distinct (workload, config) pair is simulated at most once and then
+// served from memory or disk. See DESIGN.md §12.
+//
+// Endpoints:
+//
+//	GET /v1/workloads          workload metadata (JSON)
+//	GET /v1/report/{workload}  canonical report JSON for one workload
+//	GET /v1/tables/{workload}  rendered tables ("all" = every workload;
+//	                           ?experiment=table1,fig4 selects a subset)
+//	GET /healthz               liveness probe
+//	GET /metrics               server/cache/health counters and request
+//	                           latency percentiles (JSON)
+package reportserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/obs"
+	"repro/internal/resultcache"
+)
+
+// DefaultRequestTimeout bounds one request's simulation work when
+// Config.RequestTimeout is zero. A cold default-window workload takes
+// a couple of seconds, so this is generous; cache hits are instant.
+const DefaultRequestTimeout = 2 * time.Minute
+
+// shutdownGrace is how long Serve waits for in-flight requests after
+// its context is canceled. Request contexts descend from the serve
+// context, so cancellation aborts in-flight simulations (the PR 3
+// machinery) and drains well inside the grace period.
+const shutdownGrace = 10 * time.Second
+
+// Config configures a Server.
+type Config struct {
+	// RunConfig is the measurement configuration every request is
+	// served with (the server's identity: one config, eight workloads,
+	// one cache key each).
+	RunConfig repro.Config
+
+	// Cache is the result cache (nil = a fresh memory-only cache).
+	Cache *resultcache.Cache
+
+	// RequestTimeout bounds each request including any simulation it
+	// triggers (0 = DefaultRequestTimeout, negative = none).
+	RequestTimeout time.Duration
+
+	// Log receives request-level log lines (nil = silent).
+	Log *obs.Logger
+
+	// Run overrides the per-workload compute function (nil =
+	// repro.RunWorkload). Injectable for tests.
+	Run func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error)
+}
+
+// Server is the report-serving daemon.
+type Server struct {
+	cfg    Config
+	runner *repro.Runner
+	names  map[string]bool
+	reg    *obs.Registry // requests.* counters, latency.* timers
+	log    *obs.Logger
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	if cfg.Cache == nil {
+		cfg.Cache, _ = resultcache.New(0, "") // memory-only New cannot fail
+	}
+	s := &Server{
+		cfg:    cfg,
+		runner: &repro.Runner{Cache: cfg.Cache, Run: cfg.Run},
+		names:  make(map[string]bool),
+		reg:    obs.NewRegistry(),
+		log:    cfg.Log,
+	}
+	for _, name := range repro.Workloads() {
+		s.names[name] = true
+	}
+	return s
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
+	mux.HandleFunc("GET /v1/report/{workload}", s.instrument("report", s.handleReport))
+	mux.HandleFunc("GET /v1/tables/{workload}", s.instrument("tables", s.handleTables))
+	return mux
+}
+
+// ListenAndServe serves on addr until ctx is canceled, then shuts
+// down gracefully (in-flight simulations are canceled through the
+// request contexts and their requests drain with an error response).
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, l)
+}
+
+// Serve is ListenAndServe on an existing listener.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		// Request contexts descend from ctx so a daemon-level cancel
+		// (SIGINT) aborts in-flight simulations immediately.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		err := srv.Shutdown(shctx)
+		<-errc // always http.ErrServerClosed after Shutdown
+		if s.log != nil {
+			s.log.Info("server stopped", "cause", context.Cause(ctx))
+		}
+		return err
+	}
+}
+
+// instrument wraps a handler with a request counter, a latency timer,
+// and the per-request timeout.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.reg.Counter("requests." + name).Inc()
+		timeout := s.cfg.RequestTimeout
+		if timeout == 0 {
+			timeout = DefaultRequestTimeout
+		}
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		start := time.Now()
+		h(w, r)
+		d := time.Since(start)
+		s.reg.Timer("latency." + name).Observe(d)
+		if s.log != nil {
+			s.log.Debug("request", "path", r.URL.Path, "ms", d.Milliseconds())
+		}
+	}
+}
+
+// fail writes an error response, classifying context ends: a client
+// cancel maps to 499 (client closed request), a deadline to 504.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error, status int) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		status = 499
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	}
+	s.reg.Counter("errors").Inc()
+	if s.log != nil {
+		s.log.Warn("request failed", "path", r.URL.Path, "status", status, "err", err)
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// writeJSON marshals v as indented JSON.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, repro.WorkloadInfos())
+}
+
+// reports resolves the {workload} path element ("all" or one name)
+// into reports via the cache-backed runner.
+func (s *Server) reports(r *http.Request) ([]*repro.Report, error) {
+	name := r.PathValue("workload")
+	if name == "all" {
+		return s.runner.RunAll(r.Context(), s.cfg.RunConfig)
+	}
+	if !s.names[name] {
+		return nil, fmt.Errorf("unknown workload %q (have %s, or \"all\")",
+			name, strings.Join(repro.Workloads(), ", "))
+	}
+	rep, err := s.runner.RunWorkload(r.Context(), name, s.cfg.RunConfig)
+	if err != nil {
+		return nil, err
+	}
+	return []*repro.Report{rep}, nil
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("workload")
+	if !s.names[name] {
+		s.fail(w, r, fmt.Errorf("unknown workload %q (have %s)",
+			name, strings.Join(repro.Workloads(), ", ")), http.StatusNotFound)
+		return
+	}
+	rep, err := s.runner.RunWorkload(r.Context(), name, s.cfg.RunConfig)
+	if err != nil {
+		s.fail(w, r, err, http.StatusInternalServerError)
+		return
+	}
+	// Serve the canonical form: byte-identical whether this request
+	// simulated or hit the cache (pinned by the golden corpus test).
+	data, err := repro.CanonicalReportJSON(rep)
+	if err != nil {
+		s.fail(w, r, err, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	// Validate the experiment selection before running anything.
+	var experiments []string
+	if q := r.URL.Query().Get("experiment"); q != "" && q != "all" {
+		valid := make(map[string]bool)
+		for _, e := range repro.Experiments() {
+			valid[e] = true
+		}
+		for _, e := range strings.Split(q, ",") {
+			e = strings.TrimSpace(e)
+			if !valid[e] {
+				s.fail(w, r, fmt.Errorf("unknown experiment %q (have %s, or \"all\")",
+					e, strings.Join(repro.Experiments(), ", ")), http.StatusBadRequest)
+				return
+			}
+			experiments = append(experiments, e)
+		}
+	}
+	reports, err := s.reports(r)
+	if err != nil && len(reports) == 0 {
+		status := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "unknown workload") {
+			status = http.StatusNotFound
+		}
+		s.fail(w, r, err, status)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err != nil {
+		// Fail-soft like the CLI: render the surviving workloads and
+		// flag the partial result.
+		w.Header().Set("X-Instrep-Partial", "true")
+		fmt.Fprintf(w, "# partial result: %v\n\n", err)
+	}
+	if len(experiments) == 0 {
+		fmt.Fprint(w, repro.FormatAll(reports))
+		return
+	}
+	for _, e := range experiments {
+		out, ferr := repro.Format(e, reports)
+		if ferr != nil {
+			fmt.Fprintf(w, "# %s: %v\n", e, ferr)
+			continue
+		}
+		fmt.Fprintln(w, out)
+	}
+}
+
+// metricsDoc is the /metrics response document.
+type metricsDoc struct {
+	Requests  []obs.NamedValue `json:"requests"`
+	Latency   []obs.NamedTimer `json:"latency"`
+	Cache     []obs.NamedValue `json:"cache"`
+	Health    []obs.NamedValue `json:"health"`
+	Workloads int              `json:"workloads"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, metricsDoc{
+		Requests:  s.reg.CounterValues(),
+		Latency:   s.reg.TimerValues(),
+		Cache:     s.cfg.Cache.StatValues(),
+		Health:    obs.HealthCounters(),
+		Workloads: len(s.names),
+	})
+}

@@ -1,0 +1,450 @@
+package reportserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/resultcache"
+)
+
+// fakeRun returns a Run override that fabricates a complete report and
+// counts simulations.
+func fakeRun(count *atomic.Int64, delay time.Duration) func(context.Context, string, repro.Config) (*repro.Report, error) {
+	return func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		count.Add(1)
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, context.Cause(ctx)
+			}
+		}
+		return &repro.Report{
+			Benchmark:            name,
+			DynTotal:             12345,
+			MeasuredInstructions: cfg.MeasureInstructions,
+			DynRepeatedPct:       80,
+		}, nil
+	}
+}
+
+// newTestServer builds a server around a fake runner and a cache.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz: code=%d body=%q", code, body)
+	}
+}
+
+func TestWorkloadsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body := get(t, ts.URL+"/v1/workloads")
+	if code != http.StatusOK {
+		t.Fatalf("workloads: code=%d", code)
+	}
+	var infos []repro.WorkloadInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != len(repro.Workloads()) {
+		t.Fatalf("got %d workloads, want %d", len(infos), len(repro.Workloads()))
+	}
+}
+
+func TestReportMissThenHit(t *testing.T) {
+	var sims atomic.Int64
+	_, ts := newTestServer(t, Config{Run: fakeRun(&sims, 0)})
+	code1, body1 := get(t, ts.URL+"/v1/report/goban")
+	code2, body2 := get(t, ts.URL+"/v1/report/goban")
+	if code1 != http.StatusOK || code2 != http.StatusOK {
+		t.Fatalf("codes: %d, %d", code1, code2)
+	}
+	if sims.Load() != 1 {
+		t.Fatalf("second request must hit the cache: %d simulations", sims.Load())
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cache hit served different bytes than the miss")
+	}
+	var rep repro.Report
+	if err := json.Unmarshal(body1, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "goban" || rep.DynTotal != 12345 {
+		t.Fatalf("served report wrong: %+v", rep)
+	}
+}
+
+func TestReportUnknownWorkload(t *testing.T) {
+	var sims atomic.Int64
+	_, ts := newTestServer(t, Config{Run: fakeRun(&sims, 0)})
+	code, body := get(t, ts.URL+"/v1/report/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("want 404, got %d: %s", code, body)
+	}
+	if sims.Load() != 0 {
+		t.Fatal("unknown workload must not simulate")
+	}
+}
+
+// TestSingleflightUnderConcurrentClients is the acceptance hammer: N
+// concurrent requests for one cold key cause exactly one simulation.
+// Run under -race via the Makefile race target.
+func TestSingleflightUnderConcurrentClients(t *testing.T) {
+	var sims atomic.Int64
+	_, ts := newTestServer(t, Config{Run: fakeRun(&sims, 100*time.Millisecond)})
+
+	const clients = 12
+	bodies := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/report/goban")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+
+	if n := sims.Load(); n != 1 {
+		t.Fatalf("want exactly 1 simulation for %d concurrent clients, got %d", clients, n)
+	}
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d got different bytes", i)
+		}
+	}
+}
+
+// TestCancelMidSimulation pins that a client disconnect aborts the
+// simulation through its context, nothing poisons the cache, and the
+// next request computes cleanly.
+func TestCancelMidSimulation(t *testing.T) {
+	var sims atomic.Int64
+	simStarted := make(chan struct{}, 8)
+	run := func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		sims.Add(1)
+		simStarted <- struct{}{}
+		<-ctx.Done() // wedge until the request is canceled
+		return nil, context.Cause(ctx)
+	}
+	var okRun atomic.Bool
+	_, ts := newTestServer(t, Config{Run: func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		if okRun.Load() {
+			return fakeRun(&sims, 0)(ctx, name, cfg)
+		}
+		return run(ctx, name, cfg)
+	}})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/report/goban", nil)
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	<-simStarted
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("canceled request should fail on the client side")
+	}
+
+	// The aborted simulation must not be cached: the next request
+	// simulates again and succeeds.
+	okRun.Store(true)
+	code, body := get(t, ts.URL+"/v1/report/goban")
+	if code != http.StatusOK {
+		t.Fatalf("follow-up request failed: %d %s", code, body)
+	}
+	if n := sims.Load(); n != 2 {
+		t.Fatalf("want 2 simulations (aborted + fresh), got %d", n)
+	}
+}
+
+// TestCorruptDiskEntryServed pins the disk tier's corruption fallback
+// end to end: a scribbled cache file is detected, dropped, recomputed,
+// and healed, and the client never sees the corruption.
+func TestCorruptDiskEntryServed(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := resultcache.New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sims atomic.Int64
+	runCfg := repro.QuickConfig()
+	_, ts := newTestServer(t, Config{Cache: cache, RunConfig: runCfg, Run: fakeRun(&sims, 0)})
+
+	// Plant garbage at the exact key the server will look up.
+	source, ok := repro.WorkloadSource("goban")
+	if !ok {
+		t.Fatal("no source for goban")
+	}
+	key := resultcache.Fingerprint("goban", source, runCfg)
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte(`{"Benchmark":"goban",`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := get(t, ts.URL+"/v1/report/goban")
+	if code != http.StatusOK {
+		t.Fatalf("corrupt entry leaked to the client: %d %s", code, body)
+	}
+	var rep repro.Report
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "goban" || rep.DynTotal != 12345 {
+		t.Fatalf("served report wrong after corruption: %+v", rep)
+	}
+	if sims.Load() != 1 {
+		t.Fatalf("corrupt entry must recompute: %d simulations", sims.Load())
+	}
+	if cache.Stats.Corrupt.Value() != 1 {
+		t.Fatalf("corrupt counter: %d", cache.Stats.Corrupt.Value())
+	}
+	// Healed: the file now byte-matches the served body.
+	healed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healed, body) {
+		t.Fatal("healed disk entry differs from the served canonical JSON")
+	}
+}
+
+func TestTablesEndpoint(t *testing.T) {
+	var sims atomic.Int64
+	_, ts := newTestServer(t, Config{Run: fakeRun(&sims, 0)})
+
+	code, body := get(t, ts.URL+"/v1/tables/goban?experiment=table1")
+	if code != http.StatusOK {
+		t.Fatalf("tables: %d %s", code, body)
+	}
+	if !strings.Contains(string(body), "goban") || !strings.Contains(string(body), "Table 1") {
+		t.Fatalf("table output missing content:\n%s", body)
+	}
+
+	code, body = get(t, ts.URL+"/v1/tables/goban?experiment=bogus")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad experiment should 400, got %d: %s", code, body)
+	}
+	if sims.Load() != 1 {
+		t.Fatal("invalid experiment must be rejected before simulating")
+	}
+
+	code, _ = get(t, ts.URL+"/v1/tables/nope")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown workload should 404, got %d", code)
+	}
+
+	// "all" renders every workload through the same cache.
+	code, body = get(t, ts.URL+"/v1/tables/all")
+	if code != http.StatusOK {
+		t.Fatalf("tables/all: %d", code)
+	}
+	for _, name := range repro.Workloads() {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("tables/all missing %s", name)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	var sims atomic.Int64
+	_, ts := newTestServer(t, Config{Run: fakeRun(&sims, 0)})
+	get(t, ts.URL+"/v1/report/goban")
+	get(t, ts.URL+"/v1/report/goban")
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+	var doc struct {
+		Requests []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"requests"`
+		Latency []struct {
+			Name  string `json:"name"`
+			Count uint64 `json:"count"`
+		} `json:"latency"`
+		Cache []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	find := func(section string) map[string]int64 {
+		out := map[string]int64{}
+		switch section {
+		case "requests":
+			for _, v := range doc.Requests {
+				out[v.Name] = v.Value
+			}
+		case "cache":
+			for _, v := range doc.Cache {
+				out[v.Name] = v.Value
+			}
+		}
+		return out
+	}
+	if got := find("requests")["requests.report"]; got != 2 {
+		t.Errorf("requests.report = %d, want 2", got)
+	}
+	cache := find("cache")
+	if cache["hits"] != 1 || cache["misses"] != 1 {
+		t.Errorf("cache counters wrong: %v", cache)
+	}
+	foundLatency := false
+	for _, l := range doc.Latency {
+		if l.Name == "latency.report" && l.Count == 2 {
+			foundLatency = true
+		}
+	}
+	if !foundLatency {
+		t.Errorf("latency.report timer missing or wrong: %+v", doc.Latency)
+	}
+}
+
+// TestServeGracefulShutdown pins the daemon lifecycle: canceling the
+// serve context stops the listener and Serve returns cleanly.
+func TestServeGracefulShutdown(t *testing.T) {
+	var sims atomic.Int64
+	s := New(Config{Run: fakeRun(&sims, 0)})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, l) }()
+
+	url := "http://" + l.Addr().String()
+	code, _ := get(t, url+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz before shutdown: %d", code)
+	}
+	cancel()
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after context cancel")
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("listener should be closed after shutdown")
+	}
+}
+
+// TestServedReportMatchesGoldenCorpus is the end-to-end acceptance
+// check with the real simulator: the cache-enabled serve path returns
+// byte-identical report JSON to a direct RunWorkload, both pinned by
+// the golden corpus.
+func TestServedReportMatchesGoldenCorpus(t *testing.T) {
+	cfg := repro.QuickConfig()
+	_, ts := newTestServer(t, Config{RunConfig: cfg})
+
+	// Twice: once simulating (cold), once from the cache.
+	code, cold := get(t, ts.URL+"/v1/report/lzw")
+	if code != http.StatusOK {
+		t.Fatalf("cold request: %d", code)
+	}
+	code, warm := get(t, ts.URL+"/v1/report/lzw")
+	if code != http.StatusOK {
+		t.Fatalf("warm request: %d", code)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cold and warm responses differ")
+	}
+
+	direct, err := repro.RunWorkload(context.Background(), "lzw", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.CanonicalReportJSON(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, want) {
+		t.Fatal("served report differs from direct RunWorkload")
+	}
+
+	golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "lzw.json"))
+	if err != nil {
+		t.Fatalf("golden corpus missing: %v", err)
+	}
+	if !bytes.Equal(cold, golden) {
+		t.Fatal("served report differs from the golden corpus")
+	}
+}
+
+// TestRequestTimeout pins the per-request timeout: a simulation slower
+// than the budget is cut off with 504.
+func TestRequestTimeout(t *testing.T) {
+	var sims atomic.Int64
+	_, ts := newTestServer(t, Config{
+		Run:            fakeRun(&sims, 5*time.Second),
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	code, body := get(t, ts.URL+"/v1/report/goban")
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("want 504, got %d: %s", code, body)
+	}
+}

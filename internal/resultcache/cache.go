@@ -1,0 +1,247 @@
+package resultcache
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// DefaultMaxEntries is the in-memory LRU capacity when New is given a
+// non-positive size. A canonical quick-window report is tens of
+// kilobytes, so the default keeps the full workload set plus ablations
+// resident in a few megabytes.
+const DefaultMaxEntries = 64
+
+// Stats are the cache's observability counters. All fields are safe
+// for concurrent use; snapshot them with Cache.StatValues.
+type Stats struct {
+	Hits         obs.Counter // served from the in-memory tier
+	DiskHits     obs.Counter // served from the on-disk tier
+	Misses       obs.Counter // led to a simulation
+	DedupWaits   obs.Counter // requests that piggybacked on an in-flight computation
+	Stores       obs.Counter // reports written into the cache
+	Evictions    obs.Counter // LRU evictions from the memory tier
+	Corrupt      obs.Counter // unreadable disk entries dropped (recompute followed)
+	DiskErrors   obs.Counter // disk-tier write failures (entry kept in memory only)
+	Uncacheable  obs.Counter // computed reports not stored (truncated/partial)
+	InflightRuns obs.Gauge   // simulations currently running on behalf of the cache
+}
+
+// Cache is a content-addressed store of canonical report JSON with an
+// in-memory LRU tier and an optional disk tier. The zero value is not
+// usable; construct with New. All methods are safe for concurrent use.
+type Cache struct {
+	maxEntries int
+	dir        string // "" = memory only
+
+	mu     sync.Mutex
+	lru    *list.List               // front = most recently used; values are *cacheEntry
+	byKey  map[string]*list.Element //
+	flight map[string]*call         // in-flight computations, by key
+
+	Stats Stats
+}
+
+// cacheEntry is one memory-tier slot: the key and the canonical JSON.
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// call is one in-flight computation; followers block on done and then
+// read rep/err. rep is shared between the leader and all followers, so
+// cached reports must be treated as read-only by callers.
+type call struct {
+	done chan struct{}
+	rep  *core.Report
+	err  error
+}
+
+// New creates a cache holding up to maxEntries reports in memory
+// (<= 0 selects DefaultMaxEntries) and, when dir is non-empty,
+// persisting entries under dir (created if missing).
+func New(maxEntries int, dir string) (*Cache, error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	c := &Cache{
+		maxEntries: maxEntries,
+		dir:        dir,
+		lru:        list.New(),
+		byKey:      make(map[string]*list.Element),
+		flight:     make(map[string]*call),
+	}
+	if err := c.initDisk(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Len returns the number of entries in the memory tier.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// GetOrCompute returns the report stored under key, computing and
+// storing it with compute on a miss. Concurrent calls for the same
+// cold key are deduplicated: exactly one runs compute, the rest wait
+// and share its result (so returned reports must be treated as
+// read-only). Reports served from the cache carry no RunMetrics (the
+// canonical form strips them); the call that actually computed keeps
+// its metrics intact.
+//
+// A computed report is stored only when compute succeeds and the
+// report is complete: truncated partial reports pass through to the
+// caller without poisoning the cache. If the computing call is
+// canceled by its own context, waiting callers whose contexts are
+// still live retry (leading to a fresh computation) instead of
+// inheriting the foreign cancellation.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(context.Context) (*core.Report, error)) (*core.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for {
+		c.mu.Lock()
+		if data, ok := c.getMemLocked(key); ok {
+			c.mu.Unlock()
+			c.Stats.Hits.Inc()
+			return decodeReport(data)
+		}
+		if cl, ok := c.flight[key]; ok {
+			c.mu.Unlock()
+			c.Stats.DedupWaits.Inc()
+			rep, err, retry := c.wait(ctx, cl)
+			if retry {
+				continue
+			}
+			return rep, err
+		}
+		cl := &call{done: make(chan struct{})}
+		c.flight[key] = cl
+		c.mu.Unlock()
+
+		rep, err := c.lead(ctx, key, compute)
+		cl.rep, cl.err = rep, err
+		c.mu.Lock()
+		delete(c.flight, key)
+		c.mu.Unlock()
+		close(cl.done)
+		return rep, err
+	}
+}
+
+// lead performs the slow path on behalf of every request for key: a
+// disk probe first, then the actual computation.
+func (c *Cache) lead(ctx context.Context, key string, compute func(context.Context) (*core.Report, error)) (*core.Report, error) {
+	if data, ok := c.diskGet(key); ok {
+		if rep, err := decodeReport(data); err == nil {
+			c.Stats.DiskHits.Inc()
+			c.putMem(key, data)
+			return rep, nil
+		}
+	}
+	c.Stats.Misses.Inc()
+	c.Stats.InflightRuns.Add(1)
+	rep, err := compute(ctx)
+	c.Stats.InflightRuns.Add(-1)
+	if err != nil || rep == nil {
+		return rep, err
+	}
+	if rep.Truncated {
+		c.Stats.Uncacheable.Inc()
+		return rep, nil
+	}
+	data, merr := core.CanonicalJSON(rep)
+	if merr != nil {
+		// Unserializable reports are served but not stored.
+		c.Stats.Uncacheable.Inc()
+		return rep, nil
+	}
+	c.putMem(key, data)
+	c.diskPut(key, data)
+	c.Stats.Stores.Inc()
+	return rep, nil
+}
+
+// wait blocks until the in-flight call finishes or ctx ends. retry is
+// true when the leader was canceled by its own context while ours is
+// still live: the caller should restart the lookup.
+func (c *Cache) wait(ctx context.Context, cl *call) (rep *core.Report, err error, retry bool) {
+	select {
+	case <-ctx.Done():
+		return nil, context.Cause(ctx), false
+	case <-cl.done:
+	}
+	if cl.err != nil {
+		if ctx.Err() == nil &&
+			(errors.Is(cl.err, context.Canceled) || errors.Is(cl.err, context.DeadlineExceeded)) {
+			return nil, nil, true
+		}
+		return nil, cl.err, false
+	}
+	return cl.rep, nil, false
+}
+
+// getMemLocked returns the memory-tier entry and marks it recently
+// used. Caller holds c.mu.
+func (c *Cache) getMemLocked(key string) ([]byte, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// putMem inserts (or refreshes) a memory-tier entry, evicting from the
+// LRU tail past capacity.
+func (c *Cache) putMem(key string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&cacheEntry{key: key, data: data})
+	for c.lru.Len() > c.maxEntries {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+		c.Stats.Evictions.Inc()
+	}
+}
+
+// decodeReport parses canonical JSON back into a Report.
+func decodeReport(data []byte) (*core.Report, error) {
+	var r core.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// StatValues snapshots every cache counter (plus the current memory
+// entry count), name-sorted, for the server's /metrics document.
+func (c *Cache) StatValues() []obs.NamedValue {
+	return []obs.NamedValue{
+		{Name: "corrupt_disk_entries", Value: int64(c.Stats.Corrupt.Value())},
+		{Name: "dedup_waits", Value: int64(c.Stats.DedupWaits.Value())},
+		{Name: "disk_errors", Value: int64(c.Stats.DiskErrors.Value())},
+		{Name: "disk_hits", Value: int64(c.Stats.DiskHits.Value())},
+		{Name: "entries", Value: int64(c.Len())},
+		{Name: "evictions", Value: int64(c.Stats.Evictions.Value())},
+		{Name: "hits", Value: int64(c.Stats.Hits.Value())},
+		{Name: "inflight_runs", Value: c.Stats.InflightRuns.Value()},
+		{Name: "misses", Value: int64(c.Stats.Misses.Value())},
+		{Name: "stores", Value: int64(c.Stats.Stores.Value())},
+		{Name: "uncacheable", Value: int64(c.Stats.Uncacheable.Value())},
+	}
+}

@@ -1,0 +1,93 @@
+package resultcache
+
+// The disk tier stores one file per key, <dir>/<fingerprint>.json,
+// holding exactly the canonical report JSON. Writes go through a temp
+// file in the same directory followed by an atomic rename, so readers
+// never observe a half-written entry; reads validate that the bytes
+// decode and re-encode to themselves (the canonical round-trip
+// property) and drop anything that does not — a corrupt or truncated
+// entry costs one recompute, never a wrong answer.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// initDisk prepares the disk tier directory (no-op when disabled).
+func (c *Cache) initDisk() error {
+	if c.dir == "" {
+		return nil
+	}
+	return os.MkdirAll(c.dir, 0o755)
+}
+
+// diskPath is the entry file for a key. Keys are hex fingerprints, so
+// they are safe as file names.
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// diskGet reads and validates the disk entry for key. Invalid entries
+// are removed so the slot heals on the next store.
+func (c *Cache) diskGet(key string) ([]byte, bool) {
+	if c.dir == "" {
+		return nil, false
+	}
+	path := c.diskPath(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	if !validCanonical(data) {
+		c.Stats.Corrupt.Inc()
+		os.Remove(path)
+		return nil, false
+	}
+	return data, true
+}
+
+// validCanonical reports whether data is a canonical report
+// serialization: it decodes as a Report and re-encodes to the same
+// bytes. Trailing garbage, truncation, bit rot, or a schema change
+// since the entry was written all fail the round trip.
+func validCanonical(data []byte) bool {
+	rep, err := decodeReport(data)
+	if err != nil {
+		return false
+	}
+	out, err := core.CanonicalJSON(rep)
+	if err != nil {
+		return false
+	}
+	return bytes.Equal(out, data)
+}
+
+// diskPut writes an entry atomically: temp file in the cache
+// directory, then rename over the final path. Failures are counted
+// and swallowed — the disk tier is an accelerator, not a source of
+// truth, and the entry stays served from memory.
+func (c *Cache) diskPut(key string, data []byte) {
+	if c.dir == "" {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*.partial")
+	if err != nil {
+		c.Stats.DiskErrors.Inc()
+		return
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmpName)
+		c.Stats.DiskErrors.Inc()
+		return
+	}
+	if err := os.Rename(tmpName, c.diskPath(key)); err != nil {
+		os.Remove(tmpName)
+		c.Stats.DiskErrors.Inc()
+	}
+}

@@ -1,0 +1,44 @@
+// Package resultcache is a content-addressed cache of measurement
+// reports. Runs are fully deterministic — the same (workload source,
+// input variant, measurement Config, simulator version) always yields
+// the same canonical Report — so a report can be keyed by a
+// fingerprint of its inputs and reused instead of re-simulated: the
+// paper's reuse-of-results idea applied at whole-run grain.
+//
+// The cache has an in-memory LRU tier and an optional on-disk tier
+// (atomic write-rename, corruption-tolerant reads that fall back to
+// recompute), with singleflight deduplication so concurrent requests
+// for the same cold key trigger exactly one simulation. See
+// DESIGN.md §12.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Fingerprint computes the content-address of a run: a hex SHA-256
+// over the workload name, its source text, the measurement-affecting
+// Config fields (canonicalized by core.Config.MeasurementKey, so
+// Configs that select the same sizes via 0-defaults share a key), and
+// core.MeasurementVersion (so any semantic change to the simulator or
+// analyses invalidates every cached result).
+func Fingerprint(workload, source string, cfg core.Config) string {
+	src := sha256.Sum256([]byte(source))
+	h := sha256.New()
+	fmt.Fprintf(h, "instrep-report|v=%d|workload=%s|src=%x|%s",
+		core.MeasurementVersion, workload, src, cfg.MeasurementKey())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cacheable reports whether cfg produces cacheable runs. Fault
+// injection makes a run's outcome depend on the plan, which is not
+// part of the fingerprint, so faulty configs always recompute.
+// (Timeout and watchdog settings are allowed: a run they cut short is
+// Truncated, and truncated reports are never stored.)
+func Cacheable(cfg core.Config) bool {
+	return cfg.Faults == nil
+}

@@ -1,0 +1,117 @@
+package resultcache
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzFingerprint fuzzes the cache-key canonicalizer over arbitrary
+// workload/source/Config inputs, pinning the two properties content
+// addressing needs: configs with equal measured behavior get equal
+// keys (determinism plus default normalization), and changing any
+// measurement-affecting input changes the key.
+func FuzzFingerprint(f *testing.F) {
+	f.Add("goban", "int main() { return 0; }", uint64(100_000), uint64(500_000), 0, 0, 0, 0, 1, uint8(0))
+	f.Add("lzw", "", uint64(0), uint64(0), 2000, 8192, 4, 8192, 0, uint8(0x3f))
+	f.Add("x", "y", ^uint64(0), uint64(1), -3, -1, 17, 1, -9, uint8(0b101010))
+	f.Fuzz(func(t *testing.T, workload, source string, skip, measure uint64,
+		instances, reuseEntries, reuseAssoc, vpredEntries, variant int, disables uint8) {
+		cfg := core.Config{
+			SkipInstructions:    skip,
+			MeasureInstructions: measure,
+			MaxInstances:        instances,
+			ReuseEntries:        reuseEntries,
+			ReuseAssoc:          reuseAssoc,
+			VPredEntries:        vpredEntries,
+			InputVariant:        variant,
+			DisableTaint:        disables&1 != 0,
+			DisableLocal:        disables&2 != 0,
+			DisableFunc:         disables&4 != 0,
+			DisableReuse:        disables&8 != 0,
+			DisableVPred:        disables&16 != 0,
+			DisableVProf:        disables&32 != 0,
+		}
+		key := Fingerprint(workload, source, cfg)
+		if len(key) != 64 {
+			t.Fatalf("key is not hex sha256: %q", key)
+		}
+		if Fingerprint(workload, source, cfg) != key {
+			t.Fatal("fingerprint is not deterministic")
+		}
+
+		// Equal canonical configs => equal keys: writing each resolved
+		// default explicitly must not move the key.
+		explicit := cfg
+		if explicit.MaxInstances <= 0 {
+			explicit.MaxInstances = 2000
+		}
+		if explicit.ReuseEntries == 0 {
+			explicit.ReuseEntries = 8192
+		}
+		if explicit.ReuseAssoc == 0 {
+			explicit.ReuseAssoc = 4
+		}
+		if explicit.VPredEntries == 0 {
+			explicit.VPredEntries = 8192
+		}
+		if explicit.InputVariant <= 0 {
+			explicit.InputVariant = 1
+		}
+		if Fingerprint(workload, source, explicit) != key {
+			t.Fatalf("default normalization broken:\n cfg      %+v\n explicit %+v", cfg, explicit)
+		}
+
+		// Field change => key change. Mutate each field past its
+		// canonical value so the mutation is canonical-visible.
+		distinct := map[string]string{"base": key}
+		check := func(name string, c core.Config, w, s string) {
+			k := Fingerprint(w, s, c)
+			if prev, dup := distinct[k]; dup {
+				t.Fatalf("mutation %q collides with %q", name, prev)
+			}
+			distinct[k] = name
+		}
+		mut := explicit // start from canonical values so +1 always changes them
+		mut.SkipInstructions++
+		check("skip", mut, workload, source)
+		mut = explicit
+		mut.MeasureInstructions++
+		check("measure", mut, workload, source)
+		mut = explicit
+		mut.MaxInstances++
+		check("instances", mut, workload, source)
+		mut = explicit
+		mut.ReuseEntries++
+		check("reuse-entries", mut, workload, source)
+		mut = explicit
+		mut.ReuseAssoc++
+		check("reuse-assoc", mut, workload, source)
+		mut = explicit
+		mut.VPredEntries++
+		check("vpred-entries", mut, workload, source)
+		mut = explicit
+		mut.InputVariant++
+		check("variant", mut, workload, source)
+		for bit := 0; bit < 6; bit++ {
+			mut = explicit
+			switch bit {
+			case 0:
+				mut.DisableTaint = !mut.DisableTaint
+			case 1:
+				mut.DisableLocal = !mut.DisableLocal
+			case 2:
+				mut.DisableFunc = !mut.DisableFunc
+			case 3:
+				mut.DisableReuse = !mut.DisableReuse
+			case 4:
+				mut.DisableVPred = !mut.DisableVPred
+			case 5:
+				mut.DisableVProf = !mut.DisableVProf
+			}
+			check("disable-bit", mut, workload, source)
+		}
+		check("workload", explicit, workload+"x", source)
+		check("source", explicit, workload, source+"x")
+	})
+}

@@ -22,6 +22,13 @@
 //
 // Custom programs can be analyzed with RunSource, which accepts MiniC
 // source text.
+//
+// Runs are deterministic, so reports are pure functions of their
+// inputs: Runner wraps RunWorkload/RunAll with a content-addressed
+// result cache (internal/resultcache), and the instrep serve daemon
+// (internal/reportserver) serves cached canonical reports over HTTP.
+// CanonicalReportJSON is the byte-exact form shared by the cache, the
+// server, and the golden test corpus.
 package repro
 
 import (

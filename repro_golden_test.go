@@ -1,0 +1,85 @@
+package repro_test
+
+// The golden corpus pins the exact measured content of every workload
+// at the quick window: testdata/golden/<workload>.json holds the
+// canonical report JSON (RunMetrics stripped), and TestGoldenReports
+// byte-compares a fresh run against it. Any refactor that changes any
+// number in any table now fails loudly instead of drifting silently.
+// Regenerate deliberately with:
+//
+//	go test -run TestGoldenReports -update .
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden from this run")
+
+func goldenPath(benchmark string) string {
+	return filepath.Join("testdata", "golden", benchmark+".json")
+}
+
+func TestGoldenReports(t *testing.T) {
+	reports, err := repro.RunAll(context.Background(), repro.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(repro.Workloads()); len(reports) != want {
+		t.Fatalf("got %d reports, want %d", len(reports), want)
+	}
+	for _, r := range reports {
+		got, err := repro.CanonicalReportJSON(r)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Benchmark, err)
+		}
+		path := goldenPath(r.Benchmark)
+		if *updateGolden {
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: wrote %d bytes", r.Benchmark, len(got))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden file (regenerate with -update): %v", r.Benchmark, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: report diverged from golden corpus (%s)\n%s",
+				r.Benchmark, path, firstDiff(want, got))
+		}
+	}
+}
+
+// firstDiff locates the first byte divergence and shows its
+// neighborhood from both sides, so a failure names the drifted field
+// instead of dumping two multi-kilobyte documents.
+func firstDiff(want, got []byte) string {
+	i := 0
+	for i < len(want) && i < len(got) && want[i] == got[i] {
+		i++
+	}
+	window := func(b []byte) string {
+		lo, hi := i-80, i+80
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(b) {
+			hi = len(b)
+		}
+		return string(b[lo:hi])
+	}
+	return fmt.Sprintf("first difference at byte %d (golden %d bytes, got %d bytes)\ngolden: …%s…\ngot:    …%s…",
+		i, len(want), len(got), window(want), window(got))
+}

@@ -1,0 +1,77 @@
+package repro
+
+// Runner threads the content-addressed result cache through the same
+// run path the package-level functions use, so the CLI batch path
+// (`instrep run -cache-dir`) and the report server share one code
+// path. See internal/resultcache and DESIGN.md §12.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/resultcache"
+	"repro/internal/workloads"
+)
+
+// CanonicalReportJSON renders the deterministic content of a report —
+// everything except the wall-clock RunMetrics document — as indented
+// JSON. It is the byte-exact form stored by the result cache, served
+// by `instrep serve`, and pinned by the golden corpus under
+// testdata/golden.
+func CanonicalReportJSON(r *Report) ([]byte, error) {
+	return core.CanonicalJSON(r)
+}
+
+// Runner runs workloads through an optional content-addressed result
+// cache. The zero value (and a nil *Runner) behaves exactly like the
+// package-level RunWorkload/RunAll: every call simulates.
+//
+// With Cache set, complete reports are stored under a fingerprint of
+// (workload source, measurement Config, simulator version) and later
+// calls with an equal fingerprint are served from the cache without
+// simulating; concurrent calls for the same cold key trigger exactly
+// one simulation. Cached reports are canonical — they carry no
+// RunMetrics (those are per-execution wall-clock data) and must be
+// treated as read-only, since concurrent callers may share them.
+// Runs with fault injection configured bypass the cache entirely, and
+// truncated partial reports are returned but never stored.
+type Runner struct {
+	// Cache is the result cache (nil = always simulate).
+	Cache *resultcache.Cache
+
+	// Run computes one workload on a cache miss (nil = RunWorkload).
+	// Injectable for tests that need to count or fake simulations.
+	Run func(ctx context.Context, name string, cfg Config) (*Report, error)
+}
+
+// runOne resolves the compute function.
+func (rn *Runner) runOne() func(context.Context, string, Config) (*Report, error) {
+	if rn != nil && rn.Run != nil {
+		return rn.Run
+	}
+	return RunWorkload
+}
+
+// RunWorkload is RunWorkload through the cache: a fingerprint hit
+// skips the simulation and returns the stored canonical report.
+func (rn *Runner) RunWorkload(ctx context.Context, name string, cfg Config) (*Report, error) {
+	run := rn.runOne()
+	if rn == nil || rn.Cache == nil || !resultcache.Cacheable(cfg) {
+		return run(ctx, name, cfg)
+	}
+	w, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown workload %q (have %v)", name, workloads.Names())
+	}
+	key := resultcache.Fingerprint(name, w.Source, cfg)
+	return rn.Cache.GetOrCompute(ctx, key, func(ctx context.Context) (*Report, error) {
+		return run(ctx, name, cfg)
+	})
+}
+
+// RunAll is RunAll through the cache: the same bounded worker pool and
+// fail-soft aggregation, with each workload resolved via the cache.
+func (rn *Runner) RunAll(ctx context.Context, cfg Config) ([]*Report, error) {
+	return runAll(ctx, workloads.Names(), cfg, rn.RunWorkload)
+}
