@@ -1,14 +1,15 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race check cover bench benchsmoke fuzzsmoke repro lint examples
+.PHONY: all test vet race check cover bench benchsmoke fuzzsmoke stress repro lint examples
 
 all: check
 
 # Default gate: build+test, static analysis, the race detector
 # (includes the concurrent-Progress ticker test and the resilience
 # tests), an enforced coverage floor, a quick benchmark smoke run,
-# and a bounded fuzz pass over the panic-sensitive decoders.
-check: test vet race cover benchsmoke fuzzsmoke
+# a bounded fuzz pass over the panic-sensitive decoders, and the
+# extended chaos run against the overload-hardened server.
+check: test vet race cover benchsmoke fuzzsmoke stress
 
 # Enforced statement-coverage floor across the whole module. The
 # current baseline is ~81%; the floor sits a few points below so
@@ -53,6 +54,13 @@ fuzzsmoke:
 	go test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/isa
 	go test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 10s ./internal/minic
 	go test -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime 10s ./internal/resultcache
+
+# Extended chaos run: 50 concurrent clients against the
+# overload-hardened server with poisoned workloads, under the race
+# detector, with the traffic phase stretched to 30 seconds. The same
+# test runs briefly in `race`; this soaks it.
+stress:
+	INSTREP_STRESS=30s go test -race -run 'TestChaosOverloadedServer' -count=1 .
 
 # Regenerate every table and figure of the paper.
 repro:

@@ -29,15 +29,28 @@
 //	    still print — and a second ^C kills the process.
 //
 //	instrep serve [-addr HOST:PORT] [-cache-dir DIR] [-cache-entries N]
-//	              [-skip N] [-measure N] [-request-timeout D] [-quiet]
+//	              [-cache-max-bytes N] [-skip N] [-measure N]
+//	              [-request-timeout D] [-max-concurrent-sims N]
+//	              [-queue-depth N] [-breaker-threshold N]
+//	              [-breaker-cooldown D] [-retry-after D]
+//	              [-serve-stale=BOOL] [-quiet]
 //	    Serve reports over HTTP backed by the content-addressed result
 //	    cache: GET /v1/report/{workload} (canonical report JSON),
 //	    /v1/tables/{workload} (rendered tables; "all" serves every
 //	    workload, ?experiment= selects a subset), /v1/workloads,
 //	    /healthz, and /metrics. Each distinct (workload, config) pair
 //	    is simulated at most once — concurrent cold requests share one
-//	    simulation — then served from memory/disk. ^C shuts down
-//	    gracefully, canceling in-flight simulations.
+//	    simulation — then served from memory/disk. The daemon is
+//	    overload-hardened: cold simulations pass a bounded admission
+//	    gate (-max-concurrent-sims slots, -queue-depth FIFO waiters,
+//	    excess shed with 503 + Retry-After), workloads failing
+//	    -breaker-threshold times in a row trip a per-workload circuit
+//	    breaker for -breaker-cooldown, and -serve-stale answers shed or
+//	    failed requests with the last known-good report under an
+//	    X-Instrep-Stale header. -cache-max-bytes bounds the disk cache
+//	    (LRU eviction); orphaned temp files from a crash are scrubbed
+//	    at startup. /healthz reports starting/ready/degraded/draining.
+//	    ^C shuts down gracefully, canceling in-flight simulations.
 //
 //	instrep exec [-input FILE] [-max N] PROGRAM.c
 //	    Compile a MiniC program and execute it on the simulator,
@@ -331,6 +344,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-workload simulation wall-clock limit (0 = none)")
 	watchdog := fs.Duration("watchdog", 0, "abort a simulation making no retire progress for this long (0 = off)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request timeout including any simulation (0 = the 2m default, negative = none)")
+	maxSims := fs.Int("max-concurrent-sims", 0, "max simulations in flight across all requests (0 = GOMAXPROCS, negative = unbounded)")
+	queueDepth := fs.Int("queue-depth", 0, "cold requests that may wait for a simulation slot before being shed with 503 (0 = default 8, negative = none)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that open a workload's circuit breaker (0 = default 3, negative = disabled)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-breaker rejection window before a half-open probe (0 = default 30s)")
+	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = default 2s)")
+	serveStale := fs.Bool("serve-stale", true, "answer shed or failed requests with the last known-good report (X-Instrep-Stale: true)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "disk cache capacity in bytes, LRU-evicted (0 = unbounded)")
 	quiet := fs.Bool("quiet", false, "suppress request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -339,7 +359,11 @@ func cmdServe(ctx context.Context, args []string) error {
 		return fmt.Errorf("serve takes no positional arguments")
 	}
 
-	cache, err := resultcache.New(*cacheEntries, *cacheDir)
+	cache, err := resultcache.NewWith(resultcache.Options{
+		MaxEntries:   *cacheEntries,
+		Dir:          *cacheDir,
+		MaxDiskBytes: *cacheMaxBytes,
+	})
 	if err != nil {
 		return fmt.Errorf("opening -cache-dir: %w", err)
 	}
@@ -360,9 +384,15 @@ func cmdServe(ctx context.Context, args []string) error {
 			Timeout:             *timeout,
 			WatchdogInterval:    *watchdog,
 		},
-		Cache:          cache,
-		RequestTimeout: *reqTimeout,
-		Log:            log,
+		Cache:             cache,
+		RequestTimeout:    *reqTimeout,
+		MaxConcurrentSims: *maxSims,
+		QueueDepth:        *queueDepth,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		RetryAfter:        *retryAfter,
+		ServeStale:        *serveStale,
+		Log:               log,
 	})
 	log.Info("serving reports", "addr", *addr, "cache_dir", *cacheDir)
 	return srv.ListenAndServe(ctx, *addr)

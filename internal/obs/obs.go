@@ -49,18 +49,20 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // metric on first use, so call sites never need registration
 // boilerplate. All methods are safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	timers     map[string]*Timer
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		timers:     make(map[string]*Timer),
 	}
 }
 
@@ -112,13 +114,32 @@ func (r *Registry) CounterValues() []NamedValue {
 	return out
 }
 
-// GaugeValues returns a name-sorted snapshot of every gauge.
-func (r *Registry) GaugeValues() []NamedValue {
+// GaugeFunc registers a callback gauge: f is evaluated at every
+// GaugeValues snapshot, so live values (queue depths, open breakers)
+// appear in /metrics without the owner pushing updates. Registering a
+// name again replaces the callback.
+func (r *Registry) GaugeFunc(name string, f func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]NamedValue, 0, len(r.gauges))
+	r.gaugeFuncs[name] = f
+}
+
+// GaugeValues returns a name-sorted snapshot of every gauge, stored
+// and callback alike. Callbacks run outside the registry lock (they
+// typically take their owner's lock).
+func (r *Registry) GaugeValues() []NamedValue {
+	r.mu.Lock()
+	out := make([]NamedValue, 0, len(r.gauges)+len(r.gaugeFuncs))
 	for name, g := range r.gauges {
 		out = append(out, NamedValue{Name: name, Value: g.Value()})
+	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for name, f := range r.gaugeFuncs {
+		funcs[name] = f
+	}
+	r.mu.Unlock()
+	for name, f := range funcs {
+		out = append(out, NamedValue{Name: name, Value: f()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

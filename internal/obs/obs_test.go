@@ -294,3 +294,25 @@ func TestGaugeAndTimerSnapshots(t *testing.T) {
 		t.Errorf("lat.a max = %v, want >= 7ms", ts[0].Max)
 	}
 }
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("stored").Set(2)
+	depth := int64(5)
+	r.GaugeFunc("queue.depth", func() int64 { return depth })
+
+	gs := r.GaugeValues()
+	if len(gs) != 2 || gs[0].Name != "queue.depth" || gs[0].Value != 5 || gs[1].Name != "stored" {
+		t.Fatalf("gauge snapshot = %+v", gs)
+	}
+	// Callback gauges are live: the next snapshot re-evaluates.
+	depth = 9
+	if gs := r.GaugeValues(); gs[0].Value != 9 {
+		t.Errorf("callback gauge stale: %+v", gs)
+	}
+	// Re-registering replaces the callback.
+	r.GaugeFunc("queue.depth", func() int64 { return -1 })
+	if gs := r.GaugeValues(); gs[0].Value != -1 {
+		t.Errorf("re-registration ignored: %+v", gs)
+	}
+}

@@ -1,0 +1,196 @@
+package overload
+
+// The circuit breaker exists because this workload population fails
+// deterministically: a simulation that faults, panics, or times out
+// will do it again on the next request (runs are pure functions of
+// their inputs — the property the result cache is built on). Retrying
+// such a workload burns a simulation slot per request and starves the
+// healthy ones, so after threshold consecutive failures the breaker
+// opens and requests fail fast (or are served stale by the caller)
+// until a cooldown elapses and a single half-open probe is let
+// through. The failure taxonomy reuses the run path's typed causes
+// (core.PanicError / WatchdogError / TimeoutError and context
+// deadlines); a client cancel is evidence of nothing and is ignored.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// BreakerOpenError reports a request rejected fast because the
+// workload's circuit breaker is open. Servers map it to HTTP 503 (or a
+// stale response) with RetryAfter as the back-off hint.
+type BreakerOpenError struct {
+	// Workload is the breaker key.
+	Workload string
+	// RetryAfter is the time until the next half-open probe is allowed
+	// (clamped to at least one second as a client hint).
+	RetryAfter time.Duration
+	// LastFailure is the most recent failure's message.
+	LastFailure string
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("overload: circuit breaker open for %s (last failure: %s), retry after %v",
+		e.Workload, e.LastFailure, e.RetryAfter)
+}
+
+// breaker states. A breaker is born closed, opens after threshold
+// consecutive failures, transitions to half-open when a cooldown
+// elapses (admitting exactly one probe), and closes again on the first
+// success.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// breaker is one key's state. Guarded by BreakerSet.mu.
+type breaker struct {
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	lastErr  string
+}
+
+// BreakerSet is a collection of per-key circuit breakers. The zero
+// value is not usable; construct with NewBreakerSet. All methods are
+// safe for concurrent use.
+type BreakerSet struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu   sync.Mutex
+	m    map[string]*breaker
+	open int // breakers not in stateClosed
+}
+
+// NewBreakerSet builds a breaker set opening after threshold
+// consecutive failures (< 1 is clamped to 1) and probing after
+// cooldown. now overrides the clock (nil = time.Now); tests inject it
+// so cooldown transitions need no sleeping.
+func NewBreakerSet(threshold int, cooldown time.Duration, now func() time.Time) *BreakerSet {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &BreakerSet{threshold: threshold, cooldown: cooldown, now: now, m: make(map[string]*breaker)}
+}
+
+// Allow reports whether a computation for key may start. It returns
+// nil for a closed breaker, nil for the single half-open probe after
+// the cooldown, and a *BreakerOpenError otherwise. A caller that gets
+// nil must follow up with Record so probes resolve.
+func (s *BreakerSet) Allow(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if b == nil || b.state == stateClosed {
+		return nil
+	}
+	if b.state == stateOpen {
+		if elapsed := s.now().Sub(b.openedAt); elapsed >= s.cooldown {
+			// Cooldown over: this caller becomes the half-open probe.
+			b.state = stateHalfOpen
+			return nil
+		}
+		return s.rejectLocked(key, b, s.cooldown-s.now().Sub(b.openedAt))
+	}
+	// Half-open with the probe still in flight: reject until it
+	// resolves.
+	return s.rejectLocked(key, b, s.cooldown)
+}
+
+// rejectLocked builds the open-breaker error. Caller holds s.mu.
+func (s *BreakerSet) rejectLocked(key string, b *breaker, retryAfter time.Duration) error {
+	if retryAfter < time.Second {
+		retryAfter = time.Second
+	}
+	return &BreakerOpenError{Workload: key, RetryAfter: retryAfter, LastFailure: b.lastErr}
+}
+
+// Record feeds a computation's outcome back into key's breaker:
+//
+//   - nil closes the breaker and resets the failure streak;
+//   - a cancellation or a *ShedError is evidence of nothing — it only
+//     reverts a pending half-open probe to open (without refreshing the
+//     cooldown, so the next request probes again immediately);
+//   - anything else is a failure: it extends the streak, opens the
+//     breaker at threshold, and re-opens a failed half-open probe with
+//     a fresh cooldown.
+func (s *BreakerSet) Record(key string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.m[key]
+	if err == nil {
+		if b != nil {
+			if b.state != stateClosed {
+				s.open--
+			}
+			delete(s.m, key)
+		}
+		return
+	}
+	var shed *ShedError
+	if errors.Is(err, context.Canceled) || errors.As(err, &shed) {
+		if b != nil && b.state == stateHalfOpen {
+			b.state = stateOpen // probe never ran; keep the old cooldown
+		}
+		return
+	}
+	if b == nil {
+		b = &breaker{}
+		s.m[key] = b
+	}
+	b.lastErr = err.Error()
+	switch b.state {
+	case stateHalfOpen:
+		// The probe itself failed: back to open for a full cooldown.
+		b.state = stateOpen
+		b.openedAt = s.now()
+		b.failures++
+	case stateOpen:
+		// A straggler admitted before the breaker opened; note it.
+		b.failures++
+	case stateClosed:
+		b.failures++
+		if b.failures >= s.threshold {
+			b.state = stateOpen
+			b.openedAt = s.now()
+			s.open++
+		}
+	}
+}
+
+// OpenCount returns how many breakers are currently open or half-open.
+// The serving readiness state machine reports "degraded" while this is
+// nonzero.
+func (s *BreakerSet) OpenCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.open)
+}
+
+// Open returns the name-sorted keys of every open or half-open
+// breaker (for /healthz and /metrics detail).
+func (s *BreakerSet) Open() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for key, b := range s.m {
+		if b.state != stateClosed {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,215 @@
+package overload
+
+// State-machine tests for the per-workload circuit breaker. The clock
+// is injected, so every cooldown transition is driven by advancing a
+// variable — no time.Sleep polling anywhere.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// testClock is an injectable clock for breaker tests.
+type testClock struct{ now time.Time }
+
+func newTestClock() *testClock               { return &testClock{now: time.Unix(1_000_000, 0)} }
+func (c *testClock) Now() time.Time          { return c.now }
+func (c *testClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+
+var errSim = errors.New("injected simulator fault")
+
+// openBreaker drives key's breaker to open with threshold failures.
+func openBreaker(t *testing.T, s *BreakerSet, key string, threshold int) {
+	t.Helper()
+	for i := 0; i < threshold; i++ {
+		if err := s.Allow(key); err != nil {
+			t.Fatalf("failure %d rejected early: %v", i, err)
+		}
+		s.Record(key, errSim)
+	}
+	if err := s.Allow(key); err == nil {
+		t.Fatalf("breaker not open after %d failures", threshold)
+	}
+}
+
+func TestBreakerClosedToOpen(t *testing.T) {
+	clock := newTestClock()
+	s := NewBreakerSet(3, time.Minute, clock.Now)
+
+	// Two failures: still closed.
+	for i := 0; i < 2; i++ {
+		if err := s.Allow("lisp"); err != nil {
+			t.Fatal(err)
+		}
+		s.Record("lisp", errSim)
+	}
+	if err := s.Allow("lisp"); err != nil {
+		t.Fatalf("breaker opened below threshold: %v", err)
+	}
+	if s.OpenCount() != 0 {
+		t.Fatalf("OpenCount = %d before threshold", s.OpenCount())
+	}
+
+	// Third consecutive failure opens it.
+	s.Record("lisp", errSim)
+	err := s.Allow("lisp")
+	var open *BreakerOpenError
+	if !errors.As(err, &open) {
+		t.Fatalf("want *BreakerOpenError, got %v", err)
+	}
+	if open.Workload != "lisp" || open.LastFailure != errSim.Error() {
+		t.Errorf("error detail wrong: %+v", open)
+	}
+	if open.RetryAfter != time.Minute {
+		t.Errorf("RetryAfter = %v, want full cooldown", open.RetryAfter)
+	}
+	if s.OpenCount() != 1 {
+		t.Errorf("OpenCount = %d, want 1", s.OpenCount())
+	}
+	if got := s.Open(); len(got) != 1 || got[0] != "lisp" {
+		t.Errorf("Open() = %v", got)
+	}
+
+	// Other keys are unaffected.
+	if err := s.Allow("goban"); err != nil {
+		t.Fatalf("healthy workload rejected: %v", err)
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	clock := newTestClock()
+	s := NewBreakerSet(3, time.Minute, clock.Now)
+	s.Record("lisp", errSim)
+	s.Record("lisp", errSim)
+	s.Record("lisp", nil) // success wipes the streak
+	s.Record("lisp", errSim)
+	s.Record("lisp", errSim)
+	if err := s.Allow("lisp"); err != nil {
+		t.Fatalf("streak survived a success: %v", err)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clock := newTestClock()
+	s := NewBreakerSet(2, time.Minute, clock.Now)
+	openBreaker(t, s, "lisp", 2)
+
+	// Mid-cooldown: rejected, RetryAfter counts down.
+	clock.Advance(45 * time.Second)
+	var open *BreakerOpenError
+	if err := s.Allow("lisp"); !errors.As(err, &open) {
+		t.Fatalf("want rejection mid-cooldown, got %v", err)
+	} else if open.RetryAfter != 15*time.Second {
+		t.Errorf("RetryAfter = %v, want 15s", open.RetryAfter)
+	}
+
+	// Cooldown elapsed: exactly one probe is admitted; a concurrent
+	// second request is rejected while the probe is unresolved.
+	clock.Advance(16 * time.Second)
+	if err := s.Allow("lisp"); err != nil {
+		t.Fatalf("probe rejected after cooldown: %v", err)
+	}
+	if err := s.Allow("lisp"); err == nil {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	if s.OpenCount() != 1 {
+		t.Errorf("half-open breaker not counted: %d", s.OpenCount())
+	}
+
+	// Probe succeeds: closed, gauge drops, traffic flows.
+	s.Record("lisp", nil)
+	if s.OpenCount() != 0 {
+		t.Errorf("OpenCount = %d after probe success", s.OpenCount())
+	}
+	if err := s.Allow("lisp"); err != nil {
+		t.Fatalf("closed breaker rejecting: %v", err)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := newTestClock()
+	s := NewBreakerSet(2, time.Minute, clock.Now)
+	openBreaker(t, s, "lisp", 2)
+
+	clock.Advance(time.Minute)
+	if err := s.Allow("lisp"); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	s.Record("lisp", fmt.Errorf("still broken"))
+
+	// Reopened with a fresh cooldown: rejected now and just before the
+	// new cooldown expires, probing again after it.
+	var open *BreakerOpenError
+	if err := s.Allow("lisp"); !errors.As(err, &open) {
+		t.Fatalf("want reopened breaker, got %v", err)
+	} else if open.LastFailure != "still broken" {
+		t.Errorf("LastFailure = %q", open.LastFailure)
+	}
+	clock.Advance(59 * time.Second)
+	if err := s.Allow("lisp"); err == nil {
+		t.Fatal("cooldown not refreshed by the failed probe")
+	}
+	clock.Advance(2 * time.Second)
+	if err := s.Allow("lisp"); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+}
+
+// TestBreakerInconclusiveProbe pins the shed/cancel semantics: a probe
+// that never ran (its slot was shed, or the client disconnected)
+// reverts to open without refreshing the cooldown, so the next request
+// probes again immediately instead of waiting another full cooldown —
+// and without counting as a failure.
+func TestBreakerInconclusiveProbe(t *testing.T) {
+	clock := newTestClock()
+	s := NewBreakerSet(2, time.Minute, clock.Now)
+	openBreaker(t, s, "lisp", 2)
+
+	clock.Advance(time.Minute)
+	for _, inconclusive := range []error{
+		context.Canceled,
+		fmt.Errorf("request: %w", context.Canceled),
+		&ShedError{RetryAfter: time.Second},
+	} {
+		if err := s.Allow("lisp"); err != nil {
+			t.Fatalf("probe rejected: %v", err)
+		}
+		s.Record("lisp", inconclusive)
+	}
+	// Still probing — the inconclusive outcomes neither closed nor
+	// re-cooled the breaker.
+	if err := s.Allow("lisp"); err != nil {
+		t.Fatalf("probe not re-admitted after inconclusive outcome: %v", err)
+	}
+	s.Record("lisp", nil)
+	if s.OpenCount() != 0 {
+		t.Errorf("OpenCount = %d after recovery", s.OpenCount())
+	}
+}
+
+// TestBreakerCancellationIgnoredWhileClosed pins that client
+// disconnects never open a breaker.
+func TestBreakerCancellationIgnoredWhileClosed(t *testing.T) {
+	s := NewBreakerSet(1, time.Minute, newTestClock().Now)
+	for i := 0; i < 10; i++ {
+		s.Record("goban", context.Canceled)
+	}
+	if err := s.Allow("goban"); err != nil {
+		t.Fatalf("cancellations opened the breaker: %v", err)
+	}
+}
+
+// TestBreakerDeadlineCountsAsFailure pins that timeouts (the PR 3
+// typed cause surfaced as context.DeadlineExceeded) do trip the
+// breaker.
+func TestBreakerDeadlineCountsAsFailure(t *testing.T) {
+	s := NewBreakerSet(2, time.Minute, newTestClock().Now)
+	s.Record("odb", context.DeadlineExceeded)
+	s.Record("odb", fmt.Errorf("run: %w", context.DeadlineExceeded))
+	if err := s.Allow("odb"); err == nil {
+		t.Fatal("deadline failures did not open the breaker")
+	}
+}

@@ -1,0 +1,168 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitQueued polls until the gate's queue holds want waiters (the
+// enqueue happens on another goroutine, so the test must observe it
+// before adding the next waiter).
+func waitQueued(t *testing.T, g *Gate, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Queued() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d (at %d)", want, g.Queued())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGateFIFOAdmission pins queue fairness: waiters enqueued in a
+// known order are granted the slot in exactly that order.
+func TestGateFIFOAdmission(t *testing.T) {
+	g := NewGate(1, 8, time.Second)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 5
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			g.Release()
+		}(i)
+		// Only spawn the next waiter once this one is visibly queued,
+		// so the enqueue order is the loop order.
+		waitQueued(t, g, int64(i+1))
+	}
+	g.Release()
+	wg.Wait()
+
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order %v is not FIFO", order)
+		}
+	}
+	if g.MaxQueued() != waiters {
+		t.Errorf("MaxQueued = %d, want %d", g.MaxQueued(), waiters)
+	}
+	if g.MaxInFlight() != 1 {
+		t.Errorf("MaxInFlight = %d, want 1", g.MaxInFlight())
+	}
+}
+
+// TestGateSheds pins the load-shedding contract: with the semaphore
+// and the queue both full, Acquire fails immediately with a typed
+// *ShedError carrying the retry hint.
+func TestGateSheds(t *testing.T) {
+	g := NewGate(1, 1, 7*time.Second)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	queued := make(chan error, 1)
+	go func() { queued <- g.Acquire(context.Background()) }()
+	waitQueued(t, g, 1)
+
+	start := time.Now()
+	err := g.Acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("want *ShedError, got %v", err)
+	}
+	if shed.RetryAfter != 7*time.Second {
+		t.Errorf("RetryAfter = %v, want 7s", shed.RetryAfter)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("shed took %v, want immediate", d)
+	}
+	if g.Shed() != 1 {
+		t.Errorf("Shed = %d, want 1", g.Shed())
+	}
+
+	g.Release() // hands the slot to the queued waiter
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	g.Release()
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Fatalf("gate not drained: inflight=%d queued=%d", g.InFlight(), g.Queued())
+	}
+}
+
+// TestGateCanceledWaiter pins that a waiter abandoning the queue
+// leaves the gate consistent: the slot is not leaked and later
+// waiters still get it.
+func TestGateCanceledWaiter(t *testing.T) {
+	g := NewGate(1, 4, time.Second)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled := make(chan error, 1)
+	go func() { canceled <- g.Acquire(ctx) }()
+	waitQueued(t, g, 1)
+	cancel()
+	if err := <-canceled; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter returned %v", err)
+	}
+	if g.Queued() != 0 {
+		t.Fatalf("abandoned waiter still queued: %d", g.Queued())
+	}
+	g.Release()
+	// Full capacity is available again.
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatalf("gate leaked its slot: %v", err)
+	}
+	g.Release()
+}
+
+// TestGateConcurrentHammer drives the gate from many goroutines under
+// the race detector and checks the capacity invariant via the
+// high-water mark.
+func TestGateConcurrentHammer(t *testing.T) {
+	const capacity, depth, goroutines = 3, 4, 32
+	g := NewGate(capacity, depth, time.Second)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if err := g.Acquire(context.Background()); err != nil {
+					var shed *ShedError
+					if !errors.As(err, &shed) {
+						t.Errorf("unexpected acquire error: %v", err)
+					}
+					continue
+				}
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if g.MaxInFlight() > capacity {
+		t.Fatalf("capacity violated: max in flight %d > %d", g.MaxInFlight(), capacity)
+	}
+	if g.MaxQueued() > depth {
+		t.Fatalf("queue bound violated: max queued %d > %d", g.MaxQueued(), depth)
+	}
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Fatalf("gate not drained: inflight=%d queued=%d", g.InFlight(), g.Queued())
+	}
+}

@@ -4,15 +4,25 @@
 // distinct (workload, config) pair is simulated at most once and then
 // served from memory or disk. See DESIGN.md §12.
 //
+// The server is overload-hardened (DESIGN.md §13): cold simulations
+// pass through a bounded admission gate with a short FIFO queue
+// (excess load is shed with 503 + Retry-After), workloads that fail
+// repeatedly trip a per-workload circuit breaker and fail fast, and —
+// when serve-stale is enabled — shed or failed requests are answered
+// with the last known-good report under an X-Instrep-Stale header
+// instead of an error. /healthz exposes a readiness state machine
+// (starting → ready → degraded → draining) so load balancers see
+// degradation before collapse.
+//
 // Endpoints:
 //
 //	GET /v1/workloads          workload metadata (JSON)
 //	GET /v1/report/{workload}  canonical report JSON for one workload
 //	GET /v1/tables/{workload}  rendered tables ("all" = every workload;
 //	                           ?experiment=table1,fig4 selects a subset)
-//	GET /healthz               liveness probe
-//	GET /metrics               server/cache/health counters and request
-//	                           latency percentiles (JSON)
+//	GET /healthz               readiness state machine (JSON)
+//	GET /metrics               server/cache/overload/health counters and
+//	                           request latency percentiles (JSON)
 package reportserver
 
 import (
@@ -20,13 +30,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/overload"
 	"repro/internal/resultcache"
 )
 
@@ -34,6 +50,26 @@ import (
 // Config.RequestTimeout is zero. A cold default-window workload takes
 // a couple of seconds, so this is generous; cache hits are instant.
 const DefaultRequestTimeout = 2 * time.Minute
+
+// Admission and degradation defaults (Config fields value 0).
+const (
+	// DefaultQueueDepth is the admission wait-queue bound: deep enough
+	// for one cold full-workload sweep behind the running simulations,
+	// short enough that queued requests never wait unreasonably.
+	DefaultQueueDepth = 8
+	// DefaultBreakerThreshold is the consecutive-failure count that
+	// opens a workload's circuit breaker.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerCooldown is how long an open breaker rejects
+	// before admitting a half-open probe.
+	DefaultBreakerCooldown = 30 * time.Second
+	// DefaultRetryAfter is the back-off hint on shed responses.
+	DefaultRetryAfter = 2 * time.Second
+)
+
+// statusClientClosedRequest is the nonstandard 499 status used when
+// the client disconnected before the response.
+const statusClientClosedRequest = 499
 
 // shutdownGrace is how long Serve waits for in-flight requests after
 // its context is canceled. Request contexts descend from the serve
@@ -55,6 +91,33 @@ type Config struct {
 	// triggers (0 = DefaultRequestTimeout, negative = none).
 	RequestTimeout time.Duration
 
+	// MaxConcurrentSims bounds simulations in flight across all
+	// requests (0 = GOMAXPROCS, negative = unbounded).
+	MaxConcurrentSims int
+
+	// QueueDepth bounds cold requests waiting for a simulation slot
+	// before they are shed (0 = DefaultQueueDepth, negative = no
+	// queue). Ignored when MaxConcurrentSims is negative.
+	QueueDepth int
+
+	// BreakerThreshold is the consecutive simulation failures that
+	// open a workload's circuit breaker (0 = DefaultBreakerThreshold,
+	// negative = breakers disabled).
+	BreakerThreshold int
+
+	// BreakerCooldown is how long an open breaker rejects before a
+	// half-open probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+
+	// RetryAfter is the Retry-After hint attached to shed responses
+	// (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+
+	// ServeStale serves the last known-good report (with an
+	// X-Instrep-Stale: true header) instead of an error when a
+	// request is shed, breaker-rejected, or its simulation fails.
+	ServeStale bool
+
 	// Log receives request-level log lines (nil = silent).
 	Log *obs.Logger
 
@@ -65,29 +128,104 @@ type Config struct {
 
 // Server is the report-serving daemon.
 type Server struct {
-	cfg    Config
-	runner *repro.Runner
-	names  map[string]bool
-	reg    *obs.Registry // requests.* counters, latency.* timers
-	log    *obs.Logger
+	cfg      Config
+	runner   *repro.Runner
+	gate     *overload.Gate
+	breakers *overload.BreakerSet
+	names    map[string]bool
+	reg      *obs.Registry // requests.*/server.* counters, latency.* timers, gauges
+	log      *obs.Logger
+
+	state atomic.Int32 // one of the state* constants
+
+	// staleMu guards lastGood: the most recent complete canonical
+	// report bytes per workload, retained independently of cache
+	// eviction so degradation always has something to serve.
+	staleMu  sync.Mutex
+	lastGood map[string][]byte
 }
 
-// New builds a Server from cfg.
+// Base lifecycle states. "degraded" is computed, not stored: the
+// server reports it while ready with any breaker open.
+const (
+	stateStarting int32 = iota
+	stateReady
+	stateDraining
+)
+
+// New builds a Server from cfg. The server starts in the "starting"
+// readiness state; Serve/ListenAndServe mark it ready once the
+// listener is up (embedders driving Handler directly can call
+// MarkReady themselves).
 func New(cfg Config) *Server {
 	if cfg.Cache == nil {
 		cfg.Cache, _ = resultcache.New(0, "") // memory-only New cannot fail
 	}
-	s := &Server{
-		cfg:    cfg,
-		runner: &repro.Runner{Cache: cfg.Cache, Run: cfg.Run},
-		names:  make(map[string]bool),
-		reg:    obs.NewRegistry(),
-		log:    cfg.Log,
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
 	}
+	s := &Server{
+		cfg:      cfg,
+		names:    make(map[string]bool),
+		reg:      obs.NewRegistry(),
+		log:      cfg.Log,
+		lastGood: make(map[string][]byte),
+	}
+	if cfg.MaxConcurrentSims >= 0 {
+		capacity := cfg.MaxConcurrentSims
+		if capacity == 0 {
+			capacity = runtime.GOMAXPROCS(0)
+		}
+		depth := cfg.QueueDepth
+		if depth == 0 {
+			depth = DefaultQueueDepth
+		}
+		s.gate = overload.NewGate(capacity, depth, cfg.RetryAfter)
+		s.reg.GaugeFunc("queue.depth", s.gate.Queued)
+		s.reg.GaugeFunc("sims.inflight", s.gate.InFlight)
+	}
+	if cfg.BreakerThreshold >= 0 {
+		threshold := cfg.BreakerThreshold
+		if threshold == 0 {
+			threshold = DefaultBreakerThreshold
+		}
+		cooldown := cfg.BreakerCooldown
+		if cooldown == 0 {
+			cooldown = DefaultBreakerCooldown
+		}
+		s.breakers = overload.NewBreakerSet(threshold, cooldown, nil)
+		s.reg.GaugeFunc("breaker.open", s.breakers.OpenCount)
+	}
+	s.runner = &repro.Runner{Cache: cfg.Cache, Gate: s.gate, Breakers: s.breakers, Run: cfg.Run}
 	for _, name := range repro.Workloads() {
 		s.names[name] = true
 	}
 	return s
+}
+
+// MarkReady moves a starting server to ready. Serve/ListenAndServe
+// call it once the listener is accepting; embedders that mount
+// Handler on their own server call it when they are.
+func (s *Server) MarkReady() {
+	s.state.CompareAndSwap(stateStarting, stateReady)
+}
+
+// State returns the readiness state ("starting", "ready", "degraded",
+// or "draining"). Degraded means the server is still answering — from
+// cache, stale copies, or fresh simulations of healthy workloads —
+// but at least one workload's circuit breaker is open.
+func (s *Server) State() string {
+	switch s.state.Load() {
+	case stateDraining:
+		return "draining"
+	case stateStarting:
+		return "starting"
+	default:
+		if s.breakers != nil && s.breakers.OpenCount() > 0 {
+			return "degraded"
+		}
+		return "ready"
+	}
 }
 
 // Handler returns the server's route table.
@@ -123,10 +261,12 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(l) }()
+	s.MarkReady()
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		s.state.Store(stateDraining)
 		shctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		err := srv.Shutdown(shctx)
@@ -138,8 +278,30 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	}
 }
 
-// instrument wraps a handler with a request counter, a latency timer,
-// and the per-request timeout.
+// statusWriter captures the response status so instrument can route
+// metrics by outcome.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with a request counter, outcome-routed
+// latency timers, and the per-request timeout. Latency is recorded
+// into per-endpoint timers only for ordinary responses: shed/drain
+// 503s land in latency.shed and client disconnects (499) in
+// latency.disconnect plus their own counter, so the percentiles used
+// for capacity planning reflect work actually served.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.reg.Counter("requests." + name).Inc()
@@ -152,24 +314,59 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(w, r)
+		h(sw, r)
 		d := time.Since(start)
-		s.reg.Timer("latency." + name).Observe(d)
+		switch sw.status {
+		case statusClientClosedRequest:
+			s.reg.Counter("requests.client_disconnect").Inc()
+			s.reg.Timer("latency.disconnect").Observe(d)
+		case http.StatusServiceUnavailable:
+			s.reg.Timer("latency.shed").Observe(d)
+		default:
+			s.reg.Timer("latency." + name).Observe(d)
+		}
 		if s.log != nil {
-			s.log.Debug("request", "path", r.URL.Path, "ms", d.Milliseconds())
+			s.log.Debug("request", "path", r.URL.Path, "status", sw.status, "ms", d.Milliseconds())
 		}
 	}
 }
 
-// fail writes an error response, classifying context ends: a client
-// cancel maps to 499 (client closed request), a deadline to 504.
-func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error, status int) {
+// classify maps an error to its HTTP status and, for overload
+// rejections, the Retry-After hint.
+func classify(err error, fallback int) (status int, retryAfter time.Duration) {
+	var shed *overload.ShedError
+	var open *overload.BreakerOpenError
 	switch {
+	case errors.As(err, &shed):
+		return http.StatusServiceUnavailable, shed.RetryAfter
+	case errors.As(err, &open):
+		return http.StatusServiceUnavailable, open.RetryAfter
 	case errors.Is(err, context.Canceled):
-		status = 499
+		return statusClientClosedRequest, 0
 	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, 0
+	default:
+		return fallback, 0
+	}
+}
+
+// fail writes an error response, classifying context ends (client
+// cancel → 499, deadline → 504) and overload rejections (shed or open
+// breaker → 503 with Retry-After).
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error, status int) {
+	status, retryAfter := classify(err, status)
+	if status == http.StatusServiceUnavailable {
+		var open *overload.BreakerOpenError
+		if errors.As(err, &open) {
+			s.reg.Counter("server.breaker_rejected").Inc()
+		} else {
+			s.reg.Counter("server.shed").Inc()
+		}
+		if retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
+		}
 	}
 	s.reg.Counter("errors").Inc()
 	if s.log != nil {
@@ -186,13 +383,85 @@ func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
+// healthDoc is the /healthz response document.
+type healthDoc struct {
+	State        string   `json:"state"`
+	OpenBreakers []string `json:"open_breakers,omitempty"`
+	QueueDepth   int64    `json:"queue_depth"`
+	SimsInflight int64    `json:"sims_inflight"`
+}
+
+// handleHealthz serves the readiness state machine: 200 while the
+// server can answer (ready or degraded), 503 while it cannot be
+// trusted with new traffic (starting or draining). Load balancers
+// watching the body see "degraded" — and which workloads tripped it —
+// before the process is in real trouble.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	doc := healthDoc{State: s.State()}
+	if s.breakers != nil {
+		doc.OpenBreakers = s.breakers.Open()
+	}
+	if s.gate != nil {
+		doc.QueueDepth = s.gate.Queued()
+		doc.SimsInflight = s.gate.InFlight()
+	}
+	if doc.State == "starting" || doc.State == "draining" {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+		return
+	}
+	s.writeJSON(w, doc)
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, repro.WorkloadInfos())
+}
+
+// rememberGood retains a complete report's canonical bytes as the
+// workload's stale fallback. Truncated partials never qualify.
+func (s *Server) rememberGood(rep *repro.Report) {
+	if rep == nil || rep.Truncated {
+		return
+	}
+	data, err := repro.CanonicalReportJSON(rep)
+	if err != nil {
+		return
+	}
+	s.staleMu.Lock()
+	s.lastGood[rep.Benchmark] = data
+	s.staleMu.Unlock()
+}
+
+// staleFor returns the workload's last known-good canonical bytes.
+func (s *Server) staleFor(name string) ([]byte, bool) {
+	s.staleMu.Lock()
+	defer s.staleMu.Unlock()
+	data, ok := s.lastGood[name]
+	return data, ok
+}
+
+// serveStale answers a failed report request from the stale store
+// when degradation allows it. It reports whether it wrote a response.
+func (s *Server) serveStale(w http.ResponseWriter, r *http.Request, name string, cause error) bool {
+	if !s.cfg.ServeStale || errors.Is(cause, context.Canceled) {
+		// No stale response for a client that already hung up.
+		return false
+	}
+	data, ok := s.staleFor(name)
+	if !ok {
+		return false
+	}
+	s.reg.Counter("server.stale_served").Inc()
+	if s.log != nil {
+		s.log.Warn("serving stale", "workload", name, "cause", cause)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Instrep-Stale", "true")
+	w.Write(data)
+	return true
 }
 
 // reports resolves the {workload} path element ("all" or one name)
@@ -200,7 +469,11 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 func (s *Server) reports(r *http.Request) ([]*repro.Report, error) {
 	name := r.PathValue("workload")
 	if name == "all" {
-		return s.runner.RunAll(r.Context(), s.cfg.RunConfig)
+		reports, err := s.runner.RunAll(r.Context(), s.cfg.RunConfig)
+		for _, rep := range reports {
+			s.rememberGood(rep)
+		}
+		return reports, err
 	}
 	if !s.names[name] {
 		return nil, fmt.Errorf("unknown workload %q (have %s, or \"all\")",
@@ -210,6 +483,7 @@ func (s *Server) reports(r *http.Request) ([]*repro.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.rememberGood(rep)
 	return []*repro.Report{rep}, nil
 }
 
@@ -222,6 +496,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.runner.RunWorkload(r.Context(), name, s.cfg.RunConfig)
 	if err != nil {
+		// Degradation ladder: a shed, breaker-rejected, or failed
+		// request is answered with the last known-good report when
+		// serve-stale allows, and with a classified error otherwise.
+		if s.serveStale(w, r, name, err) {
+			return
+		}
 		s.fail(w, r, err, http.StatusInternalServerError)
 		return
 	}
@@ -232,6 +512,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, r, err, http.StatusInternalServerError)
 		return
 	}
+	s.rememberGood(rep)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
 }
@@ -286,19 +567,28 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 
 // metricsDoc is the /metrics response document.
 type metricsDoc struct {
-	Requests  []obs.NamedValue `json:"requests"`
-	Latency   []obs.NamedTimer `json:"latency"`
-	Cache     []obs.NamedValue `json:"cache"`
-	Health    []obs.NamedValue `json:"health"`
-	Workloads int              `json:"workloads"`
+	State        string           `json:"state"`
+	Requests     []obs.NamedValue `json:"requests"`
+	Gauges       []obs.NamedValue `json:"gauges"`
+	Latency      []obs.NamedTimer `json:"latency"`
+	Cache        []obs.NamedValue `json:"cache"`
+	Health       []obs.NamedValue `json:"health"`
+	OpenBreakers []string         `json:"open_breakers,omitempty"`
+	Workloads    int              `json:"workloads"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, metricsDoc{
+	doc := metricsDoc{
+		State:     s.State(),
 		Requests:  s.reg.CounterValues(),
+		Gauges:    s.reg.GaugeValues(),
 		Latency:   s.reg.TimerValues(),
 		Cache:     s.cfg.Cache.StatValues(),
 		Health:    obs.HealthCounters(),
 		Workloads: len(s.names),
-	})
+	}
+	if s.breakers != nil {
+		doc.OpenBreakers = s.breakers.Open()
+	}
+	s.writeJSON(w, doc)
 }

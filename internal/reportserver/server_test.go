@@ -42,10 +42,12 @@ func fakeRun(count *atomic.Int64, delay time.Duration) func(context.Context, str
 	}
 }
 
-// newTestServer builds a server around a fake runner and a cache.
+// newTestServer builds a server around a fake runner and a cache,
+// marked ready the way Serve would.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(cfg)
+	s.MarkReady()
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -65,11 +67,22 @@ func get(t *testing.T, url string) (int, []byte) {
 	return resp.StatusCode, body
 }
 
+// TestHealthz pins the readiness state machine: a freshly built server
+// is "starting" (503, so load balancers hold traffic), MarkReady flips
+// it to "ready" (200).
 func TestHealthz(t *testing.T) {
-	_, ts := newTestServer(t, Config{})
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
 	code, body := get(t, ts.URL+"/healthz")
-	if code != http.StatusOK || !strings.Contains(string(body), "ok") {
-		t.Fatalf("healthz: code=%d body=%q", code, body)
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), `"starting"`) {
+		t.Fatalf("healthz before ready: code=%d body=%q", code, body)
+	}
+	s.MarkReady()
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"ready"`) {
+		t.Fatalf("healthz after MarkReady: code=%d body=%q", code, body)
 	}
 }
 
@@ -446,5 +459,312 @@ func TestRequestTimeout(t *testing.T) {
 	code, body := get(t, ts.URL+"/v1/report/goban")
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("want 504, got %d: %s", code, body)
+	}
+}
+
+// TestOverloadShedsBurst is the overload acceptance check: with one
+// simulation slot and a queue of one, a cold burst of 16 requests (two
+// per workload) keeps exactly one simulation in flight and at most one
+// queued, sheds the rest with 503 + Retry-After, and completes the
+// admitted work correctly. The outcome counts are deterministic even
+// though which workloads win the slot is not: same-workload pairs
+// coalesce through the singleflight, so eight leaders contend for the
+// gate — one runs, one queues, six shed, and every follower inherits
+// its leader's outcome (12 shed responses, 4 served).
+func TestOverloadShedsBurst(t *testing.T) {
+	var sims atomic.Int64
+	release := make(chan struct{})
+	run := func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		sims.Add(1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+		return &repro.Report{Benchmark: name, DynTotal: 12345}, nil
+	}
+	s, ts := newTestServer(t, Config{
+		MaxConcurrentSims: 1,
+		QueueDepth:        1,
+		RetryAfter:        7 * time.Second,
+		Run:               run,
+	})
+
+	workloads := repro.Workloads()
+	if len(workloads) != 8 {
+		t.Fatalf("test assumes 8 workloads, have %d", len(workloads))
+	}
+	type result struct {
+		code       int
+		retryAfter string
+	}
+	results := make(chan result, 2*len(workloads))
+	for _, name := range workloads {
+		for i := 0; i < 2; i++ {
+			go func(name string) {
+				resp, err := http.Get(ts.URL + "/v1/report/" + name)
+				if err != nil {
+					t.Error(err)
+					results <- result{}
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				results <- result{resp.StatusCode, resp.Header.Get("Retry-After")}
+			}(name)
+		}
+	}
+
+	// The 12 shed responses complete on their own; the 4 admitted ones
+	// are blocked on the release channel until we open it.
+	var codes []result
+	for len(codes) < 12 {
+		codes = append(codes, <-results)
+	}
+	close(release)
+	for len(codes) < 16 {
+		codes = append(codes, <-results)
+	}
+
+	var ok, shed int
+	for _, r := range codes {
+		switch r.code {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+			if r.retryAfter != "7" {
+				t.Errorf("shed response Retry-After = %q, want \"7\"", r.retryAfter)
+			}
+		default:
+			t.Errorf("unexpected status %d", r.code)
+		}
+	}
+	if ok != 4 || shed != 12 {
+		t.Fatalf("got %d ok / %d shed, want 4 / 12", ok, shed)
+	}
+	if n := sims.Load(); n != 2 {
+		t.Errorf("simulations = %d, want 2 (slot holder + queued)", n)
+	}
+	if hw := s.gate.MaxInFlight(); hw != 1 {
+		t.Errorf("max in-flight = %d, want 1", hw)
+	}
+	if hw := s.gate.MaxQueued(); hw > 1 {
+		t.Errorf("max queued = %d, want <= 1", hw)
+	}
+
+	// Shed responses are metered apart from served ones: latency.shed
+	// holds the 12 rejections so latency.report percentiles stay honest.
+	_, body := get(t, ts.URL+"/metrics")
+	var doc struct {
+		Requests []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"requests"`
+		Latency []struct {
+			Name  string `json:"name"`
+			Count uint64 `json:"count"`
+		} `json:"latency"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	counters := map[string]int64{}
+	for _, v := range doc.Requests {
+		counters[v.Name] = v.Value
+	}
+	if counters["server.shed"] != 12 {
+		t.Errorf("server.shed = %d, want 12", counters["server.shed"])
+	}
+	timers := map[string]uint64{}
+	for _, l := range doc.Latency {
+		timers[l.Name] = l.Count
+	}
+	if timers["latency.shed"] != 12 || timers["latency.report"] != 4 {
+		t.Errorf("latency split = shed:%d report:%d, want 12/4", timers["latency.shed"], timers["latency.report"])
+	}
+}
+
+// TestDegradedStaleServing walks the degradation ladder: a workload
+// with a known-good report keeps being served (stale, flagged) while
+// its simulations fail and then while its breaker is open — without
+// burning simulation slots — and a workload with no good copy fails
+// fast. /healthz reports degraded the whole time.
+func TestDegradedStaleServing(t *testing.T) {
+	cache, err := resultcache.New(1, "") // one memory slot: lzw below evicts goban
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sims atomic.Int64
+	var failing atomic.Bool
+	run := func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		if failing.Load() {
+			sims.Add(1)
+			return nil, fmt.Errorf("simulated fault in %s", name)
+		}
+		return fakeRun(&sims, 0)(ctx, name, cfg)
+	}
+	s, ts := newTestServer(t, Config{
+		Cache:            cache,
+		ServeStale:       true,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+		Run:              run,
+	})
+
+	// Seed goban's known-good copy, then evict it from the cache so the
+	// next goban request must simulate.
+	code, goodBody := get(t, ts.URL+"/v1/report/goban")
+	if code != http.StatusOK {
+		t.Fatalf("seed request: %d", code)
+	}
+	get(t, ts.URL+"/v1/report/lzw")
+	sims.Store(0)
+	failing.Store(true)
+
+	getStale := func() (int, string, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/report/goban")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("X-Instrep-Stale"), body
+	}
+
+	// Failures 1 and 2: each simulates, fails, and is answered stale.
+	for i := 0; i < 2; i++ {
+		code, stale, body := getStale()
+		if code != http.StatusOK || stale != "true" {
+			t.Fatalf("failure %d: code=%d stale=%q body=%s", i+1, code, stale, body)
+		}
+		if !bytes.Equal(body, goodBody) {
+			t.Fatalf("stale body differs from the known-good report")
+		}
+	}
+	if n := sims.Load(); n != 2 {
+		t.Fatalf("simulations before breaker opens = %d, want 2", n)
+	}
+
+	// The breaker is open now: stale is served without a simulation.
+	code, stale, body := getStale()
+	if code != http.StatusOK || stale != "true" || !bytes.Equal(body, goodBody) {
+		t.Fatalf("breaker-open stale serve: code=%d stale=%q", code, stale)
+	}
+	if n := sims.Load(); n != 2 {
+		t.Fatalf("breaker-open request simulated: %d sims", n)
+	}
+	if got := s.State(); got != "degraded" {
+		t.Fatalf("state = %q, want degraded", got)
+	}
+	code, hbody := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(hbody), `"degraded"`) ||
+		!strings.Contains(string(hbody), `"goban"`) {
+		t.Fatalf("healthz while degraded: code=%d body=%s", code, hbody)
+	}
+
+	// A workload with no known-good copy fails fast once ITS breaker
+	// opens: 503 + Retry-After, no slot burned.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/v1/report/cc1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("cc1 failure %d: %d, want 500", i+1, resp.StatusCode)
+		}
+	}
+	simsBefore := sims.Load()
+	resp, err := http.Get(ts.URL + "/v1/report/cc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("breaker-open no-stale request: %d (Retry-After %q), want 503 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if sims.Load() != simsBefore {
+		t.Fatal("breaker-open request must not simulate")
+	}
+
+	// Recovery: the runs heal, the long cooldown still blocks goban (no
+	// probe yet), but cached/healthy workloads keep serving normally.
+	failing.Store(false)
+	code, fresh := get(t, ts.URL+"/v1/report/lzw")
+	if code != http.StatusOK {
+		t.Fatalf("healthy workload while degraded: %d %s", code, fresh)
+	}
+}
+
+// TestClientDisconnectMetrics pins satellite (b): a client that hangs
+// up mid-simulation is recorded as a 499 under its own counter and
+// latency timer, not mixed into the served-request percentiles.
+func TestClientDisconnectMetrics(t *testing.T) {
+	simStarted := make(chan struct{}, 1)
+	run := func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		simStarted <- struct{}{}
+		<-ctx.Done()
+		return nil, context.Cause(ctx)
+	}
+	_, ts := newTestServer(t, Config{Run: run})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/report/goban", nil)
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	<-simStarted
+	cancel()
+	<-done
+
+	// The handler observes the disconnect asynchronously; poll the
+	// metrics until the 499 lands.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := get(t, ts.URL+"/metrics")
+		var doc struct {
+			Requests []struct {
+				Name  string `json:"name"`
+				Value int64  `json:"value"`
+			} `json:"requests"`
+			Latency []struct {
+				Name  string `json:"name"`
+				Count uint64 `json:"count"`
+			} `json:"latency"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		counters := map[string]int64{}
+		for _, v := range doc.Requests {
+			counters[v.Name] = v.Value
+		}
+		timers := map[string]uint64{}
+		for _, l := range doc.Latency {
+			timers[l.Name] = l.Count
+		}
+		if counters["requests.client_disconnect"] == 1 {
+			if timers["latency.disconnect"] != 1 {
+				t.Fatalf("latency.disconnect = %d, want 1", timers["latency.disconnect"])
+			}
+			if timers["latency.report"] != 0 {
+				t.Fatalf("disconnect leaked into latency.report (%d)", timers["latency.report"])
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client_disconnect never recorded: %v", counters)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -20,29 +20,50 @@ const DefaultMaxEntries = 64
 // Stats are the cache's observability counters. All fields are safe
 // for concurrent use; snapshot them with Cache.StatValues.
 type Stats struct {
-	Hits         obs.Counter // served from the in-memory tier
-	DiskHits     obs.Counter // served from the on-disk tier
-	Misses       obs.Counter // led to a simulation
-	DedupWaits   obs.Counter // requests that piggybacked on an in-flight computation
-	Stores       obs.Counter // reports written into the cache
-	Evictions    obs.Counter // LRU evictions from the memory tier
-	Corrupt      obs.Counter // unreadable disk entries dropped (recompute followed)
-	DiskErrors   obs.Counter // disk-tier write failures (entry kept in memory only)
-	Uncacheable  obs.Counter // computed reports not stored (truncated/partial)
-	InflightRuns obs.Gauge   // simulations currently running on behalf of the cache
+	Hits          obs.Counter // served from the in-memory tier
+	DiskHits      obs.Counter // served from the on-disk tier
+	Misses        obs.Counter // led to a simulation
+	DedupWaits    obs.Counter // requests that piggybacked on an in-flight computation
+	Stores        obs.Counter // reports written into the cache
+	Evictions     obs.Counter // LRU evictions from the memory tier
+	DiskEvictions obs.Counter // LRU evictions from the disk tier (capacity bound)
+	Corrupt       obs.Counter // unreadable disk entries dropped (recompute followed)
+	TmpOrphans    obs.Counter // orphaned temp files removed by the startup scrub
+	DiskErrors    obs.Counter // disk-tier write failures (entry kept in memory only)
+	Uncacheable   obs.Counter // computed reports not stored (truncated/partial)
+	InflightRuns  obs.Gauge   // simulations currently running on behalf of the cache
+}
+
+// Options configures a Cache beyond New's positional parameters.
+type Options struct {
+	// MaxEntries is the in-memory LRU capacity in reports (<= 0 =
+	// DefaultMaxEntries).
+	MaxEntries int
+	// Dir enables the disk tier under this directory ("" = memory
+	// only; created if missing).
+	Dir string
+	// MaxDiskBytes bounds the disk tier's total entry bytes (<= 0 =
+	// unbounded). Past the bound the least-recently-used entries are
+	// deleted from disk; the newest entry is always kept even when it
+	// alone exceeds the bound.
+	MaxDiskBytes int64
 }
 
 // Cache is a content-addressed store of canonical report JSON with an
 // in-memory LRU tier and an optional disk tier. The zero value is not
-// usable; construct with New. All methods are safe for concurrent use.
+// usable; construct with New or NewWith. All methods are safe for
+// concurrent use.
 type Cache struct {
-	maxEntries int
-	dir        string // "" = memory only
+	maxEntries   int
+	dir          string // "" = memory only
+	maxDiskBytes int64
 
 	mu     sync.Mutex
 	lru    *list.List               // front = most recently used; values are *cacheEntry
 	byKey  map[string]*list.Element //
 	flight map[string]*call         // in-flight computations, by key
+
+	disk diskIndex
 
 	Stats Stats
 }
@@ -66,15 +87,26 @@ type call struct {
 // (<= 0 selects DefaultMaxEntries) and, when dir is non-empty,
 // persisting entries under dir (created if missing).
 func New(maxEntries int, dir string) (*Cache, error) {
-	if maxEntries <= 0 {
-		maxEntries = DefaultMaxEntries
+	return NewWith(Options{MaxEntries: maxEntries, Dir: dir})
+}
+
+// NewWith is New with the full option set. Opening a disk-backed
+// cache scrubs the directory first: orphaned temp files left by a
+// crash mid-write are deleted (counted in Stats.TmpOrphans), every
+// entry is re-verified against the canonical round-trip property
+// (invalid ones deleted, counted in Stats.Corrupt), and the byte
+// bound is enforced before the first request.
+func NewWith(o Options) (*Cache, error) {
+	if o.MaxEntries <= 0 {
+		o.MaxEntries = DefaultMaxEntries
 	}
 	c := &Cache{
-		maxEntries: maxEntries,
-		dir:        dir,
-		lru:        list.New(),
-		byKey:      make(map[string]*list.Element),
-		flight:     make(map[string]*call),
+		maxEntries:   o.MaxEntries,
+		dir:          o.Dir,
+		maxDiskBytes: o.MaxDiskBytes,
+		lru:          list.New(),
+		byKey:        make(map[string]*list.Element),
+		flight:       make(map[string]*call),
 	}
 	if err := c.initDisk(); err != nil {
 		return nil, err
@@ -231,10 +263,14 @@ func decodeReport(data []byte) (*core.Report, error) {
 // StatValues snapshots every cache counter (plus the current memory
 // entry count), name-sorted, for the server's /metrics document.
 func (c *Cache) StatValues() []obs.NamedValue {
+	bytes, entries := c.DiskUsage()
 	return []obs.NamedValue{
 		{Name: "corrupt_disk_entries", Value: int64(c.Stats.Corrupt.Value())},
 		{Name: "dedup_waits", Value: int64(c.Stats.DedupWaits.Value())},
+		{Name: "disk_bytes", Value: bytes},
+		{Name: "disk_entries", Value: int64(entries)},
 		{Name: "disk_errors", Value: int64(c.Stats.DiskErrors.Value())},
+		{Name: "disk_evictions", Value: int64(c.Stats.DiskEvictions.Value())},
 		{Name: "disk_hits", Value: int64(c.Stats.DiskHits.Value())},
 		{Name: "entries", Value: int64(c.Len())},
 		{Name: "evictions", Value: int64(c.Stats.Evictions.Value())},
@@ -242,6 +278,7 @@ func (c *Cache) StatValues() []obs.NamedValue {
 		{Name: "inflight_runs", Value: c.Stats.InflightRuns.Value()},
 		{Name: "misses", Value: int64(c.Stats.Misses.Value())},
 		{Name: "stores", Value: int64(c.Stats.Stores.Value())},
+		{Name: "tmp_orphans_removed", Value: int64(c.Stats.TmpOrphans.Value())},
 		{Name: "uncacheable", Value: int64(c.Stats.Uncacheable.Value())},
 	}
 }

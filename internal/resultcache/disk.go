@@ -7,21 +7,114 @@ package resultcache
 // decode and re-encode to themselves (the canonical round-trip
 // property) and drop anything that does not — a corrupt or truncated
 // entry costs one recompute, never a wrong answer.
+//
+// Crash safety is handled at startup: opening a cache scrubs its
+// directory, deleting the orphaned temp files a crash mid-write
+// leaves behind (they would otherwise accumulate forever) and
+// re-verifying every entry so the first request after a crash never
+// pays a corruption detour. The scrub also seeds the disk LRU index:
+// the tier is capacity-bounded (Options.MaxDiskBytes) and evicts the
+// least-recently-used entry files once the bound is exceeded, so a
+// long-lived daemon cannot fill the disk.
 
 import (
 	"bytes"
+	"container/list"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/core"
 )
 
-// initDisk prepares the disk tier directory (no-op when disabled).
+// tmpPattern is the os.CreateTemp pattern for in-progress writes; the
+// scrub deletes anything matching it.
+const (
+	tmpPrefix = "tmp-"
+	tmpSuffix = ".partial"
+)
+
+// diskIndex tracks the disk tier's entries in recency order so the
+// byte bound can evict the least-recently-used file. It is guarded by
+// its own mutex: disk I/O must not serialize behind the memory tier's
+// lock.
+type diskIndex struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used; values are *diskEntry
+	byKey map[string]*list.Element
+	bytes int64
+}
+
+// diskEntry is one on-disk entry's index record.
+type diskEntry struct {
+	key  string
+	size int64
+}
+
+// initDisk prepares the disk tier: directory creation, the crash
+// scrub, index construction, and the initial capacity enforcement.
+// No-op when the tier is disabled.
 func (c *Cache) initDisk() error {
 	if c.dir == "" {
 		return nil
 	}
-	return os.MkdirAll(c.dir, 0o755)
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	c.disk.lru = list.New()
+	c.disk.byKey = make(map[string]*list.Element)
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return err
+	}
+	type scanned struct {
+		key  string
+		size int64
+		mod  int64
+	}
+	var valid []scanned
+	for _, e := range names {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		path := filepath.Join(c.dir, name)
+		switch {
+		case strings.HasPrefix(name, tmpPrefix) && strings.HasSuffix(name, tmpSuffix):
+			// A crash between CreateTemp and Rename orphaned this file.
+			os.Remove(path)
+			c.Stats.TmpOrphans.Inc()
+		case strings.HasSuffix(name, ".json"):
+			data, err := os.ReadFile(path)
+			if err != nil || !validCanonical(data) {
+				os.Remove(path)
+				c.Stats.Corrupt.Inc()
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			valid = append(valid, scanned{
+				key:  strings.TrimSuffix(name, ".json"),
+				size: int64(len(data)),
+				mod:  info.ModTime().UnixNano(),
+			})
+		}
+	}
+	// Rebuild recency from file modification times: oldest written
+	// lands at the LRU tail and is evicted first.
+	sort.Slice(valid, func(i, j int) bool { return valid[i].mod < valid[j].mod })
+	c.disk.mu.Lock()
+	for _, v := range valid {
+		c.disk.byKey[v.key] = c.disk.lru.PushFront(&diskEntry{key: v.key, size: v.size})
+		c.disk.bytes += v.size
+	}
+	c.evictDiskLocked()
+	c.disk.mu.Unlock()
+	return nil
 }
 
 // diskPath is the entry file for a key. Keys are hex fingerprints, so
@@ -31,7 +124,8 @@ func (c *Cache) diskPath(key string) string {
 }
 
 // diskGet reads and validates the disk entry for key. Invalid entries
-// are removed so the slot heals on the next store.
+// are removed so the slot heals on the next store; valid reads touch
+// the LRU index so hot entries survive the byte bound.
 func (c *Cache) diskGet(key string) ([]byte, bool) {
 	if c.dir == "" {
 		return nil, false
@@ -44,8 +138,10 @@ func (c *Cache) diskGet(key string) ([]byte, bool) {
 	if !validCanonical(data) {
 		c.Stats.Corrupt.Inc()
 		os.Remove(path)
+		c.diskForget(key)
 		return nil, false
 	}
+	c.diskTouch(key, int64(len(data)))
 	return data, true
 }
 
@@ -68,12 +164,14 @@ func validCanonical(data []byte) bool {
 // diskPut writes an entry atomically: temp file in the cache
 // directory, then rename over the final path. Failures are counted
 // and swallowed — the disk tier is an accelerator, not a source of
-// truth, and the entry stays served from memory.
+// truth, and the entry stays served from memory. A successful write
+// updates the LRU index and may evict older entries past the byte
+// bound.
 func (c *Cache) diskPut(key string, data []byte) {
 	if c.dir == "" {
 		return
 	}
-	tmp, err := os.CreateTemp(c.dir, "tmp-*.partial")
+	tmp, err := os.CreateTemp(c.dir, tmpPrefix+"*"+tmpSuffix)
 	if err != nil {
 		c.Stats.DiskErrors.Inc()
 		return
@@ -89,5 +187,65 @@ func (c *Cache) diskPut(key string, data []byte) {
 	if err := os.Rename(tmpName, c.diskPath(key)); err != nil {
 		os.Remove(tmpName)
 		c.Stats.DiskErrors.Inc()
+		return
 	}
+	c.diskTouch(key, int64(len(data)))
+}
+
+// diskTouch marks key most recently used, inserting or resizing its
+// index record, and enforces the byte bound.
+func (c *Cache) diskTouch(key string, size int64) {
+	c.disk.mu.Lock()
+	defer c.disk.mu.Unlock()
+	if el, ok := c.disk.byKey[key]; ok {
+		de := el.Value.(*diskEntry)
+		c.disk.bytes += size - de.size
+		de.size = size
+		c.disk.lru.MoveToFront(el)
+	} else {
+		c.disk.byKey[key] = c.disk.lru.PushFront(&diskEntry{key: key, size: size})
+		c.disk.bytes += size
+	}
+	c.evictDiskLocked()
+}
+
+// diskForget drops key's index record (its file is already gone).
+func (c *Cache) diskForget(key string) {
+	c.disk.mu.Lock()
+	defer c.disk.mu.Unlock()
+	if el, ok := c.disk.byKey[key]; ok {
+		c.disk.bytes -= el.Value.(*diskEntry).size
+		c.disk.lru.Remove(el)
+		delete(c.disk.byKey, key)
+	}
+}
+
+// evictDiskLocked deletes least-recently-used entry files until the
+// tier is back under its byte bound. The most recent entry is always
+// kept: a single oversized report should be served from disk, not
+// thrashed. Caller holds c.disk.mu.
+func (c *Cache) evictDiskLocked() {
+	if c.maxDiskBytes <= 0 {
+		return
+	}
+	for c.disk.bytes > c.maxDiskBytes && c.disk.lru.Len() > 1 {
+		el := c.disk.lru.Back()
+		de := el.Value.(*diskEntry)
+		os.Remove(c.diskPath(de.key))
+		c.disk.lru.Remove(el)
+		delete(c.disk.byKey, de.key)
+		c.disk.bytes -= de.size
+		c.Stats.DiskEvictions.Inc()
+	}
+}
+
+// DiskUsage returns the disk tier's current total entry bytes and
+// entry count (both zero when the tier is disabled).
+func (c *Cache) DiskUsage() (bytes int64, entries int) {
+	if c.dir == "" {
+		return 0, 0
+	}
+	c.disk.mu.Lock()
+	defer c.disk.mu.Unlock()
+	return c.disk.bytes, c.disk.lru.Len()
 }

@@ -1,0 +1,214 @@
+package resultcache
+
+// Crash-recovery and capacity tests for the disk tier: the startup
+// scrub (orphaned temp files, invalid entries) and the byte-bounded
+// disk LRU.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// canonicalFor builds the canonical JSON bytes of a minimal report.
+func canonicalFor(t *testing.T, benchmark string) []byte {
+	t.Helper()
+	data, err := core.CanonicalJSON(&core.Report{Benchmark: benchmark, DynTotal: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// storeKey computes-and-stores a fixed report under key.
+func storeKey(t *testing.T, c *Cache, key, benchmark string) {
+	t.Helper()
+	_, err := c.GetOrCompute(context.Background(), key, func(context.Context) (*core.Report, error) {
+		return &core.Report{Benchmark: benchmark, DynTotal: 42}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dirFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// TestStartupScrub pins crash recovery: orphaned temp files are
+// deleted and counted, invalid entries are deleted and counted, and
+// valid entries survive into the index.
+func TestStartupScrub(t *testing.T) {
+	dir := t.TempDir()
+	valid := canonicalFor(t, "goban")
+	writes := map[string][]byte{
+		"aaaa.json":        valid,                         // survives
+		"bbbb.json":        []byte(`{"Benchmark":"trunc`), // corrupt: deleted
+		"cccc.json":        append(valid, '\n', '\n'),     // trailing garbage: deleted
+		"tmp-123.partial":  []byte("half-written"),        // crash orphan: deleted
+		"tmp-zzzz.partial": nil,                           // empty crash orphan: deleted
+		"README":           []byte("not a cache entry"),   // foreign file: left alone
+	}
+	for name, data := range writes {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := New(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats.TmpOrphans.Value(); got != 2 {
+		t.Errorf("TmpOrphans = %d, want 2", got)
+	}
+	if got := c.Stats.Corrupt.Value(); got != 2 {
+		t.Errorf("Corrupt = %d, want 2", got)
+	}
+	bytes, entries := c.DiskUsage()
+	if entries != 1 || bytes != int64(len(valid)) {
+		t.Errorf("DiskUsage = (%d, %d), want (%d, 1)", bytes, entries, len(valid))
+	}
+	files := dirFiles(t, dir)
+	want := map[string]bool{"aaaa.json": true, "README": true}
+	if len(files) != 2 {
+		t.Fatalf("scrub left %v, want exactly %v", files, want)
+	}
+	for _, f := range files {
+		if !want[f] {
+			t.Errorf("scrub left unexpected file %s", f)
+		}
+	}
+
+	// The surviving entry is servable without recomputation.
+	rep, err := c.GetOrCompute(context.Background(), "aaaa", func(context.Context) (*core.Report, error) {
+		t.Fatal("scrubbed-valid entry recomputed")
+		return nil, nil
+	})
+	if err != nil || rep.Benchmark != "goban" {
+		t.Fatalf("scrubbed entry unreadable: %v %v", rep, err)
+	}
+	if c.Stats.DiskHits.Value() != 1 {
+		t.Errorf("DiskHits = %d, want 1", c.Stats.DiskHits.Value())
+	}
+}
+
+// TestDiskByteBoundEviction pins the disk capacity bound: storing past
+// MaxDiskBytes evicts the least-recently-used entry files, a diskGet
+// touch protects an entry from eviction, and the index stays
+// consistent with the directory.
+func TestDiskByteBoundEviction(t *testing.T) {
+	dir := t.TempDir()
+	entrySize := int64(len(canonicalFor(t, "w")))
+	// Memory tier of 1 forces reads of older keys through the disk
+	// tier (so recency touches are observable); room for 3 entries on
+	// disk.
+	c, err := NewWith(Options{MaxEntries: 1, Dir: dir, MaxDiskBytes: 3 * entrySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	storeKey(t, c, "k1", "w")
+	storeKey(t, c, "k2", "w")
+	storeKey(t, c, "k3", "w")
+	if _, entries := c.DiskUsage(); entries != 3 {
+		t.Fatalf("disk entries = %d, want 3", entries)
+	}
+
+	// Touch k1 via a disk hit (memory only holds k3), then store k4:
+	// the LRU victim must be k2, not the freshly touched k1.
+	if _, err := c.GetOrCompute(context.Background(), "k1", func(context.Context) (*core.Report, error) {
+		t.Fatal("k1 should be a disk hit")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	storeKey(t, c, "k4", "w")
+
+	if got := c.Stats.DiskEvictions.Value(); got != 1 {
+		t.Fatalf("DiskEvictions = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k2.json")); !os.IsNotExist(err) {
+		t.Error("k2 should have been evicted from disk")
+	}
+	for _, keep := range []string{"k1", "k3", "k4"} {
+		if _, err := os.Stat(filepath.Join(dir, keep+".json")); err != nil {
+			t.Errorf("%s missing from disk: %v", keep, err)
+		}
+	}
+	bytes, entries := c.DiskUsage()
+	if entries != 3 || bytes != 3*entrySize {
+		t.Errorf("DiskUsage = (%d, %d), want (%d, 3)", bytes, entries, 3*entrySize)
+	}
+
+	// An evicted entry is a clean miss: it recomputes and re-enters.
+	computed := false
+	if _, err := c.GetOrCompute(context.Background(), "k2", func(context.Context) (*core.Report, error) {
+		computed = true
+		return &core.Report{Benchmark: "w", DynTotal: 42}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !computed {
+		t.Fatal("evicted entry served without recompute")
+	}
+}
+
+// TestDiskBoundAtStartup pins that the scrub enforces the byte bound
+// on a pre-existing oversized directory, evicting oldest-first, and
+// that a single oversized entry is kept rather than thrashed.
+func TestDiskBoundAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	big, err := New(0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entrySize := int64(len(canonicalFor(t, "w")))
+	for _, k := range []string{"old1", "old2", "new1"} {
+		storeKey(t, big, k, "w")
+	}
+	// Oldest-first eviction depends on distinct mtimes; force them.
+	base := time.Now().Add(-time.Hour)
+	for i, k := range []string{"old1", "old2", "new1"} {
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, k+".json"), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := NewWith(Options{Dir: dir, MaxDiskBytes: 2 * entrySize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats.DiskEvictions.Value(); got != 1 {
+		t.Fatalf("startup DiskEvictions = %d, want 1", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "old1.json")); !os.IsNotExist(err) {
+		t.Error("oldest entry should be the startup eviction victim")
+	}
+
+	// A bound smaller than one entry still keeps the newest entry.
+	tiny, err := NewWith(Options{Dir: dir, MaxDiskBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, entries := tiny.DiskUsage(); entries != 1 {
+		t.Fatalf("tiny bound kept %d entries, want exactly the newest", entries)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "new1.json")); err != nil {
+		t.Errorf("newest entry must survive an undersized bound: %v", err)
+	}
+}

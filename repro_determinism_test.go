@@ -9,9 +9,12 @@ package repro_test
 import (
 	"bytes"
 	"context"
+	"sync"
 	"testing"
+	"time"
 
 	"repro"
+	"repro/internal/overload"
 	"repro/internal/resultcache"
 )
 
@@ -135,5 +138,55 @@ func TestCacheTransparency(t *testing.T) {
 	}
 	if m := cache.Stats.Misses.Value(); m != 2 {
 		t.Errorf("changed config should miss, misses=%d", m)
+	}
+}
+
+// TestAdmissionPreservesDeterminism pins that the overload machinery
+// is invisible to report content: a Runner with a one-slot admission
+// gate and circuit breakers, serving concurrent demand for the same
+// workload, produces canonical bytes identical to a bare uncached run.
+func TestAdmissionPreservesDeterminism(t *testing.T) {
+	ctx := context.Background()
+	cfg := detConfig()
+
+	bare, err := repro.RunWorkload(ctx, "goban", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := canonical(t, bare)
+
+	cache, err := resultcache.New(0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := &repro.Runner{
+		Cache:    cache,
+		Gate:     overload.NewGate(1, 2, time.Second),
+		Breakers: overload.NewBreakerSet(3, time.Minute, nil),
+	}
+	const callers = 8
+	got := make([][]byte, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := rn.RunWorkload(ctx, "goban", cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i], errs[i] = repro.CanonicalReportJSON(rep)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Fatalf("caller %d: admitted report differs from bare run", i)
+		}
 	}
 }

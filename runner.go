@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/overload"
 	"repro/internal/resultcache"
 	"repro/internal/workloads"
 )
@@ -40,6 +41,22 @@ type Runner struct {
 	// Cache is the result cache (nil = always simulate).
 	Cache *resultcache.Cache
 
+	// Gate is the admission-control semaphore bounding concurrent
+	// simulations (nil = unbounded). It only guards actual
+	// computations: cache hits and singleflight followers never take a
+	// slot. When both the semaphore and its wait queue are full the
+	// run fails fast with an *overload.ShedError.
+	Gate *overload.Gate
+
+	// Breakers is the per-workload circuit breaker set (nil = none).
+	// After its threshold of consecutive simulation failures —
+	// panics, faults, timeouts, watchdog aborts — a workload's runs
+	// fail fast with an *overload.BreakerOpenError, without taking a
+	// Gate slot, until a cooldown elapses and a half-open probe
+	// succeeds. Cached results are still served while a breaker is
+	// open.
+	Breakers *overload.BreakerSet
+
 	// Run computes one workload on a cache miss (nil = RunWorkload).
 	// Injectable for tests that need to count or fake simulations.
 	Run func(ctx context.Context, name string, cfg Config) (*Report, error)
@@ -53,10 +70,44 @@ func (rn *Runner) runOne() func(context.Context, string, Config) (*Report, error
 	return RunWorkload
 }
 
+// admitted wraps a compute function with the breaker check and the
+// admission gate. Ordering matters: the breaker rejects before a
+// semaphore slot is taken, so an open breaker costs nothing, and a
+// shed probe is reverted (not counted as a failure) by Record's
+// ShedError handling.
+func (rn *Runner) admitted(run func(context.Context, string, Config) (*Report, error)) func(context.Context, string, Config) (*Report, error) {
+	if rn == nil || (rn.Gate == nil && rn.Breakers == nil) {
+		return run
+	}
+	return func(ctx context.Context, name string, cfg Config) (*Report, error) {
+		if rn.Breakers != nil {
+			if err := rn.Breakers.Allow(name); err != nil {
+				return nil, err
+			}
+		}
+		if rn.Gate != nil {
+			if err := rn.Gate.Acquire(ctx); err != nil {
+				if rn.Breakers != nil {
+					rn.Breakers.Record(name, err) // reverts a shed half-open probe
+				}
+				return nil, err
+			}
+			defer rn.Gate.Release()
+		}
+		rep, err := run(ctx, name, cfg)
+		if rn.Breakers != nil {
+			rn.Breakers.Record(name, err)
+		}
+		return rep, err
+	}
+}
+
 // RunWorkload is RunWorkload through the cache: a fingerprint hit
 // skips the simulation and returns the stored canonical report.
+// Admission control and the circuit breaker (when configured) apply
+// only to the computation itself — cached reports are always served.
 func (rn *Runner) RunWorkload(ctx context.Context, name string, cfg Config) (*Report, error) {
-	run := rn.runOne()
+	run := rn.admitted(rn.runOne())
 	if rn == nil || rn.Cache == nil || !resultcache.Cacheable(cfg) {
 		return run(ctx, name, cfg)
 	}
