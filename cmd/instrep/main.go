@@ -33,12 +33,14 @@
 //	              [-request-timeout D] [-max-concurrent-sims N]
 //	              [-queue-depth N] [-breaker-threshold N]
 //	              [-breaker-cooldown D] [-retry-after D]
-//	              [-serve-stale=BOOL] [-quiet]
+//	              [-serve-stale=BOOL] [-trace-store N] [-trace-slow D]
+//	              [-access-log FILE] [-quiet]
 //	    Serve reports over HTTP backed by the content-addressed result
 //	    cache: GET /v1/report/{workload} (canonical report JSON),
 //	    /v1/tables/{workload} (rendered tables; "all" serves every
 //	    workload, ?experiment= selects a subset), /v1/workloads,
-//	    /healthz, and /metrics. Each distinct (workload, config) pair
+//	    /healthz, and /metrics (JSON, or Prometheus text exposition via
+//	    content negotiation). Each distinct (workload, config) pair
 //	    is simulated at most once — concurrent cold requests share one
 //	    simulation — then served from memory/disk. The daemon is
 //	    overload-hardened: cold simulations pass a bounded admission
@@ -50,6 +52,14 @@
 //	    X-Instrep-Stale header. -cache-max-bytes bounds the disk cache
 //	    (LRU eviction); orphaned temp files from a crash are scrubbed
 //	    at startup. /healthz reports starting/ready/degraded/draining.
+//	    Every /v1 request is traced end to end: the response carries an
+//	    X-Instrep-Trace ID resolvable at GET /debug/traces/{id} to the
+//	    request's span tree (queue wait, simulation phases, cache
+//	    write); /debug/traces lists recent traces (-trace-store bounds
+//	    retention; shed/errored/slower-than--trace-slow requests are
+//	    always kept) and /debug/runs lists in-flight simulations with
+//	    phase, retired count, and live retire rate. -access-log FILE
+//	    appends one JSON line per request ("-" = stderr).
 //	    ^C shuts down gracefully, canceling in-flight simulations.
 //
 //	instrep exec [-input FILE] [-max N] PROGRAM.c
@@ -238,7 +248,13 @@ func cmdRun(ctx context.Context, args []string) error {
 		WatchdogInterval:    *watchdog,
 	}
 	if *progress {
-		t := newTicker(os.Stderr)
+		// The run registry feeds the multi-workload display: when
+		// several simulations are in flight the ticker renders one
+		// segment per run from registry snapshots (the same live view
+		// the serve daemon exposes at /debug/runs).
+		runs := repro.NewRunRegistry()
+		cfg.Runs = runs
+		t := newTicker(os.Stderr, runs)
 		cfg.Progress = t.update
 		defer t.finish()
 	}
@@ -315,7 +331,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	}
 	if *metrics == "text" {
 		fmt.Println(repro.FormatMetrics(reports))
-		if hc := obs.HealthCounters(); len(hc) > 0 {
+		if hc := obs.Health.Values(); len(hc) > 0 {
 			fmt.Println("health:")
 			for _, v := range hc {
 				fmt.Printf("  %-18s %d\n", v.Name, v.Value)
@@ -351,6 +367,9 @@ func cmdServe(ctx context.Context, args []string) error {
 	retryAfter := fs.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = default 2s)")
 	serveStale := fs.Bool("serve-stale", true, "answer shed or failed requests with the last known-good report (X-Instrep-Stale: true)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "disk cache capacity in bytes, LRU-evicted (0 = unbounded)")
+	traceStore := fs.Int("trace-store", 0, "request traces retained per class for /debug/traces (0 = default 256)")
+	traceSlow := fs.Duration("trace-slow", 0, "pin traces of requests at least this slow to the always-keep class (0 = default 1s, negative = never)")
+	accessLog := fs.String("access-log", "", "append one JSON line per request to this file (\"-\" = stderr, \"\" = off)")
 	quiet := fs.Bool("quiet", false, "suppress request logging")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -372,6 +391,19 @@ func cmdServe(ctx context.Context, args []string) error {
 		level = obs.LevelError
 	}
 	log := obs.NewLogger(os.Stderr, level)
+	var access *obs.Logger
+	switch *accessLog {
+	case "":
+	case "-":
+		access = obs.NewJSONLogger(os.Stderr, obs.LevelInfo)
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening -access-log: %w", err)
+		}
+		defer f.Close()
+		access = obs.NewJSONLogger(f, obs.LevelInfo)
+	}
 	srv := reportserver.New(reportserver.Config{
 		RunConfig: repro.Config{
 			SkipInstructions:    *skip,
@@ -384,33 +416,40 @@ func cmdServe(ctx context.Context, args []string) error {
 			Timeout:             *timeout,
 			WatchdogInterval:    *watchdog,
 		},
-		Cache:             cache,
-		RequestTimeout:    *reqTimeout,
-		MaxConcurrentSims: *maxSims,
-		QueueDepth:        *queueDepth,
-		BreakerThreshold:  *breakerThreshold,
-		BreakerCooldown:   *breakerCooldown,
-		RetryAfter:        *retryAfter,
-		ServeStale:        *serveStale,
-		Log:               log,
+		Cache:              cache,
+		RequestTimeout:     *reqTimeout,
+		MaxConcurrentSims:  *maxSims,
+		QueueDepth:         *queueDepth,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		RetryAfter:         *retryAfter,
+		ServeStale:         *serveStale,
+		TraceStoreSize:     *traceStore,
+		SlowTraceThreshold: *traceSlow,
+		Log:                log,
+		AccessLog:          access,
 	})
 	log.Info("serving reports", "addr", *addr, "cache_dir", *cacheDir)
 	return srv.ListenAndServe(ctx, *addr)
 }
 
-// ticker renders a single-line live progress display on w: phase,
-// instructions retired, retire rate, and ETA. It is safe for
-// concurrent updates (RunAll runs workloads in parallel).
+// ticker renders a single-line live progress display on w. For a lone
+// run it shows phase, instructions retired, retire rate, and ETA; when
+// the run registry reports several simulations in flight (RunAll with
+// -parallel) it renders one compact segment per run instead, so
+// concurrent workloads stop overwriting each other's lines. It is safe
+// for concurrent updates.
 type ticker struct {
 	mu      sync.Mutex
 	w       *os.File
+	runs    *repro.RunRegistry // nil = per-callback rendering only
 	last    time.Time
 	started map[string]time.Time // bench/phase -> start
 	active  bool
 }
 
-func newTicker(w *os.File) *ticker {
-	return &ticker{w: w, started: make(map[string]time.Time)}
+func newTicker(w *os.File, runs *repro.RunRegistry) *ticker {
+	return &ticker{w: w, runs: runs, started: make(map[string]time.Time)}
 }
 
 func (t *ticker) update(p repro.Progress) {
@@ -428,6 +467,21 @@ func (t *ticker) update(p repro.Progress) {
 		return
 	}
 	t.last = now
+	if t.runs != nil {
+		if snap := t.runs.Snapshot(); len(snap) > 1 {
+			var parts []string
+			for _, ri := range snap {
+				seg := fmt.Sprintf("%s %s %s", ri.Benchmark, ri.Phase, fmtMillions(ri.Retired))
+				if ri.MIPS > 0 {
+					seg += fmt.Sprintf(" %.0fMIPS", ri.MIPS)
+				}
+				parts = append(parts, seg)
+			}
+			fmt.Fprintf(t.w, "\r\x1b[K[%d running] %s", len(snap), strings.Join(parts, " | "))
+			t.active = true
+			return
+		}
+	}
 	elapsed := now.Sub(start).Seconds()
 	// Rates over a few milliseconds are noise; wait for a real sample.
 	var rate float64

@@ -25,12 +25,14 @@ func TestTickerConcurrentProgress(t *testing.T) {
 	}
 	defer devnull.Close()
 
-	tk := newTicker(devnull)
+	runs := repro.NewRunRegistry()
+	tk := newTicker(devnull, runs)
 	cfg := repro.QuickConfig()
 	// Force real concurrency regardless of the machine's core count:
 	// the contract is concurrency-safety, not parallel speedup.
 	cfg.Parallel = 4
 	cfg.Progress = tk.update
+	cfg.Runs = runs
 	reports, err := repro.RunAll(context.Background(), cfg)
 	tk.finish()
 	if err != nil {

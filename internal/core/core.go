@@ -88,6 +88,17 @@ type Config struct {
 	// Run opens its own root span.
 	Span *obs.Span
 
+	// Health receives the run's resilience accounting — truncations by
+	// cause and recovered panics (nil = the process-wide obs.Health).
+	// The report server injects its registry's set so daemon instances
+	// and tests stay isolated.
+	Health *obs.HealthCounters
+
+	// Runs, when set, registers the run for live introspection while it
+	// executes: RunRegistry.Snapshot lists in-flight runs with phase,
+	// retired count, and retire rate (GET /debug/runs, CLI -progress).
+	Runs *RunRegistry
+
 	// Progress, when set, receives periodic updates during the skip
 	// and measure phases. It may be called from multiple goroutines
 	// when workloads run in parallel, so implementations must be
@@ -538,6 +549,10 @@ func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg 
 	if root == nil {
 		root = obs.StartSpan("run")
 	}
+	health := cfg.Health
+	if health == nil {
+		health = obs.Health
+	}
 
 	// Per-run cancel-cause plumbing: the watchdog and timeout record
 	// the precise abort reason, which runPhase surfaces via
@@ -560,11 +575,15 @@ func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg 
 		m.Attach(o)
 	}
 	st := newRunState(name)
+	st.traceID = obs.TraceIDFrom(ctx)
 	if cfg.WatchdogInterval > 0 {
 		// Fine-grained retire checkpoints so a slow chunk is not
 		// mistaken for a wedged run.
 		m.Hook = publishHook(st, m.Hook)
 		defer watch(ctx, cancel, st, cfg.WatchdogInterval)()
+	}
+	if cfg.Runs != nil {
+		defer cfg.Runs.remove(cfg.Runs.add(st))
 	}
 	load.End()
 
@@ -591,10 +610,11 @@ func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg 
 			measureWall = measure.Duration()
 		}
 		r.Metrics = runMetrics(root, m, p, name, measured, measureWall)
+		r.Metrics.TraceID = st.traceID
 		if runErr != nil {
 			r.Truncated = true
 			r.TruncatedReason = TruncationReason(runErr)
-			recordTruncation(r.TruncatedReason)
+			recordTruncation(health, r.TruncatedReason)
 		}
 		return r
 	}
@@ -605,7 +625,7 @@ func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg 
 	defer func() {
 		if pv := recover(); pv != nil {
 			perr := NewPanicError(name, pv)
-			obs.Health.PanicsRecovered.Inc()
+			health.PanicsRecovered.Inc()
 			rep, err = safeFinish(finish, perr), perr
 		}
 	}()

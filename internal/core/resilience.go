@@ -96,36 +96,43 @@ func TruncationReason(err error) string {
 	}
 }
 
-// recordTruncation bumps the process-wide health counters for one
-// truncated run. Recovered panics are counted at their recovery site,
-// not here, so a panic-truncated run is not double-counted.
-func recordTruncation(reason string) {
-	obs.Health.TruncatedRuns.Inc()
+// recordTruncation bumps the run's health counters for one truncated
+// run. Recovered panics are counted at their recovery site, not here,
+// so a panic-truncated run is not double-counted.
+func recordTruncation(h *obs.HealthCounters, reason string) {
+	h.TruncatedRuns.Inc()
 	switch reason {
 	case ReasonCanceled:
-		obs.Health.Cancels.Inc()
+		h.Cancels.Inc()
 	case ReasonTimeout:
-		obs.Health.Timeouts.Inc()
+		h.Timeouts.Inc()
 	case ReasonWatchdog:
-		obs.Health.Watchdogs.Inc()
+		h.Watchdogs.Inc()
 	}
 }
 
-// runState is the progress the run loop publishes for the watchdog:
-// retire count and PC at the last checkpoint, plus the current phase.
-// Checkpoints come from chunk boundaries in runPhase and, when the
-// watchdog is armed, from the per-step publishing hook.
+// runState is the progress the run loop publishes: retire count and PC
+// at the last checkpoint, plus the current phase and when it started —
+// read by the watchdog (stall detection) and by RunRegistry snapshots
+// (live introspection with a phase-relative retire rate). Checkpoints
+// come from chunk boundaries in runPhase and, when the watchdog is
+// armed, from the per-step publishing hook.
 type runState struct {
 	benchmark string
+	traceID   string
+	started   time.Time
 	retired   atomic.Uint64
 	pc        atomic.Uint32
 	phase     atomic.Pointer[string]
+	// Phase-relative baseline for the live MIPS estimate: the retire
+	// count and wall clock at the last setPhase.
+	phaseStartNS atomic.Int64 // UnixNano of phase start
+	phaseBase    atomic.Uint64
 }
 
 func newRunState(benchmark string) *runState {
-	st := &runState{benchmark: benchmark}
-	p := "load"
-	st.phase.Store(&p)
+	st := &runState{benchmark: benchmark, started: time.Now()}
+	st.setPhase("load")
 	return st
 }
 
@@ -136,6 +143,8 @@ func (st *runState) publish(retired uint64, pc uint32) {
 
 func (st *runState) setPhase(phase string) {
 	st.phase.Store(&phase)
+	st.phaseBase.Store(st.retired.Load())
+	st.phaseStartNS.Store(time.Now().UnixNano())
 }
 
 func (st *runState) phaseName() string {

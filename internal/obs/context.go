@@ -1,0 +1,65 @@
+package obs
+
+// Context propagation for traces and spans. The convention across the
+// stack: the edge (HTTP handler, CLI run) mints a Trace and installs
+// it with WithTrace; each layer that opens a phase calls StartSpanCtx,
+// which parents the new span under the context's current span and
+// installs the child for the layers below; leaf layers attach
+// attributes to SpanFrom(ctx). A context with no trace degrades
+// gracefully — StartSpanCtx starts a free-standing root span and
+// SpanFrom returns nil (SetAttr on a nil Span is a no-op).
+
+import "context"
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// WithTrace returns a context carrying t, with t's root as the current
+// span.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	ctx = context.WithValue(ctx, traceKey, t)
+	return context.WithValue(ctx, spanKey, t.Root())
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// TraceIDFrom returns the context's trace ID, or "".
+func TraceIDFrom(ctx context.Context) string {
+	if t := TraceFrom(ctx); t != nil {
+		return t.ID()
+	}
+	return ""
+}
+
+// WithSpan returns a context with s as the current span.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFrom returns the context's current span, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpanCtx opens a span named name as a child of the context's
+// current span (or as a free-standing root when the context carries
+// none) and returns it along with a context carrying it as the new
+// current span. The caller owns ending the span.
+func StartSpanCtx(ctx context.Context, name string) (*Span, context.Context) {
+	var s *Span
+	if parent := SpanFrom(ctx); parent != nil {
+		s = parent.StartChild(name)
+	} else {
+		s = StartSpan(name)
+	}
+	return s, WithSpan(ctx, s)
+}

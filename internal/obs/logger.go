@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -43,6 +44,7 @@ type Logger struct {
 	mu     *sync.Mutex
 	w      io.Writer
 	level  Level
+	json   bool
 	fields []any
 	// now is the clock; tests may replace it for stable output.
 	now func() time.Time
@@ -51,6 +53,15 @@ type Logger struct {
 // NewLogger creates a logger writing lines at or above level to w.
 func NewLogger(w io.Writer, level Level) *Logger {
 	return &Logger{mu: &sync.Mutex{}, w: w, level: level, now: time.Now}
+}
+
+// NewJSONLogger creates a logger emitting one JSON object per line
+// ({"ts":..., "level":..., "msg":..., key: value, ...}) — the format
+// the report server's access log uses so lines are machine-parseable.
+func NewJSONLogger(w io.Writer, level Level) *Logger {
+	l := NewLogger(w, level)
+	l.json = true
+	return l
 }
 
 // With returns a logger that appends the given key/value pairs to
@@ -86,13 +97,46 @@ func (l *Logger) log(level Level, msg string, kv []any) {
 		return
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s %s %s", l.now().Format("15:04:05.000"), level, msg)
-	writeKV(&b, l.fields)
-	writeKV(&b, kv)
-	b.WriteByte('\n')
+	if l.json {
+		fmt.Fprintf(&b, `{"ts":%q,"level":%q,"msg":%s`,
+			l.now().Format(time.RFC3339Nano), strings.TrimSpace(level.String()), jsonValue(msg))
+		writeJSONKV(&b, l.fields)
+		writeJSONKV(&b, kv)
+		b.WriteString("}\n")
+	} else {
+		fmt.Fprintf(&b, "%s %s %s", l.now().Format("15:04:05.000"), level, msg)
+		writeKV(&b, l.fields)
+		writeKV(&b, kv)
+		b.WriteByte('\n')
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	io.WriteString(l.w, b.String())
+}
+
+// writeJSONKV appends ,"key":value pairs in call order (keys are
+// rendered as strings; values JSON-encoded). A trailing odd value goes
+// under "!extra", matching writeKV.
+func writeJSONKV(b *strings.Builder, kv []any) {
+	for i := 0; i+1 < len(kv); i += 2 {
+		fmt.Fprintf(b, ",%s:%s", jsonValue(fmt.Sprintf("%v", kv[i])), jsonValue(kv[i+1]))
+	}
+	if len(kv)%2 == 1 {
+		fmt.Fprintf(b, `,"!extra":%s`, jsonValue(kv[len(kv)-1]))
+	}
+}
+
+// jsonValue renders v as a JSON value, falling back to its %v string
+// form when it does not marshal (e.g. error values, channels).
+func jsonValue(v any) string {
+	if err, ok := v.(error); ok {
+		v = err.Error()
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		out, _ = json.Marshal(fmt.Sprintf("%v", v))
+	}
+	return string(out)
 }
 
 // writeKV appends " key=value" pairs; a trailing odd value is

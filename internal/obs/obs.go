@@ -30,6 +30,10 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Reset zeroes the counter (test isolation and Registry.Reset; the
+// serving paths never reset).
+func (c *Counter) Reset() { c.v.Store(0) }
+
 // Gauge is a metric that can go up and down. The zero value is ready
 // to use and safe for concurrent updates.
 type Gauge struct {
@@ -54,16 +58,36 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() int64
 	timers     map[string]*Timer
+	histograms map[string]*Histogram
+	health     HealthCounters
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		gaugeFuncs: make(map[string]func() int64),
-		timers:     make(map[string]*Timer),
-	}
+	r := &Registry{}
+	r.initLocked()
+	return r
+}
+
+// initLocked (re)creates the metric maps. Caller holds r.mu except
+// during construction.
+func (r *Registry) initLocked() {
+	r.counters = make(map[string]*Counter)
+	r.gauges = make(map[string]*Gauge)
+	r.gaugeFuncs = make(map[string]func() int64)
+	r.timers = make(map[string]*Timer)
+	r.histograms = make(map[string]*Histogram)
+}
+
+// Reset drops every metric and zeroes the health counters, returning
+// the registry to its freshly constructed state. Tests use it to keep
+// successive server instances (and the process-wide Default registry)
+// from leaking counts into each other.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.initLocked()
+	r.mu.Unlock()
+	r.health.Reset()
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -100,6 +124,35 @@ func (r *Registry) Timer(name string) *Timer {
 		r.timers[name] = t
 	}
 	return t
+}
+
+// Histogram returns the named fixed-bucket histogram, creating it on
+// first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// HistogramValues returns a name-sorted snapshot of every histogram.
+func (r *Registry) HistogramValues() []NamedHistogram {
+	r.mu.Lock()
+	hs := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hs[name] = h
+	}
+	r.mu.Unlock()
+	out := make([]NamedHistogram, 0, len(hs))
+	for name, h := range hs {
+		out = append(out, NamedHistogram{Name: name, HistogramStats: h.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // CounterValues returns a name-sorted snapshot of every counter.
@@ -175,11 +228,19 @@ type NamedTimer struct {
 	TimerStats
 }
 
-// Health aggregates process-wide resilience counters incremented by
-// the run path: aborted runs by cause, recovered panics, and truncated
-// (partial) reports. cmd/instrep renders the nonzero ones after the
-// run metrics (-metrics text).
-var Health struct {
+// NamedHistogram is one histogram entry in a registry snapshot.
+type NamedHistogram struct {
+	Name string `json:"name"`
+	HistogramStats
+}
+
+// HealthCounters aggregates a run path's resilience counters: aborted
+// runs by cause, recovered panics, and truncated (partial) reports.
+// Every Registry owns one (Registry.Health), so a server instance's
+// counts are scoped to its registry instead of leaking across daemon
+// instances or tests; the package-level Health is the Default
+// registry's set, which the CLI run path uses.
+type HealthCounters struct {
 	Cancels         Counter // runs aborted by context cancellation (e.g. SIGINT)
 	Timeouts        Counter // runs aborted by the per-workload timeout
 	Watchdogs       Counter // runs aborted by the deadman watchdog
@@ -187,14 +248,23 @@ var Health struct {
 	TruncatedRuns   Counter // partial reports emitted instead of discarded runs
 }
 
-// HealthCounters snapshots the nonzero health counters, name-sorted.
-func HealthCounters() []NamedValue {
+// Reset zeroes every health counter.
+func (h *HealthCounters) Reset() {
+	h.Cancels.Reset()
+	h.Timeouts.Reset()
+	h.Watchdogs.Reset()
+	h.PanicsRecovered.Reset()
+	h.TruncatedRuns.Reset()
+}
+
+// Values snapshots the nonzero health counters, name-sorted.
+func (h *HealthCounters) Values() []NamedValue {
 	all := []NamedValue{
-		{Name: "panics_recovered", Value: int64(Health.PanicsRecovered.Value())},
-		{Name: "runs_canceled", Value: int64(Health.Cancels.Value())},
-		{Name: "runs_timed_out", Value: int64(Health.Timeouts.Value())},
-		{Name: "runs_truncated", Value: int64(Health.TruncatedRuns.Value())},
-		{Name: "watchdog_aborts", Value: int64(Health.Watchdogs.Value())},
+		{Name: "panics_recovered", Value: int64(h.PanicsRecovered.Value())},
+		{Name: "runs_canceled", Value: int64(h.Cancels.Value())},
+		{Name: "runs_timed_out", Value: int64(h.Timeouts.Value())},
+		{Name: "runs_truncated", Value: int64(h.TruncatedRuns.Value())},
+		{Name: "watchdog_aborts", Value: int64(h.Watchdogs.Value())},
 	}
 	out := all[:0]
 	for _, v := range all {
@@ -204,3 +274,17 @@ func HealthCounters() []NamedValue {
 	}
 	return out
 }
+
+// Health returns the registry's resilience counter set.
+func (r *Registry) Health() *HealthCounters { return &r.health }
+
+// Default is the process-wide registry: the destination for run-path
+// health counters when no registry is injected (the CLI). Servers
+// construct their own registries so successive instances and tests
+// stay isolated; tests touching Default should Reset it.
+var Default = NewRegistry()
+
+// Health is the Default registry's resilience counters — the shim that
+// keeps the CLI run path's accounting working without explicit
+// registry plumbing.
+var Health = Default.Health()

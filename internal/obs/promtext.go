@@ -1,0 +1,91 @@
+package obs
+
+// Prometheus text exposition (version 0.0.4) for a Registry. The
+// report server content-negotiates /metrics between its JSON document
+// and this format; the series here are what a scrape config ingests.
+//
+// Naming: every series is `instrep_` + the registry metric name, which
+// is why registry names are snake_case with subsystem prefixes
+// (server_requests_report, server_latency_report, ...). Histograms
+// expand into the conventional _bucket{le="..."}/_sum/_count triple
+// with le and _sum in seconds; output is name-sorted and therefore
+// byte-stable for a given set of metric values, which the golden test
+// pins.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// MetricNamespace prefixes every Prometheus series name exported by
+// WritePrometheus.
+const MetricNamespace = "instrep_"
+
+// ExtraSection is a named group of values merged into a Prometheus
+// exposition under its own prefix — how the report server folds cache
+// and health counters (which live outside the Registry maps) into the
+// scrape.
+type ExtraSection struct {
+	Prefix string // e.g. "cache_" — series become instrep_cache_<name>
+	Gauge  bool   // render as gauge instead of counter
+	Values []NamedValue
+}
+
+// WritePrometheus renders the registry (and any extra sections) in
+// Prometheus text exposition format: counters first, then gauges, then
+// histograms, each group name-sorted.
+func (r *Registry) WritePrometheus(w io.Writer, extras ...ExtraSection) {
+	for _, v := range r.CounterValues() {
+		writeSimple(w, MetricNamespace+v.Name, "counter", v.Value)
+	}
+	for _, e := range extras {
+		kind := "counter"
+		if e.Gauge {
+			kind = "gauge"
+		}
+		for _, v := range e.Values {
+			writeSimple(w, MetricNamespace+e.Prefix+v.Name, kind, v.Value)
+		}
+	}
+	for _, v := range r.GaugeValues() {
+		writeSimple(w, MetricNamespace+v.Name, "gauge", v.Value)
+	}
+	for _, h := range r.HistogramValues() {
+		writeHistogram(w, MetricNamespace+h.Name, h.HistogramStats)
+	}
+}
+
+func writeSimple(w io.Writer, name, kind string, v int64) {
+	fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, kind, name, v)
+}
+
+// writeHistogram expands one histogram into cumulative _bucket series
+// (le in seconds, always ending with le="+Inf"), _sum (seconds), and
+// _count. Snapshot buckets are per-bucket counts, so accumulate.
+func writeHistogram(w io.Writer, name string, s HistogramStats) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	i := 0
+	for _, le := range HistogramBounds() {
+		for i < len(s.Buckets) && s.Buckets[i].LE != 0 && s.Buckets[i].LE <= le {
+			cum += s.Buckets[i].Count
+			i++
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatSeconds(le), cum)
+	}
+	for ; i < len(s.Buckets); i++ { // +Inf overflow bucket (LE 0), if present
+		cum += s.Buckets[i].Count
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatSeconds(s.Sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+}
+
+// formatSeconds renders a duration as a decimal seconds literal with
+// no trailing zeros (0.065536, 1.048576, 137.438953472) — stable
+// across runs, unlike %g which switches to exponent notation.
+func formatSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', -1, 64)
+}

@@ -14,6 +14,12 @@ import (
 type RunMetrics struct {
 	Benchmark string `json:"benchmark"`
 
+	// TraceID is the run's trace identifier (empty when the run was not
+	// traced) — the key into GET /debug/traces/{id} on the report
+	// server, and printed by the CLI so a run's metrics can be
+	// correlated with its trace.
+	TraceID string `json:"trace_id,omitempty"`
+
 	// Phases is the hierarchical wall-time breakdown of the run
 	// (compile, load, skip, measure, collect, ...).
 	Phases PhaseTiming `json:"phases"`
@@ -70,6 +76,9 @@ type ObserverCost struct {
 func (m *RunMetrics) FormatText() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "run metrics: %s\n", m.Benchmark)
+	if m.TraceID != "" {
+		fmt.Fprintf(&b, "trace: %s\n", m.TraceID)
+	}
 	b.WriteString("phases:\n")
 	writePhase(&b, m.Phases, 1)
 	b.WriteString("simulator:\n")

@@ -14,9 +14,11 @@ type Span struct {
 	mu       sync.Mutex
 	name     string
 	start    time.Time
+	offset   time.Duration // start relative to the parent span (0 for roots)
 	dur      time.Duration
 	ended    bool
 	children []*Span
+	attrs    map[string]any
 }
 
 // StartSpan begins a root span.
@@ -31,9 +33,37 @@ func (s *Span) Name() string { return s.name }
 func (s *Span) StartChild(name string) *Span {
 	c := StartSpan(name)
 	s.mu.Lock()
+	c.offset = c.start.Sub(s.start)
 	s.children = append(s.children, c)
 	s.mu.Unlock()
 	return c
+}
+
+// SetAttr attaches (or replaces) a key/value attribute on the span.
+// Attributes carry request-scoped facts — workload, cache tier, queue
+// wait, retire counts — into the serialized span tree. Calling SetAttr
+// on a nil span is a no-op, so instrumentation sites need no span-
+// present check.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Attr returns the named attribute's value, or nil.
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
 }
 
 // Time runs fn inside a child span and returns its duration.
@@ -69,11 +99,17 @@ func (s *Span) Duration() time.Duration {
 // Tree snapshots the span hierarchy as a serializable PhaseTiming.
 func (s *Span) Tree() PhaseTiming {
 	s.mu.Lock()
-	pt := PhaseTiming{Name: s.name}
+	pt := PhaseTiming{Name: s.name, StartNS: s.offset.Nanoseconds()}
 	if s.ended {
 		pt.WallNS = s.dur.Nanoseconds()
 	} else {
 		pt.WallNS = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.attrs) > 0 {
+		pt.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			pt.Attrs[k] = v
+		}
 	}
 	children := make([]*Span, len(s.children))
 	copy(children, s.children)
@@ -85,12 +121,32 @@ func (s *Span) Tree() PhaseTiming {
 	return pt
 }
 
-// PhaseTiming is the serialized form of a span subtree.
+// PhaseTiming is the serialized form of a span subtree. StartNS is the
+// span's start relative to its parent, so a child's [StartNS,
+// StartNS+WallNS] interval nests inside its parent's duration and
+// sibling durations can be summed against the parent's to find
+// unattributed time.
 type PhaseTiming struct {
-	Name     string        `json:"name"`
-	WallNS   int64         `json:"wall_ns"`
-	Wall     string        `json:"wall"` // human-readable WallNS
-	Children []PhaseTiming `json:"children,omitempty"`
+	Name     string         `json:"name"`
+	StartNS  int64          `json:"start_ns,omitempty"` // offset from parent start
+	WallNS   int64          `json:"wall_ns"`
+	Wall     string         `json:"wall"` // human-readable WallNS
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []PhaseTiming  `json:"children,omitempty"`
+}
+
+// Find returns the first subtree named name in pre-order, or nil —
+// the lookup trace tests and tooling use to assert a span's presence.
+func (p *PhaseTiming) Find(name string) *PhaseTiming {
+	if p.Name == name {
+		return p
+	}
+	for i := range p.Children {
+		if f := p.Children[i].Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
 }
 
 // FormatDuration renders a duration rounded to a readable precision

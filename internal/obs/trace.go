@@ -1,0 +1,179 @@
+package obs
+
+// Request-scoped tracing: a Trace is a trace ID plus a root Span whose
+// tree records where one request (or one CLI run) spent its time —
+// queue wait, cache tier, simulation phases, cache write — with
+// attributes attached to each span. Traces travel through
+// context.Context; the report server mints one per request at the
+// HTTP edge and repro.RunWorkload mints one per run when the caller
+// did not. A bounded TraceStore retains recent traces for
+// GET /debug/traces, always keeping slow, shed, and errored requests
+// even when ordinary traffic would have rotated them out. See
+// DESIGN.md §14.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Trace is one request's (or run's) trace: an ID and the root span of
+// its span tree. Safe for concurrent use.
+type Trace struct {
+	id   string
+	root *Span
+
+	mu      sync.Mutex
+	outcome string
+}
+
+// NewTrace mints a trace with a fresh random 64-bit hex ID and a root
+// span named name, started now.
+func NewTrace(name string) *Trace {
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return &Trace{id: hex.EncodeToString(b[:]), root: StartSpan(name)}
+}
+
+// ID returns the trace's hex identifier.
+func (t *Trace) ID() string { return t.id }
+
+// Root returns the root span.
+func (t *Trace) Root() *Span { return t.root }
+
+// SetOutcome records how the traced work ended ("ok", "error", "shed",
+// "timeout", "disconnect", ...).
+func (t *Trace) SetOutcome(outcome string) {
+	t.mu.Lock()
+	t.outcome = outcome
+	t.mu.Unlock()
+}
+
+// Outcome returns the recorded outcome ("" while in flight).
+func (t *Trace) Outcome() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.outcome
+}
+
+// End ends the root span and returns the trace's total duration.
+func (t *Trace) End() time.Duration { return t.root.End() }
+
+// TraceDoc is the serialized form of a trace: the /debug/traces/{id}
+// response body.
+type TraceDoc struct {
+	ID      string      `json:"id"`
+	Outcome string      `json:"outcome,omitempty"`
+	Spans   PhaseTiming `json:"spans"`
+}
+
+// Doc snapshots the trace for serving.
+func (t *Trace) Doc() TraceDoc {
+	return TraceDoc{ID: t.id, Outcome: t.Outcome(), Spans: t.root.Tree()}
+}
+
+// TraceSummary is one row of the /debug/traces listing.
+type TraceSummary struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Outcome string `json:"outcome,omitempty"`
+	WallNS  int64  `json:"wall_ns"`
+	Wall    string `json:"wall"`
+	Kept    bool   `json:"kept,omitempty"` // retained by the always-keep policy
+}
+
+// TraceStore is a bounded in-memory store of finished traces with two
+// retention classes: ordinary traces rotate through a FIFO ring of
+// Cap slots, while traces the caller marks keep (slow, shed, errored)
+// rotate through their own ring of equal size — so a flood of healthy
+// traffic can never evict the requests worth debugging. Safe for
+// concurrent use.
+type TraceStore struct {
+	mu     sync.Mutex
+	cap    int
+	normal []*storedTrace // FIFO, oldest first
+	kept   []*storedTrace
+	byID   map[string]*storedTrace
+}
+
+type storedTrace struct {
+	trace *Trace
+	kept  bool
+}
+
+// DefaultTraceStoreCap is the per-class capacity when NewTraceStore is
+// given a non-positive size.
+const DefaultTraceStoreCap = 256
+
+// NewTraceStore builds a store retaining up to max traces per
+// retention class (<= 0 = DefaultTraceStoreCap).
+func NewTraceStore(max int) *TraceStore {
+	if max <= 0 {
+		max = DefaultTraceStoreCap
+	}
+	return &TraceStore{cap: max, byID: make(map[string]*storedTrace)}
+}
+
+// Add stores a finished trace. keep pins it to the always-keep class
+// so ordinary traffic cannot rotate it out.
+func (s *TraceStore) Add(t *Trace, keep bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &storedTrace{trace: t, kept: keep}
+	ring := &s.normal
+	if keep {
+		ring = &s.kept
+	}
+	if len(*ring) >= s.cap {
+		evicted := (*ring)[0]
+		*ring = (*ring)[1:]
+		delete(s.byID, evicted.trace.ID())
+	}
+	*ring = append(*ring, st)
+	s.byID[t.ID()] = st
+}
+
+// Get returns the stored trace with the given ID.
+func (s *TraceStore) Get(id string) (*Trace, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return st.trace, true
+}
+
+// Len returns how many traces are stored across both classes.
+func (s *TraceStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.normal) + len(s.kept)
+}
+
+// List summarizes every stored trace, newest first (kept and ordinary
+// interleaved by recency of storage within their rings: kept traces
+// first, then ordinary, each newest first).
+func (s *TraceStore) List() []TraceSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceSummary, 0, len(s.normal)+len(s.kept))
+	add := func(ring []*storedTrace) {
+		for i := len(ring) - 1; i >= 0; i-- {
+			st := ring[i]
+			d := st.trace.Root().Duration()
+			out = append(out, TraceSummary{
+				ID:      st.trace.ID(),
+				Name:    st.trace.Root().Name(),
+				Outcome: st.trace.Outcome(),
+				WallNS:  d.Nanoseconds(),
+				Wall:    FormatDuration(d),
+				Kept:    st.kept,
+			})
+		}
+	}
+	add(s.kept)
+	add(s.normal)
+	return out
+}

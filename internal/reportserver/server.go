@@ -22,7 +22,18 @@
 //	                           ?experiment=table1,fig4 selects a subset)
 //	GET /healthz               readiness state machine (JSON)
 //	GET /metrics               server/cache/overload/health counters and
-//	                           request latency percentiles (JSON)
+//	                           request latency histograms (JSON by
+//	                           default; Prometheus text exposition when
+//	                           the Accept header asks for text/plain or
+//	                           openmetrics, or with ?format=prometheus)
+//	GET /debug/traces          recent request traces (newest first;
+//	                           slow/shed/errored requests always kept)
+//	GET /debug/traces/{id}     one trace's span tree with attributes
+//	GET /debug/runs            in-flight simulations: workload, phase,
+//	                           retired instructions, live retire rate
+//
+// Every /v1 request carries an X-Instrep-Trace response header naming
+// the trace recorded for it (DESIGN.md §14).
 package reportserver
 
 import (
@@ -65,6 +76,12 @@ const (
 	DefaultBreakerCooldown = 30 * time.Second
 	// DefaultRetryAfter is the back-off hint on shed responses.
 	DefaultRetryAfter = 2 * time.Second
+	// DefaultSlowTraceThreshold is the request duration past which a
+	// trace is pinned to the trace store's always-keep class. A cache
+	// hit is microseconds and a cold quick-window simulation tens of
+	// milliseconds, so a second means a cold default-window sweep or a
+	// queue wait worth looking at.
+	DefaultSlowTraceThreshold = time.Second
 )
 
 // statusClientClosedRequest is the nonstandard 499 status used when
@@ -118,8 +135,24 @@ type Config struct {
 	// request is shed, breaker-rejected, or its simulation fails.
 	ServeStale bool
 
+	// TraceStoreSize bounds how many finished request traces are
+	// retained per retention class for /debug/traces (0 =
+	// obs.DefaultTraceStoreCap).
+	TraceStoreSize int
+
+	// SlowTraceThreshold pins traces of requests at least this slow to
+	// the always-keep class (0 = DefaultSlowTraceThreshold, negative =
+	// never pin by latency). Shed, errored, and disconnected requests
+	// are always pinned regardless.
+	SlowTraceThreshold time.Duration
+
 	// Log receives request-level log lines (nil = silent).
 	Log *obs.Logger
+
+	// AccessLog, when set, receives one structured line per request
+	// (trace ID, method, path, status, outcome, cache tier, queue wait,
+	// latency). The CLI wires a JSON logger here for -access-log.
+	AccessLog *obs.Logger
 
 	// Run overrides the per-workload compute function (nil =
 	// repro.RunWorkload). Injectable for tests.
@@ -128,13 +161,17 @@ type Config struct {
 
 // Server is the report-serving daemon.
 type Server struct {
-	cfg      Config
-	runner   *repro.Runner
-	gate     *overload.Gate
-	breakers *overload.BreakerSet
-	names    map[string]bool
-	reg      *obs.Registry // requests.*/server.* counters, latency.* timers, gauges
-	log      *obs.Logger
+	cfg       Config
+	runner    *repro.Runner
+	gate      *overload.Gate
+	breakers  *overload.BreakerSet
+	names     map[string]bool
+	reg       *obs.Registry // server_* counters, gauges, latency histograms
+	log       *obs.Logger
+	accessLog *obs.Logger
+	traces    *obs.TraceStore
+	runs      *repro.RunRegistry
+	slowTrace time.Duration
 
 	state atomic.Int32 // one of the state* constants
 
@@ -164,12 +201,31 @@ func New(cfg Config) *Server {
 	if cfg.RetryAfter == 0 {
 		cfg.RetryAfter = DefaultRetryAfter
 	}
+	slowTrace := cfg.SlowTraceThreshold
+	if slowTrace == 0 {
+		slowTrace = DefaultSlowTraceThreshold
+	}
+	reg := obs.NewRegistry()
+	runs := repro.NewRunRegistry()
+	// Scope the run path's accounting to this server: truncations and
+	// recovered panics land in this registry's health counters, and
+	// in-flight runs register for /debug/runs. Explicit settings win.
+	if cfg.RunConfig.Health == nil {
+		cfg.RunConfig.Health = reg.Health()
+	}
+	if cfg.RunConfig.Runs == nil {
+		cfg.RunConfig.Runs = runs
+	}
 	s := &Server{
-		cfg:      cfg,
-		names:    make(map[string]bool),
-		reg:      obs.NewRegistry(),
-		log:      cfg.Log,
-		lastGood: make(map[string][]byte),
+		cfg:       cfg,
+		names:     make(map[string]bool),
+		reg:       reg,
+		log:       cfg.Log,
+		accessLog: cfg.AccessLog,
+		traces:    obs.NewTraceStore(cfg.TraceStoreSize),
+		runs:      runs,
+		slowTrace: slowTrace,
+		lastGood:  make(map[string][]byte),
 	}
 	if cfg.MaxConcurrentSims >= 0 {
 		capacity := cfg.MaxConcurrentSims
@@ -181,8 +237,8 @@ func New(cfg Config) *Server {
 			depth = DefaultQueueDepth
 		}
 		s.gate = overload.NewGate(capacity, depth, cfg.RetryAfter)
-		s.reg.GaugeFunc("queue.depth", s.gate.Queued)
-		s.reg.GaugeFunc("sims.inflight", s.gate.InFlight)
+		s.reg.GaugeFunc("server_queue_depth", s.gate.Queued)
+		s.reg.GaugeFunc("server_sims_inflight", s.gate.InFlight)
 	}
 	if cfg.BreakerThreshold >= 0 {
 		threshold := cfg.BreakerThreshold
@@ -194,7 +250,7 @@ func New(cfg Config) *Server {
 			cooldown = DefaultBreakerCooldown
 		}
 		s.breakers = overload.NewBreakerSet(threshold, cooldown, nil)
-		s.reg.GaugeFunc("breaker.open", s.breakers.OpenCount)
+		s.reg.GaugeFunc("server_breakers_open", s.breakers.OpenCount)
 	}
 	s.runner = &repro.Runner{Cache: cfg.Cache, Gate: s.gate, Breakers: s.breakers, Run: cfg.Run}
 	for _, name := range repro.Workloads() {
@@ -228,14 +284,20 @@ func (s *Server) State() string {
 	}
 }
 
-// Handler returns the server's route table.
+// Handler returns the server's route table. The /v1 endpoints are
+// traced (each request mints a trace retained in the trace store);
+// health, metrics, and debug endpoints are counted but not traced, so
+// scrapes and introspection never displace request traces.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
-	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
-	mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", s.handleWorkloads))
-	mux.HandleFunc("GET /v1/report/{workload}", s.instrument("report", s.handleReport))
-	mux.HandleFunc("GET /v1/tables/{workload}", s.instrument("tables", s.handleTables))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+	mux.HandleFunc("GET /v1/workloads", s.instrument("workloads", true, s.handleWorkloads))
+	mux.HandleFunc("GET /v1/report/{workload}", s.instrument("report", true, s.handleReport))
+	mux.HandleFunc("GET /v1/tables/{workload}", s.instrument("tables", true, s.handleTables))
+	mux.HandleFunc("GET /debug/traces", s.instrument("traces", false, s.handleTraces))
+	mux.HandleFunc("GET /debug/traces/{id}", s.instrument("trace", false, s.handleTrace))
+	mux.HandleFunc("GET /debug/runs", s.instrument("runs", false, s.handleRuns))
 	return mux
 }
 
@@ -297,14 +359,18 @@ func (w *statusWriter) Flush() {
 }
 
 // instrument wraps a handler with a request counter, outcome-routed
-// latency timers, and the per-request timeout. Latency is recorded
-// into per-endpoint timers only for ordinary responses: shed/drain
-// 503s land in latency.shed and client disconnects (499) in
-// latency.disconnect plus their own counter, so the percentiles used
-// for capacity planning reflect work actually served.
-func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+// latency histograms, the per-request timeout, and — for traced
+// endpoints — the request trace: minted at this edge, announced via
+// the X-Instrep-Trace response header, carried down the run path by
+// the request context, and stored for /debug/traces when the request
+// finishes. Latency is recorded into per-endpoint histograms only for
+// ordinary responses: shed/drain 503s land in server_latency_shed and
+// client disconnects (499) in server_latency_disconnect plus their own
+// counter, so the distributions used for capacity planning reflect
+// work actually served.
+func (s *Server) instrument(name string, traced bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.reg.Counter("requests." + name).Inc()
+		s.reg.Counter("server_requests_" + name).Inc()
 		timeout := s.cfg.RequestTimeout
 		if timeout == 0 {
 			timeout = DefaultRequestTimeout
@@ -314,22 +380,75 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		var tr *obs.Trace
+		if traced {
+			tr = obs.NewTrace(r.Method + " " + r.URL.Path)
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+			w.Header().Set("X-Instrep-Trace", tr.ID())
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
 		d := time.Since(start)
+		outcome := outcomeFor(sw.status)
 		switch sw.status {
 		case statusClientClosedRequest:
-			s.reg.Counter("requests.client_disconnect").Inc()
-			s.reg.Timer("latency.disconnect").Observe(d)
+			s.reg.Counter("server_requests_client_disconnect").Inc()
+			s.reg.Histogram("server_latency_disconnect").Observe(d)
 		case http.StatusServiceUnavailable:
-			s.reg.Timer("latency.shed").Observe(d)
+			s.reg.Histogram("server_latency_shed").Observe(d)
 		default:
-			s.reg.Timer("latency." + name).Observe(d)
+			s.reg.Histogram("server_latency_" + name).Observe(d)
+		}
+		if tr != nil {
+			root := tr.Root()
+			root.SetAttr("status", sw.status)
+			tr.SetOutcome(outcome)
+			tr.End()
+			// Always-keep: anything that did not end 2xx, plus slow
+			// requests, survives floods of healthy traffic.
+			keep := outcome != "ok" || (s.slowTrace > 0 && d >= s.slowTrace)
+			s.traces.Add(tr, keep)
 		}
 		if s.log != nil {
 			s.log.Debug("request", "path", r.URL.Path, "status", sw.status, "ms", d.Milliseconds())
 		}
+		if s.accessLog != nil {
+			kv := []any{
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"outcome", outcome,
+				"latency_ns", d.Nanoseconds(),
+			}
+			if tr != nil {
+				kv = append(kv, "trace", tr.ID())
+				if tier := tr.Root().Attr("cache_tier"); tier != nil {
+					kv = append(kv, "cache_tier", tier)
+				}
+				if wait := tr.Root().Attr("queue_wait_ns"); wait != nil {
+					kv = append(kv, "queue_wait_ns", wait)
+				}
+			}
+			s.accessLog.Info("request", kv...)
+		}
+	}
+}
+
+// outcomeFor classifies a response status for trace retention and the
+// access log.
+func outcomeFor(status int) string {
+	switch {
+	case status == statusClientClosedRequest:
+		return "disconnect"
+	case status == http.StatusServiceUnavailable:
+		return "shed"
+	case status == http.StatusGatewayTimeout:
+		return "timeout"
+	case status >= 400:
+		return "error"
+	default:
+		return "ok"
 	}
 }
 
@@ -360,15 +479,15 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error, status 
 	if status == http.StatusServiceUnavailable {
 		var open *overload.BreakerOpenError
 		if errors.As(err, &open) {
-			s.reg.Counter("server.breaker_rejected").Inc()
+			s.reg.Counter("server_breaker_rejected").Inc()
 		} else {
-			s.reg.Counter("server.shed").Inc()
+			s.reg.Counter("server_shed").Inc()
 		}
 		if retryAfter > 0 {
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter.Seconds()))))
 		}
 	}
-	s.reg.Counter("errors").Inc()
+	s.reg.Counter("server_errors").Inc()
 	if s.log != nil {
 		s.log.Warn("request failed", "path", r.URL.Path, "status", status, "err", err)
 	}
@@ -454,7 +573,7 @@ func (s *Server) serveStale(w http.ResponseWriter, r *http.Request, name string,
 	if !ok {
 		return false
 	}
-	s.reg.Counter("server.stale_served").Inc()
+	s.reg.Counter("server_stale_served").Inc()
 	if s.log != nil {
 		s.log.Warn("serving stale", "workload", name, "cause", cause)
 	}
@@ -565,30 +684,89 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// metricsDoc is the /metrics response document.
+// metricsDoc is the /metrics JSON response document.
 type metricsDoc struct {
-	State        string           `json:"state"`
-	Requests     []obs.NamedValue `json:"requests"`
-	Gauges       []obs.NamedValue `json:"gauges"`
-	Latency      []obs.NamedTimer `json:"latency"`
-	Cache        []obs.NamedValue `json:"cache"`
-	Health       []obs.NamedValue `json:"health"`
-	OpenBreakers []string         `json:"open_breakers,omitempty"`
-	Workloads    int              `json:"workloads"`
+	State        string               `json:"state"`
+	Requests     []obs.NamedValue     `json:"requests"`
+	Gauges       []obs.NamedValue     `json:"gauges"`
+	Latency      []obs.NamedHistogram `json:"latency"`
+	Cache        []obs.NamedValue     `json:"cache"`
+	Health       []obs.NamedValue     `json:"health"`
+	OpenBreakers []string             `json:"open_breakers,omitempty"`
+	Workloads    int                  `json:"workloads"`
+}
+
+// wantsPrometheus reports whether the request negotiated the
+// Prometheus text exposition: an explicit ?format=prometheus, or an
+// Accept header asking for text/plain or an OpenMetrics media type
+// (what a Prometheus scraper sends). The JSON document stays the
+// default so existing clients are untouched.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.reg.WritePrometheus(w,
+			obs.ExtraSection{Prefix: "cache_", Gauge: true, Values: s.cfg.Cache.StatValues()},
+			obs.ExtraSection{Prefix: "health_", Values: s.reg.Health().Values()},
+		)
+		return
+	}
 	doc := metricsDoc{
 		State:     s.State(),
 		Requests:  s.reg.CounterValues(),
 		Gauges:    s.reg.GaugeValues(),
-		Latency:   s.reg.TimerValues(),
+		Latency:   s.reg.HistogramValues(),
 		Cache:     s.cfg.Cache.StatValues(),
-		Health:    obs.HealthCounters(),
+		Health:    s.reg.Health().Values(),
 		Workloads: len(s.names),
 	}
 	if s.breakers != nil {
 		doc.OpenBreakers = s.breakers.Open()
 	}
 	s.writeJSON(w, doc)
+}
+
+// tracesDoc is the /debug/traces response document.
+type tracesDoc struct {
+	Count  int                `json:"count"`
+	Traces []obs.TraceSummary `json:"traces"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	list := s.traces.List()
+	s.writeJSON(w, tracesDoc{Count: len(list), Traces: list})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.traces.Get(id)
+	if !ok {
+		s.fail(w, r, fmt.Errorf("unknown trace %q", id), http.StatusNotFound)
+		return
+	}
+	s.writeJSON(w, t.Doc())
+}
+
+// runsDoc is the /debug/runs response document.
+type runsDoc struct {
+	Count int             `json:"count"`
+	Runs  []repro.RunInfo `json:"runs"`
+}
+
+// handleRuns lists the simulations in flight right now: workload,
+// phase, retired instructions, and a phase-relative retire rate — the
+// live view behind "is the server wedged or just busy".
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	snap := s.runs.Snapshot()
+	s.writeJSON(w, runsDoc{Count: len(snap), Runs: snap})
 }

@@ -356,8 +356,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 		return out
 	}
-	if got := find("requests")["requests.report"]; got != 2 {
-		t.Errorf("requests.report = %d, want 2", got)
+	if got := find("requests")["server_requests_report"]; got != 2 {
+		t.Errorf("server_requests_report = %d, want 2", got)
 	}
 	cache := find("cache")
 	if cache["hits"] != 1 || cache["misses"] != 1 {
@@ -365,12 +365,12 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	foundLatency := false
 	for _, l := range doc.Latency {
-		if l.Name == "latency.report" && l.Count == 2 {
+		if l.Name == "server_latency_report" && l.Count == 2 {
 			foundLatency = true
 		}
 	}
 	if !foundLatency {
-		t.Errorf("latency.report timer missing or wrong: %+v", doc.Latency)
+		t.Errorf("server_latency_report histogram missing or wrong: %+v", doc.Latency)
 	}
 }
 
@@ -553,8 +553,9 @@ func TestOverloadShedsBurst(t *testing.T) {
 		t.Errorf("max queued = %d, want <= 1", hw)
 	}
 
-	// Shed responses are metered apart from served ones: latency.shed
-	// holds the 12 rejections so latency.report percentiles stay honest.
+	// Shed responses are metered apart from served ones:
+	// server_latency_shed holds the 12 rejections so the
+	// server_latency_report distribution stays honest.
 	_, body := get(t, ts.URL+"/metrics")
 	var doc struct {
 		Requests []struct {
@@ -573,15 +574,16 @@ func TestOverloadShedsBurst(t *testing.T) {
 	for _, v := range doc.Requests {
 		counters[v.Name] = v.Value
 	}
-	if counters["server.shed"] != 12 {
-		t.Errorf("server.shed = %d, want 12", counters["server.shed"])
+	if counters["server_shed"] != 12 {
+		t.Errorf("server_shed = %d, want 12", counters["server_shed"])
 	}
 	timers := map[string]uint64{}
 	for _, l := range doc.Latency {
 		timers[l.Name] = l.Count
 	}
-	if timers["latency.shed"] != 12 || timers["latency.report"] != 4 {
-		t.Errorf("latency split = shed:%d report:%d, want 12/4", timers["latency.shed"], timers["latency.report"])
+	if timers["server_latency_shed"] != 12 || timers["server_latency_report"] != 4 {
+		t.Errorf("latency split = shed:%d report:%d, want 12/4",
+			timers["server_latency_shed"], timers["server_latency_report"])
 	}
 }
 
@@ -753,12 +755,12 @@ func TestClientDisconnectMetrics(t *testing.T) {
 		for _, l := range doc.Latency {
 			timers[l.Name] = l.Count
 		}
-		if counters["requests.client_disconnect"] == 1 {
-			if timers["latency.disconnect"] != 1 {
-				t.Fatalf("latency.disconnect = %d, want 1", timers["latency.disconnect"])
+		if counters["server_requests_client_disconnect"] == 1 {
+			if timers["server_latency_disconnect"] != 1 {
+				t.Fatalf("server_latency_disconnect = %d, want 1", timers["server_latency_disconnect"])
 			}
-			if timers["latency.report"] != 0 {
-				t.Fatalf("disconnect leaked into latency.report (%d)", timers["latency.report"])
+			if timers["server_latency_report"] != 0 {
+				t.Fatalf("disconnect leaked into server_latency_report (%d)", timers["server_latency_report"])
 			}
 			return
 		}

@@ -144,11 +144,13 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(conte
 		if data, ok := c.getMemLocked(key); ok {
 			c.mu.Unlock()
 			c.Stats.Hits.Inc()
+			obs.SpanFrom(ctx).SetAttr("cache_tier", "memory")
 			return decodeReport(data)
 		}
 		if cl, ok := c.flight[key]; ok {
 			c.mu.Unlock()
 			c.Stats.DedupWaits.Inc()
+			obs.SpanFrom(ctx).SetAttr("cache_tier", "dedup")
 			rep, err, retry := c.wait(ctx, cl)
 			if retry {
 				continue
@@ -175,11 +177,13 @@ func (c *Cache) lead(ctx context.Context, key string, compute func(context.Conte
 	if data, ok := c.diskGet(key); ok {
 		if rep, err := decodeReport(data); err == nil {
 			c.Stats.DiskHits.Inc()
+			obs.SpanFrom(ctx).SetAttr("cache_tier", "disk")
 			c.putMem(key, data)
 			return rep, nil
 		}
 	}
 	c.Stats.Misses.Inc()
+	obs.SpanFrom(ctx).SetAttr("cache_tier", "miss")
 	c.Stats.InflightRuns.Add(1)
 	rep, err := compute(ctx)
 	c.Stats.InflightRuns.Add(-1)
@@ -196,8 +200,10 @@ func (c *Cache) lead(ctx context.Context, key string, compute func(context.Conte
 		c.Stats.Uncacheable.Inc()
 		return rep, nil
 	}
+	write, _ := obs.StartSpanCtx(ctx, "cache.write")
 	c.putMem(key, data)
 	c.diskPut(key, data)
+	write.End()
 	c.Stats.Stores.Inc()
 	return rep, nil
 }

@@ -62,6 +62,17 @@ type Progress = core.Progress
 // attached to every Report.
 type RunMetrics = obs.RunMetrics
 
+// RunRegistry tracks in-flight simulations for live introspection
+// (Config.Runs): the report server's GET /debug/runs and the CLI's
+// -progress read its snapshots.
+type RunRegistry = core.RunRegistry
+
+// RunInfo is one in-flight run in a RunRegistry snapshot.
+type RunInfo = core.RunInfo
+
+// NewRunRegistry builds an empty run registry for Config.Runs.
+func NewRunRegistry() *RunRegistry { return core.NewRunRegistry() }
+
 // DefaultConfig returns the standard experiment window: skip 1M
 // instructions of initialization, measure the next 5M with the paper's
 // 2000-instance buffers and 8K/4-way reuse buffer. (The paper skipped
@@ -108,14 +119,27 @@ func WorkloadInfos() []WorkloadInfo {
 // error instead of crashing the caller. A nil ctx is treated as
 // context.Background().
 func RunWorkload(ctx context.Context, name string, cfg Config) (rep *Report, err error) {
-	defer recoverToError(name, &rep, &err)
+	defer recoverToError(healthOf(cfg), name, &rep, &err)
 	w, ok := workloads.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("repro: unknown workload %q (have %v)", name, workloads.Names())
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Mint a per-run trace when the caller did not install one (the CLI
+	// path; the report server mints per request at the HTTP edge), so
+	// every report's RunMetrics carries a trace ID.
+	if obs.TraceFrom(ctx) == nil {
+		t := obs.NewTrace("run:" + name)
+		ctx = obs.WithTrace(ctx, t)
+		defer t.End()
+	}
 	// Open the run span here so compilation is visible as a phase
-	// alongside core.Run's load/skip/measure/collect children.
-	root := obs.StartSpan("run")
+	// alongside core.Run's load/skip/measure/collect children. The span
+	// parents under the context's current span (the server's "sim"
+	// span, or the trace root just minted).
+	root, ctx := obs.StartSpanCtx(ctx, "run")
 	compile := root.StartChild("compile")
 	var im *program.Image
 	cerr := cfg.Faults.CompileError(w.Name)
@@ -134,12 +158,22 @@ func RunWorkload(ctx context.Context, name string, cfg Config) (rep *Report, err
 	return core.Run(ctx, im, w.Input(variant), w.Name, cfg)
 }
 
+// healthOf resolves a run's resilience counter set: the injected one
+// (Config.Health, e.g. a server registry's) or the process-wide
+// default.
+func healthOf(cfg Config) *obs.HealthCounters {
+	if cfg.Health != nil {
+		return cfg.Health
+	}
+	return obs.Health
+}
+
 // recoverToError converts a panic that escaped the run path into a
 // per-workload *core.PanicError, so no input reachable through the
 // public Run functions can crash the process.
-func recoverToError(name string, rep **Report, err *error) {
+func recoverToError(h *obs.HealthCounters, name string, rep **Report, err *error) {
 	if pv := recover(); pv != nil {
-		obs.Health.PanicsRecovered.Inc()
+		h.PanicsRecovered.Inc()
 		*rep, *err = nil, core.NewPanicError(name, pv)
 	}
 }
@@ -195,7 +229,7 @@ func runAll(ctx context.Context, names []string, cfg Config, runOne func(context
 		wg.Add(1)
 		go func(i int, name string) {
 			defer func() { <-sem; wg.Done() }()
-			defer recoverToError(name, &byIndex[i], &errs[i])
+			defer recoverToError(healthOf(cfg), name, &byIndex[i], &errs[i])
 			byIndex[i], errs[i] = runOne(ctx, name, cfg)
 		}(i, name)
 	}
@@ -263,7 +297,7 @@ func WorkloadInput(name string, variant int) ([]byte, bool) {
 // honors ctx/cfg.Timeout/cfg.WatchdogInterval, and returns a partial
 // Truncated report when the run is cut short.
 func RunSource(ctx context.Context, source string, input []byte, name string, cfg Config) (rep *Report, err error) {
-	defer recoverToError(name, &rep, &err)
+	defer recoverToError(healthOf(cfg), name, &rep, &err)
 	if cerr := cfg.Faults.CompileError(name); cerr != nil {
 		return nil, cerr
 	}
@@ -279,6 +313,6 @@ func RunSource(ctx context.Context, source string, input []byte, name string, cf
 // honors ctx/cfg.Timeout/cfg.WatchdogInterval, and returns a partial
 // Truncated report when the run is cut short.
 func RunImage(ctx context.Context, im *program.Image, input []byte, name string, cfg Config) (rep *Report, err error) {
-	defer recoverToError(name, &rep, &err)
+	defer recoverToError(healthOf(cfg), name, &rep, &err)
 	return core.Run(ctx, im, input, name, cfg)
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/resultcache"
 	"repro/internal/workloads"
@@ -70,32 +71,46 @@ func (rn *Runner) runOne() func(context.Context, string, Config) (*Report, error
 	return RunWorkload
 }
 
-// admitted wraps a compute function with the breaker check and the
-// admission gate. Ordering matters: the breaker rejects before a
-// semaphore slot is taken, so an open breaker costs nothing, and a
-// shed probe is reverted (not counted as a failure) by Record's
-// ShedError handling.
+// admitted wraps a compute function with the breaker check, the
+// admission gate, and the trace spans that make both visible: a
+// "queue" span covering the Gate wait (attrs wait_ns and outcome) and
+// a "sim" span covering the simulation itself. Ordering matters: the
+// breaker rejects before a semaphore slot is taken, so an open breaker
+// costs nothing, and a shed probe is reverted (not counted as a
+// failure) by Record's ShedError handling.
 func (rn *Runner) admitted(run func(context.Context, string, Config) (*Report, error)) func(context.Context, string, Config) (*Report, error) {
-	if rn == nil || (rn.Gate == nil && rn.Breakers == nil) {
-		return run
-	}
 	return func(ctx context.Context, name string, cfg Config) (*Report, error) {
-		if rn.Breakers != nil {
+		req := obs.SpanFrom(ctx) // the request/run root, if the edge installed one
+		if rn != nil && rn.Breakers != nil {
 			if err := rn.Breakers.Allow(name); err != nil {
+				req.SetAttr("breaker", "open")
 				return nil, err
 			}
 		}
-		if rn.Gate != nil {
-			if err := rn.Gate.Acquire(ctx); err != nil {
+		if rn != nil && rn.Gate != nil {
+			queue, _ := obs.StartSpanCtx(ctx, "queue")
+			err := rn.Gate.Acquire(ctx)
+			wait := queue.End()
+			queue.SetAttr("wait_ns", wait.Nanoseconds())
+			req.SetAttr("queue_wait_ns", wait.Nanoseconds())
+			if err != nil {
+				queue.SetAttr("outcome", "shed")
 				if rn.Breakers != nil {
 					rn.Breakers.Record(name, err) // reverts a shed half-open probe
 				}
 				return nil, err
 			}
+			queue.SetAttr("outcome", "admitted")
 			defer rn.Gate.Release()
 		}
+		sim, ctx := obs.StartSpanCtx(ctx, "sim")
+		sim.SetAttr("workload", name)
 		rep, err := run(ctx, name, cfg)
-		if rn.Breakers != nil {
+		sim.End()
+		if rep != nil && rep.Metrics != nil {
+			sim.SetAttr("retired", rep.Metrics.Sim.Retired)
+		}
+		if rn != nil && rn.Breakers != nil {
 			rn.Breakers.Record(name, err)
 		}
 		return rep, err
