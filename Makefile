@@ -1,15 +1,16 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race check cover bench benchsmoke fuzzsmoke stress repro lint examples
+.PHONY: all test vet race check cover bench benchsmoke differential fuzzsmoke stress repro lint examples
 
 all: check
 
 # Default gate: build+test, static analysis, the race detector
 # (includes the concurrent-Progress ticker test and the resilience
 # tests), an enforced coverage floor, a quick benchmark smoke run,
+# the interpreter-vs-translator differential suite under -race,
 # a bounded fuzz pass over the panic-sensitive decoders, and the
 # extended chaos run against the overload-hardened server.
-check: test vet race cover benchsmoke fuzzsmoke stress
+check: test vet race cover benchsmoke differential fuzzsmoke stress
 
 # Enforced statement-coverage floor across the whole module. The
 # current baseline is ~81%; the floor sits a few points below so
@@ -35,10 +36,21 @@ race:
 # Full bench harness: one benchmark per table/figure plus ablations
 # and the hot-path micro-benchmarks, then a BENCH_run.json snapshot of
 # the per-workload RunMetrics (retire rate, observer shares) so the
-# perf trajectory is comparable across PRs.
+# perf trajectory is comparable across PRs. The snapshot is recorded
+# through the min-of-N-waves harness (WAVES full runs per workload,
+# fastest wave kept, per-wave rates and spread under metrics.waves);
+# override the wave count with `make bench WAVES=9`.
+WAVES ?= 5
 bench:
 	go test -run '^$$' -bench . -benchmem -benchtime 1x -count 3 .
-	go run ./cmd/instrep run -bench all -metrics json > BENCH_run.json
+	go run ./cmd/instrep run -bench all -waves $(WAVES) -metrics json > BENCH_run.json
+
+# Interpreter-vs-translator equivalence: the machine-level event-
+# stream/state differential (random programs + workload prefixes, all
+# three dispatch paths) and the pipeline-level canonical-report
+# differential, under the race detector.
+differential:
+	go test -race -count=1 -run Differential ./internal/cpu .
 
 # One-iteration smoke of the throughput benchmarks (fast enough for
 # the default check gate).

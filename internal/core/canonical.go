@@ -28,7 +28,8 @@ const MeasurementVersion = 1
 // defaults resolved to the concrete sizes they select. Two Configs
 // with equal MeasurementKeys produce byte-identical canonical reports;
 // fields that only shape the run's execution (Parallel, Timeout,
-// WatchdogInterval, ObserverSampleEvery, Progress, Span) are excluded,
+// WatchdogInterval, ObserverSampleEvery, DisableTranslation, Progress,
+// Span) are excluded,
 // and fault injection is handled by refusing to cache (see
 // resultcache.Cacheable).
 func (c Config) MeasurementKey() string {

@@ -53,9 +53,18 @@ type Config struct {
 	DisableVPred bool
 	DisableVProf bool
 
+	// DisableTranslation forces the single-step interpreter instead of
+	// the basic-block translation cache (see internal/cpu/translate.go).
+	// Execution-shaping only — the two paths produce byte-identical
+	// reports (held by the differential harness), so this field is
+	// deliberately absent from MeasurementKey. Used by the differential
+	// tests and the before/after benchmark comparison.
+	DisableTranslation bool
+
 	// ObserverSampleEvery is the cost-attribution sampling period:
-	// one in every N retired instructions is individually timed per
-	// observer (0 = the default of 64; negative disables attribution).
+	// one event batch in every N is timed per observer pass and the
+	// totals extrapolated (0 = the default of 1024; negative disables
+	// attribution).
 	ObserverSampleEvery int
 
 	// Parallel bounds the worker pool repro.RunAll uses to run
@@ -116,25 +125,63 @@ type Progress struct {
 	Final     bool   // last update for this phase
 }
 
-// defaultSampleEvery is the default observer-attribution period.
-const defaultSampleEvery = 64
+// defaultSampleEvery is the attribution sampling period in *flushes*:
+// one flush in every N is timed per observer pass and the totals are
+// extrapolated over the whole event stream. A timed flush covers a
+// full batch, so the sampled fraction of events is 1/N — the same
+// coverage the pre-batch per-instruction sampler had — while the
+// clock reads drop from two per event to two per N*batchSize events.
+const defaultSampleEvery = 1024
 
-// stage is one named observer step of the pipeline; the name is used
-// for per-observer cost attribution in RunMetrics.
+// batchSize is the event-batch length of the observer-major dispatch:
+// big enough to amortize per-pass call overhead and keep each
+// observer's code and branch-predictor state hot across a whole pass,
+// small enough that the buffered events stay cache-resident.
+const batchSize = 256
+
+// itemInst/itemCall/itemRet tag the entries of a batch's interleave
+// sequence; the order of tags reproduces the exact event order for
+// observers that consume call/return events.
+const (
+	itemInst = iota
+	itemCall
+	itemRet
+)
+
+// batch buffers the event stream between flushes. Instructions,
+// calls, and returns live in separate typed slices; kinds records
+// their interleaving so a pass that consumes several event types
+// replays them in original order.
+type batch struct {
+	evs   []cpu.Event
+	vers  []bool // repetition verdicts, filled by the census pass
+	calls []cpu.CallEvent
+	rets  []cpu.RetEvent
+	kinds []uint8
+}
+
+// stage is one named observer pass of the batched pipeline; the name
+// is used for per-observer cost attribution in RunMetrics.
 type stage struct {
 	name string
-	fn   func(ev *cpu.Event, repeated bool)
-	ns   time.Duration // summed time of sampled calls
+	run  func(b *batch)
+	ns   time.Duration // summed pass time (exact, not sampled)
 }
 
 // Pipeline dispatches simulator events to the enabled analyses in the
 // order the measurements require: the repetition verdict for each
 // instruction feeds the category analyses and the reuse comparison.
 //
-// The common (non-sampled) path dispatches with direct nil-checked
-// calls on the typed observer fields; the stage closures below exist
-// only for the 1-in-sampleEvery timed path that feeds per-observer
-// cost attribution.
+// Dispatch is batched and observer-major: events buffer into a batch
+// (a copy each — the simulator reuses its Event), and a flush runs
+// each analysis over the whole batch in one pass. Every observer
+// still sees the identical ordered event stream, so no statistic can
+// change; what changes is that per-event virtual dispatch is replaced
+// by one call per observer per batch and each observer's code stays
+// hot for a few hundred events at a time. Flushes happen when the
+// batch fills, when the counting window toggles (so every buffered
+// event is observed under the window state it retired in), and at
+// collection.
 type Pipeline struct {
 	Rep   *repetition.Tracker
 	Taint *taint.Analysis
@@ -145,14 +192,18 @@ type Pipeline struct {
 	VProf *vprofile.Profiler
 
 	counting bool
+	b        batch
 
-	// Observer cost attribution: every sampleEvery-th instruction is
-	// dispatched through timed calls; repNS covers the repetition
-	// tracker (which runs before the stages to produce the verdict).
+	// Observer cost attribution: when sampleEvery > 0, one flush in
+	// every sampleEvery is timed per observer pass (samples counts the
+	// events those flushes covered, totalEvs the whole stream, so the
+	// cost report extrapolates); repNS covers the repetition tracker
+	// (which runs before the stages to produce the verdicts).
 	stages      []stage
 	sampleEvery uint64
-	countdown   uint64
+	flushes     uint64
 	samples     uint64
+	totalEvs    uint64
 	repNS       time.Duration
 }
 
@@ -162,6 +213,7 @@ type Pipeline struct {
 // statistics accumulate and no instance buffers fill — the paper's
 // skip-then-measure methodology.
 func (p *Pipeline) SetCounting(on bool) {
+	p.flush() // buffered events observe under the window they retired in
 	p.counting = on
 	if p.Taint != nil {
 		p.Taint.Counting = on
@@ -189,112 +241,169 @@ func NewPipeline(im *program.Image, cfg Config) *Pipeline {
 	case cfg.ObserverSampleEvery == 0:
 		p.sampleEvery = defaultSampleEvery
 	}
-	p.countdown = p.sampleEvery
-	add := func(name string, fn func(*cpu.Event, bool)) {
-		p.stages = append(p.stages, stage{name: name, fn: fn})
+	p.b.evs = make([]cpu.Event, 0, batchSize)
+	p.b.vers = make([]bool, 0, batchSize)
+	p.b.calls = make([]cpu.CallEvent, 0, batchSize)
+	p.b.rets = make([]cpu.RetEvent, 0, batchSize)
+	p.b.kinds = make([]uint8, 0, batchSize)
+	add := func(name string, run func(*batch)) {
+		p.stages = append(p.stages, stage{name: name, run: run})
 	}
 	if !cfg.DisableTaint {
+		// Dataflow analyses run even while the window is closed (their
+		// Counting flags gate the statistics, not the propagation).
 		p.Taint = taint.New(im)
-		add(p.Taint.Name(), p.Taint.Observe)
+		add(p.Taint.Name(), func(b *batch) {
+			for i := range b.evs {
+				p.Taint.Observe(&b.evs[i], b.vers[i])
+			}
+		})
 	}
 	if !cfg.DisableLocal {
 		p.Local = local.New(im)
-		add(p.Local.Name(), p.Local.Observe)
+		add(p.Local.Name(), func(b *batch) {
+			ei, ci, ri := 0, 0, 0
+			for _, k := range b.kinds {
+				switch k {
+				case itemInst:
+					p.Local.Observe(&b.evs[ei], b.vers[ei])
+					ei++
+				case itemCall:
+					p.Local.OnCall(&b.calls[ci])
+					ci++
+				default:
+					p.Local.OnReturn(&b.rets[ri])
+					ri++
+				}
+			}
+		})
 	}
 	if !cfg.DisableFunc {
 		p.Funcs = funcanal.New(im)
-		add(p.Funcs.Name(), p.Funcs.Observe)
+		add(p.Funcs.Name(), func(b *batch) {
+			ei, ci, ri := 0, 0, 0
+			for _, k := range b.kinds {
+				switch k {
+				case itemInst:
+					p.Funcs.Observe(&b.evs[ei], b.vers[ei])
+					ei++
+				case itemCall:
+					p.Funcs.OnCall(&b.calls[ci])
+					ci++
+				default:
+					p.Funcs.OnReturn(&b.rets[ri])
+					ri++
+				}
+			}
+		})
 	}
 	if !cfg.DisableReuse {
 		p.Reuse = reuse.New(cfg.ReuseEntries, cfg.ReuseAssoc)
-		add(p.Reuse.Name(), func(ev *cpu.Event, repeated bool) {
-			if p.counting {
-				p.Reuse.Observe(ev, repeated)
+		add(p.Reuse.Name(), func(b *batch) {
+			if !p.counting {
+				return
+			}
+			for i := range b.evs {
+				p.Reuse.Observe(&b.evs[i], b.vers[i])
 			}
 		})
 	}
 	if !cfg.DisableVPred {
 		p.VPred = vpred.New(cfg.VPredEntries)
-		add(p.VPred.Name(), func(ev *cpu.Event, _ bool) {
-			if p.counting {
-				p.VPred.Observe(ev)
+		add(p.VPred.Name(), func(b *batch) {
+			if !p.counting {
+				return
+			}
+			for i := range b.evs {
+				p.VPred.Observe(&b.evs[i])
 			}
 		})
 	}
 	if !cfg.DisableVProf {
 		p.VProf = vprofile.New()
-		add(p.VProf.Name(), func(ev *cpu.Event, _ bool) {
-			if p.counting {
-				p.VProf.Observe(ev)
+		p.VProf.SetTextBounds(program.TextBase, im.StaticInstructions())
+		add(p.VProf.Name(), func(b *batch) {
+			if !p.counting {
+				return
+			}
+			for i := range b.evs {
+				p.VProf.Observe(&b.evs[i])
 			}
 		})
 	}
 	return p
 }
 
-// OnInst implements cpu.Observer. The common path dispatches to each
-// enabled analysis with a direct nil-checked call — no per-stage
-// closure indirection — in the same order the stage list uses, so the
-// timed path below observes identical behavior.
+// NextSlot implements cpu.EventSink: the machine builds the next
+// event directly in the batch's tail slot, skipping a build-then-copy
+// per instruction. The slot is only committed when OnInst receives
+// the same pointer back; an abandoned slot (faulting instruction) is
+// reused. The batch is allocated at full capacity and flushed before
+// it fills, so the tail slot always exists.
+func (p *Pipeline) NextSlot() *cpu.Event {
+	return &p.b.evs[:cap(p.b.evs)][len(p.b.evs)]
+}
+
+// OnInst implements cpu.Observer: commit the slot the machine built in
+// place (when it used NextSlot) or buffer a copy (the simulator reuses
+// its own Event otherwise), and flush when the batch fills.
 func (p *Pipeline) OnInst(ev *cpu.Event) {
-	if p.sampleEvery > 0 {
-		p.countdown--
-		if p.countdown == 0 {
-			p.countdown = p.sampleEvery
-			p.onInstTimed(ev)
-			return
-		}
+	if n := len(p.b.evs); n < cap(p.b.evs) && ev == &p.b.evs[:n+1][n] {
+		p.b.evs = p.b.evs[:n+1]
+	} else {
+		p.b.evs = append(p.b.evs, *ev)
 	}
-	repeated := false
-	if p.counting {
-		repeated = p.Rep.Observe(ev)
+	p.b.vers = append(p.b.vers, false)
+	p.b.kinds = append(p.b.kinds, itemInst)
+	if len(p.b.kinds) >= batchSize {
+		p.flush()
 	}
-	// Dataflow analyses run even while the window is closed (their
-	// Counting flags gate the statistics, not the propagation).
-	if p.Taint != nil {
-		p.Taint.Observe(ev, repeated)
-	}
-	if p.Local != nil {
-		p.Local.Observe(ev, repeated)
-	}
-	if p.Funcs != nil {
-		p.Funcs.Observe(ev, repeated)
-	}
-	if !p.counting {
+}
+
+// flush runs every enabled analysis over the buffered batch, in the
+// order the per-event dispatch used: the census pass first (producing
+// the verdict for each instruction), then each stage.
+func (p *Pipeline) flush() {
+	b := &p.b
+	if len(b.kinds) == 0 {
 		return
 	}
-	if p.Reuse != nil {
-		p.Reuse.Observe(ev, repeated)
+	timed := p.sampleEvery > 0 && p.flushes%p.sampleEvery == 0
+	p.flushes++
+	p.totalEvs += uint64(len(b.evs))
+	var now time.Time
+	if timed {
+		p.samples += uint64(len(b.evs))
+		now = time.Now()
 	}
-	if p.VPred != nil {
-		p.VPred.Observe(ev)
-	}
-	if p.VProf != nil {
-		p.VProf.Observe(ev)
-	}
-}
-
-// onInstTimed is the sampled slow path: identical dispatch, but each
-// observer call is individually timed so its cost can be attributed.
-func (p *Pipeline) onInstTimed(ev *cpu.Event) {
-	p.samples++
-	repeated := false
-	start := time.Now()
 	if p.counting {
-		repeated = p.Rep.Observe(ev)
+		for i := range b.evs {
+			b.vers[i] = p.Rep.Observe(&b.evs[i])
+		}
 	}
-	now := time.Now()
-	p.repNS += now.Sub(start)
+	if timed {
+		t := time.Now()
+		p.repNS += t.Sub(now)
+		now = t
+	}
 	for i := range p.stages {
-		p.stages[i].fn(ev, repeated)
-		next := time.Now()
-		p.stages[i].ns += next.Sub(now)
-		now = next
+		p.stages[i].run(b)
+		if timed {
+			t := time.Now()
+			p.stages[i].ns += t.Sub(now)
+			now = t
+		}
 	}
+	b.evs = b.evs[:0]
+	b.vers = b.vers[:0]
+	b.calls = b.calls[:0]
+	b.rets = b.rets[:0]
+	b.kinds = b.kinds[:0]
 }
 
-// ObserverCosts extrapolates the sampled per-observer times into the
-// RunMetrics attribution table.
+// ObserverCosts reports the per-observer pass times, extrapolated
+// from the timed flushes over the whole event stream (EstimatedNS =
+// SampledNS scaled by totalEvents/sampledEvents).
 func (p *Pipeline) ObserverCosts() []obs.ObserverCost {
 	if p.samples == 0 {
 		return nil
@@ -306,10 +415,11 @@ func (p *Pipeline) ObserverCosts() []obs.ObserverCost {
 			SampledNS: p.stages[i].ns.Nanoseconds(),
 		})
 	}
+	scale := float64(p.totalEvs) / float64(p.samples)
 	var total int64
 	for i := range out {
 		out[i].Samples = p.samples
-		out[i].EstimatedNS = out[i].SampledNS * int64(p.sampleEvery)
+		out[i].EstimatedNS = int64(float64(out[i].SampledNS) * scale)
 		total += out[i].EstimatedNS
 	}
 	if total > 0 {
@@ -320,23 +430,29 @@ func (p *Pipeline) ObserverCosts() []obs.ObserverCost {
 	return out
 }
 
-// OnCall implements cpu.CallObserver.
+// OnCall implements cpu.CallObserver: the call is buffered in event
+// order (the CallEvent already carries the argument values read at
+// call time, so deferring its observation cannot change them).
 func (p *Pipeline) OnCall(ev *cpu.CallEvent) {
-	if p.Local != nil {
-		p.Local.OnCall(ev)
+	if p.Local == nil && p.Funcs == nil {
+		return
 	}
-	if p.Funcs != nil {
-		p.Funcs.OnCall(ev)
+	p.b.calls = append(p.b.calls, *ev)
+	p.b.kinds = append(p.b.kinds, itemCall)
+	if len(p.b.kinds) >= batchSize {
+		p.flush()
 	}
 }
 
 // OnReturn implements cpu.CallObserver.
 func (p *Pipeline) OnReturn(ev *cpu.RetEvent) {
-	if p.Local != nil {
-		p.Local.OnReturn(ev)
+	if p.Local == nil && p.Funcs == nil {
+		return
 	}
-	if p.Funcs != nil {
-		p.Funcs.OnReturn(ev)
+	p.b.rets = append(p.b.rets, *ev)
+	p.b.kinds = append(p.b.kinds, itemRet)
+	if len(p.b.kinds) >= batchSize {
+		p.flush()
 	}
 }
 
@@ -438,6 +554,7 @@ type Report struct {
 
 // Collect gathers the report after a run.
 func (p *Pipeline) Collect(im *program.Image, name string) *Report {
+	p.flush() // observe any tail shorter than a full batch
 	r := &Report{
 		Benchmark:   name,
 		Fig1Targets: CoverageTargets,
@@ -568,6 +685,7 @@ func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg 
 
 	load := root.StartChild("load")
 	m := cpu.New(im, input)
+	m.NoTranslate = cfg.DisableTranslation
 	m.Hook = cfg.Faults.StepHook(ctx, name)
 	p := NewPipeline(im, cfg)
 	m.Attach(p)

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/workloads"
+)
+
+// BenchmarkObserverFloor decomposes simulation throughput layer by
+// layer: the bare execution core (interpreted and block-translated,
+// no pipeline — the isolated translation speedup), the pipeline with
+// only the repetition census, and the full observer set. The spread
+// between `core` and `all` is the cost of the statistics themselves,
+// which no execution-loop optimization can remove; see DESIGN.md §15.
+func BenchmarkObserverFloor(b *testing.B) {
+	w, _ := workloads.ByName("odb")
+	im, err := w.Image()
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := w.Input(1)
+	censusOnly := Config{DisableTaint: true, DisableLocal: true, DisableFunc: true,
+		DisableReuse: true, DisableVPred: true, DisableVProf: true}
+	for _, tc := range []struct {
+		name        string
+		pipeline    bool
+		noTranslate bool
+		cfg         Config
+	}{
+		{name: "core-interpreted", noTranslate: true},
+		{name: "core-translated"},
+		{name: "censusOnly", pipeline: true, cfg: censusOnly},
+		{name: "all", pipeline: true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			const window = 10_000_000
+			for n := 0; n < b.N; n++ {
+				m := cpu.New(im, input)
+				m.NoTranslate = tc.noTranslate
+				if tc.pipeline {
+					p := NewPipeline(im, tc.cfg)
+					m.Attach(p)
+					p.SetCounting(true)
+				}
+				got, err := m.Run(window)
+				if err != nil || got == 0 {
+					b.Fatal(got, err)
+				}
+			}
+			b.ReportMetric(float64(uint64(window)*uint64(b.N))/b.Elapsed().Seconds()/1e6, "MIPS")
+		})
+	}
+}

@@ -76,6 +76,19 @@ type Observer interface {
 	OnInst(ev *Event)
 }
 
+// EventSink is an Observer that additionally exposes the storage the
+// machine may build the next event in, so a sole observer that buffers
+// events (the core pipeline) receives them without a build-then-copy.
+// NextSlot returns scratch space for the upcoming instruction; the
+// event only becomes the sink's when the machine passes the same
+// pointer to OnInst (an abandoned slot — a faulting instruction — is
+// simply reused). The machine uses the slot protocol only while the
+// sink is its single attached observer.
+type EventSink interface {
+	Observer
+	NextSlot() *Event
+}
+
 // StepHook intercepts the run loop before each step with the current
 // retire count and PC; a non-nil error aborts Run with that error.
 // Installed via Machine.Hook — used by the watchdog progress publisher
@@ -155,11 +168,21 @@ type Machine struct {
 
 	// Hook, when non-nil, runs before every step (see StepHook). Run
 	// switches to a hooked loop so the common path stays unchanged.
+	// A hooked machine always executes through the Step interpreter:
+	// the hook contract is "called before every instruction", which the
+	// block-translated path does not honor.
 	Hook StepHook
+
+	// NoTranslate forces the Step interpreter even when no Hook is
+	// installed (used by the differential harness and as an escape
+	// hatch; see translate.go).
+	NoTranslate bool
 
 	observers     []Observer
 	callObservers []CallObserver
+	sink          EventSink // non-nil iff the single observer is an EventSink
 	ev            Event
+	trans         *transTable
 }
 
 // New creates a machine, loads the image, and initializes registers.
@@ -184,12 +207,20 @@ func (m *Machine) Attach(o Observer) {
 	if co, ok := o.(CallObserver); ok {
 		m.callObservers = append(m.callObservers, co)
 	}
+	// The slot protocol requires a single observer: with several, each
+	// must see the event, so the machine builds it in its own buffer.
+	if len(m.observers) == 1 {
+		m.sink, _ = o.(EventSink)
+	} else {
+		m.sink = nil
+	}
 }
 
 // DetachAll removes every observer.
 func (m *Machine) DetachAll() {
 	m.observers = nil
 	m.callObservers = nil
+	m.sink = nil
 }
 
 // InputRemaining returns the number of unread input bytes.
@@ -202,6 +233,9 @@ func (m *Machine) Run(max uint64) (uint64, error) {
 	start := m.Count
 	if m.Hook != nil {
 		return m.runHooked(max, start)
+	}
+	if !m.NoTranslate {
+		return m.runTranslated(max, start)
 	}
 	for !m.Halted && (max == 0 || m.Count-start < max) {
 		if err := m.Step(); err != nil {
@@ -245,6 +279,9 @@ func (m *Machine) Step() error {
 	}
 
 	ev := &m.ev
+	if m.sink != nil {
+		ev = m.sink.NextSlot()
+	}
 	*ev = Event{
 		Index:  m.Count,
 		PC:     m.PC,
@@ -280,53 +317,84 @@ func (m *Machine) Step() error {
 	}
 	m.PC = ev.NextPC
 
-	for _, o := range m.observers {
-		o.OnInst(ev)
+	if m.sink != nil {
+		m.sink.OnInst(ev)
+	} else {
+		for _, o := range m.observers {
+			o.OnInst(ev)
+		}
 	}
 	// Call/return events follow the instruction event so observers see
 	// a consistent order.
 	if len(m.callObservers) > 0 {
-		switch in.Op {
-		case isa.OpJAL, isa.OpJALR:
-			ce := CallEvent{
-				Index:   ev.Index,
-				PC:      ev.PC,
-				Target:  ev.NextPC,
-				RetAddr: ev.PC + 4,
-				Callee:  m.Image.FuncByEntry(ev.NextPC),
-				SP:      m.Regs[isa.RegSP],
-			}
-			if ce.Callee != nil {
-				n := ce.Callee.NArgs
-				if n > MaxTrackedArgs {
-					n = MaxTrackedArgs
-				}
-				for i := 0; i < n; i++ {
-					if i < 4 {
-						ce.Args[i] = m.Regs[isa.RegA0+i]
-					} else {
-						ce.Args[i] = m.Mem.ReadWord(ce.SP + uint32(4*i))
-					}
-				}
-			}
-			for _, o := range m.callObservers {
-				o.OnCall(&ce)
-			}
-		case isa.OpJR:
-			if in.Rs == isa.RegRA {
-				re := RetEvent{Index: ev.Index, PC: ev.PC, Target: ev.NextPC}
-				for _, o := range m.callObservers {
-					o.OnReturn(&re)
-				}
-			}
-		}
+		m.emitCallEvents(ev)
 	}
 	return nil
 }
 
+// emitCallEvents delivers call/return events for a just-retired jump
+// instruction. Shared by the interpreter and the translated path so
+// both produce identical observer streams.
+func (m *Machine) emitCallEvents(ev *Event) {
+	switch ev.Inst.Op {
+	case isa.OpJAL, isa.OpJALR:
+		m.emitCall(ev, m.Image.FuncByEntry(ev.NextPC))
+	case isa.OpJR:
+		if ev.Inst.Rs == isa.RegRA {
+			m.emitRet(ev)
+		}
+	}
+}
+
+// emitCall delivers the call event with an already-resolved callee.
+// A JAL's target is static, so the translated path resolves the
+// callee once at translation time and skips the per-call symbol
+// lookup; FuncByEntry is a pure function of the immutable image, so
+// the pre-resolved value is identical to the per-call lookup.
+func (m *Machine) emitCall(ev *Event, callee *program.Func) {
+	ce := CallEvent{
+		Index:   ev.Index,
+		PC:      ev.PC,
+		Target:  ev.NextPC,
+		RetAddr: ev.PC + 4,
+		Callee:  callee,
+		SP:      m.Regs[isa.RegSP],
+	}
+	if ce.Callee != nil {
+		n := ce.Callee.NArgs
+		if n > MaxTrackedArgs {
+			n = MaxTrackedArgs
+		}
+		for i := 0; i < n; i++ {
+			if i < 4 {
+				ce.Args[i] = m.Regs[isa.RegA0+i]
+			} else {
+				ce.Args[i] = m.Mem.ReadWord(ce.SP + uint32(4*i))
+			}
+		}
+	}
+	for _, o := range m.callObservers {
+		o.OnCall(&ce)
+	}
+}
+
+// emitRet delivers the return event for a retired JR $ra.
+func (m *Machine) emitRet(ev *Event) {
+	re := RetEvent{Index: ev.Index, PC: ev.PC, Target: ev.NextPC}
+	for _, o := range m.callObservers {
+		o.OnReturn(&re)
+	}
+}
+
+// setDst records the destination write. A write targeting $zero is
+// architecturally discarded — the register always reads 0 — so the
+// event reports DstVal 0, keeping the repetition census and reuse
+// buffer keyed on the value consumers can actually observe.
 func (m *Machine) setDst(ev *Event, r uint8, v uint32) {
 	if r != isa.RegZero {
 		m.Regs[r] = v
+	} else {
+		v = 0
 	}
 	ev.Dst = int16(r)
 	ev.DstVal = v
@@ -527,7 +595,10 @@ func (m *Machine) checkAddr(addr uint32, size uint32) error {
 	if addr%size != 0 {
 		return m.faultf("unaligned %d-byte access at 0x%x", size, addr)
 	}
-	if addr < program.DataBase || (addr >= m.Brk && addr < program.StackLimit) || addr > program.StackTop-size {
+	// The whole extent [addr, addr+size) must fall below the heap break
+	// (or inside the stack): with an unaligned break, a word access
+	// starting just below Brk would otherwise touch bytes past it.
+	if addr < program.DataBase || (addr+size > m.Brk && addr < program.StackLimit) || addr > program.StackTop-size {
 		return m.faultf("memory access out of bounds at 0x%x (brk=0x%x)", addr, m.Brk)
 	}
 	return nil

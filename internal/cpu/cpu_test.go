@@ -8,6 +8,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/isa"
 	"repro/internal/program"
+	"repro/internal/repetition"
 )
 
 func run(t *testing.T, src string, input string) *cpu.Machine {
@@ -455,6 +456,123 @@ func TestRunMaxInstructions(t *testing.T) {
 	if n != 100 || m.Halted {
 		t.Errorf("ran %d halted=%v, want 100/false", n, m.Halted)
 	}
+}
+
+// TestBrkExtentChecked pins the checkAddr fix: an access is bounded by
+// its full extent [addr, addr+size), not its first byte, so a word
+// access straddling an unaligned heap break faults instead of silently
+// touching bytes past it.
+func TestBrkExtentChecked(t *testing.T) {
+	m := load(t, exitStub+`
+		.func main 0
+main:
+		li $a0, 5
+		li $v0, 9
+		syscall            # sbrk(5): brk is now base+5, unaligned
+		move $t0, $v0
+		lb $t1, 4($t0)     # [base+4, base+5): still below brk, fine
+		lw $t2, 4($t0)     # [base+4, base+8): crosses brk, must fault
+		jr $ra
+		.endfunc
+	`, "")
+	_, err := m.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Fatalf("word load straddling brk: err = %v, want out of bounds", err)
+	}
+	if m.Halted {
+		t.Fatal("machine halted; fault should have aborted before exit")
+	}
+}
+
+// TestZeroDestEventValue pins the setDst fix: a write targeting $zero
+// is architecturally discarded, so the retired event reports DstVal 0
+// even when the instruction computed something else.
+func TestZeroDestEventValue(t *testing.T) {
+	m := load(t, exitStub+`
+		.func main 0
+main:
+		li $t0, 3
+		li $t1, 4
+		addu $zero, $t0, $t1
+		move $v0, $zero
+		jr $ra
+		.endfunc
+	`, "")
+	rec := &recorder{}
+	m.Attach(rec)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range rec.events {
+		if ev.Inst.Op == isa.OpADDU && ev.Inst.Rd == isa.RegZero {
+			found = true
+			if ev.Dst != isa.RegZero || ev.DstVal != 0 {
+				t.Errorf("$zero-dest event: Dst=%d DstVal=%d, want 0/0", ev.Dst, ev.DstVal)
+			}
+			if ev.Src1Val != 3 || ev.Src2Val != 4 {
+				t.Errorf("$zero-dest sources = %d,%d, want 3,4", ev.Src1Val, ev.Src2Val)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("addu $zero event not observed")
+	}
+}
+
+// trackerObserver adapts a repetition.Tracker to cpu.Observer,
+// recording the per-instruction repeat verdicts.
+type trackerObserver struct {
+	tr       *repetition.Tracker
+	verdicts map[uint32][]bool // by PC, in retire order
+}
+
+func (o *trackerObserver) OnInst(ev *cpu.Event) {
+	o.verdicts[ev.PC] = append(o.verdicts[ev.PC], o.tr.Observe(ev))
+}
+
+// TestZeroDestCensusRepetition is the census pin for the setDst fix:
+// one static lw-into-$zero inside a loop whose loaded word changes
+// every iteration still counts as a repeat, because the architectural
+// output (what any consumer could read back) is always 0.
+func TestZeroDestCensusRepetition(t *testing.T) {
+	m := load(t, exitStub+`
+		.data
+v:		.word 7
+		.text
+		.func main 0
+main:
+		li $t2, 2          # two iterations
+		la $t0, v
+loop:
+		lw $zero, 0($t0)   # same input ($t0), changing memory word
+		addiu $t3, $t3, 1
+		sw $t3, 0($t0)     # mutate the word between iterations
+		addiu $t2, $t2, -1
+		bne $t2, $zero, loop
+		li $v0, 0
+		jr $ra
+		.endfunc
+	`, "")
+	obs := &trackerObserver{tr: repetition.NewTracker(), verdicts: make(map[uint32][]bool)}
+	m.Attach(obs)
+	if _, err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for pc, vs := range obs.verdicts {
+		in, err := m.Image.InstAt(pc)
+		if err != nil || in.Op != isa.OpLW || in.Rt != isa.RegZero {
+			continue
+		}
+		if len(vs) != 2 {
+			t.Fatalf("lw $zero executed %d times, want 2", len(vs))
+		}
+		if vs[0] || !vs[1] {
+			t.Errorf("lw $zero verdicts = %v, want [false true]: the discarded value must not break repetition", vs)
+		}
+		return
+	}
+	t.Fatal("lw $zero instruction not observed")
 }
 
 func TestZeroRegisterImmutable(t *testing.T) {

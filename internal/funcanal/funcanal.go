@@ -32,9 +32,14 @@ type funcStats struct {
 	allRep  uint64 // calls where the whole tuple repeated
 	noneRep uint64 // calls where no single argument value repeated
 
-	tuples     map[argKey]uint64
-	tuplesFull bool
-	perArg     []map[uint32]struct{}
+	// tuples maps an argument tuple to its index in tupleCounts; the
+	// indirection makes the hot path (a repeated tuple) one map lookup
+	// plus a slice increment instead of a lookup-then-store pair that
+	// hashes the 36-byte key twice.
+	tuples      map[argKey]uint32
+	tupleCounts []uint64
+	tuplesFull  bool
+	perArg      []map[uint32]struct{}
 
 	// Completed (returned) dynamic calls.
 	returned       uint64
@@ -106,7 +111,7 @@ func (a *Analysis) OnCall(ev *cpu.CallEvent) {
 		}
 		st = &funcStats{
 			fn:     ev.Callee,
-			tuples: make(map[argKey]uint64),
+			tuples: make(map[argKey]uint32),
 			perArg: make([]map[uint32]struct{}, n),
 		}
 		for i := range st.perArg {
@@ -125,11 +130,12 @@ func (a *Analysis) OnCall(ev *cpu.CallEvent) {
 	}
 
 	allRep := false
-	if n, seen := st.tuples[key]; seen {
-		st.tuples[key] = n + 1
+	if ti, seen := st.tuples[key]; seen {
+		st.tupleCounts[ti]++
 		allRep = true
 	} else if len(st.tuples) < maxTuples {
-		st.tuples[key] = 1
+		st.tuples[key] = uint32(len(st.tupleCounts))
+		st.tupleCounts = append(st.tupleCounts, 1)
 	} else {
 		st.tuplesFull = true
 	}
@@ -276,8 +282,8 @@ func (a *Analysis) TopArgSetCoverage(maxK int) []float64 {
 	covered := make([]uint64, maxK)
 	var total uint64
 	for _, st := range a.byPC {
-		counts := make([]uint64, 0, len(st.tuples))
-		for _, n := range st.tuples {
+		counts := make([]uint64, 0, len(st.tupleCounts))
+		for _, n := range st.tupleCounts {
 			if n >= 2 {
 				counts = append(counts, n-1) // repeats of this tuple
 			}

@@ -246,8 +246,24 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// opKinds precomputes classifyOp for every valid op so the hot-path
+// OpKind call is an array load instead of a switch dispatch.
+var opKinds = func() (t [numOps]Kind) {
+	for op := Op(0); op < numOps; op++ {
+		t[op] = classifyOp(op)
+	}
+	return
+}()
+
 // OpKind returns the Kind of op.
 func OpKind(op Op) Kind {
+	if op < numOps {
+		return opKinds[op]
+	}
+	return KindSys
+}
+
+func classifyOp(op Op) Kind {
 	switch op {
 	case OpADDU, OpSUBU, OpAND, OpOR, OpXOR, OpNOR, OpSLT, OpSLTU, OpSLLV, OpSRLV, OpSRAV:
 		return KindALU3

@@ -105,14 +105,35 @@ type frame struct {
 	fn        *program.Func
 	regs      [cpu.NumRegs]ltag
 	uninit    [cpu.NumRegs]bool // not yet written in this activation
-	saves     map[uint32]bool   // stack addresses written by the prologue
+	saves     []uint32          // stack addresses written by the prologue
 	savedRegs [cpu.NumRegs]ltag // caller tags to restore on return
+	pe        *perFuncPE        // cached Table 9 record for fn
+}
+
+// savedAt reports whether the prologue saved a register at addr. The
+// handful of prologue stores per activation makes a linear scan over
+// one small slice cheaper than the per-activation map it replaces.
+func (fr *frame) savedAt(addr uint32) bool {
+	for _, a := range fr.saves {
+		if a == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // loadSite tracks the value-frequency histogram for one static load
 // from global or heap memory (Figure 6).
 type loadSite struct {
-	values map[uint32]uint64
+	// values maps a loaded value to its index in counts; the
+	// indirection makes the common case (a value seen before) one map
+	// lookup plus a slice increment, and the last-value cache below
+	// skips even that when a site keeps delivering the same value —
+	// which is precisely the repetition Figure 6 measures.
+	values map[uint32]uint32
+	counts []uint64
+	last   uint32 // last value observed; valid only when counts is non-empty
+	lastIx uint32 // its index in counts
 	full   bool
 }
 
@@ -143,8 +164,10 @@ type Analysis struct {
 	overall  [NumCats]uint64
 	repeated [NumCats]uint64
 
-	peByFunc  map[string]*perFuncPE
-	loadSites map[uint32]*loadSite
+	peByFunc map[string]*perFuncPE
+	// loadSites is dense over the text segment: loadSites[(pc-TextBase)>>2]
+	// (nil = load site never observed).
+	loadSites []*loadSite
 }
 
 // New creates the analysis for one program image.
@@ -154,7 +177,7 @@ func New(im *program.Image) *Analysis {
 		heapBase:  im.HeapBase(),
 		shadow:    mem.NewShadow(),
 		peByFunc:  make(map[string]*perFuncPE),
-		loadSites: make(map[uint32]*loadSite),
+		loadSites: make([]*loadSite, im.StaticInstructions()),
 	}
 	a.root = newFrame(nil, 0)
 	return a
@@ -163,7 +186,6 @@ func New(im *program.Image) *Analysis {
 func newFrame(fn *program.Func, nargs int) frame {
 	var fr frame
 	fr.fn = fn
-	fr.saves = make(map[uint32]bool, 12)
 	for r := 0; r < cpu.NumRegs; r++ {
 		fr.uninit[r] = true
 		fr.regs[r] = lUninit
@@ -231,16 +253,23 @@ func (a *Analysis) Observe(ev *cpu.Event, repeated bool) {
 		a.repeated[cat]++
 	}
 	if cat == CatPrologue || cat == CatEpilogue {
-		name := "?"
-		var fn *program.Func
-		if fr.fn != nil {
-			name = fr.fn.Name
-			fn = fr.fn
-		}
-		pe := a.peByFunc[name]
+		pe := fr.pe
 		if pe == nil {
-			pe = &perFuncPE{fn: fn}
-			a.peByFunc[name] = pe
+			// Resolve and cache the function's Table 9 record on the
+			// activation so later prologue/epilogue instructions skip
+			// the by-name lookup.
+			name := "?"
+			var fn *program.Func
+			if fr.fn != nil {
+				name = fr.fn.Name
+				fn = fr.fn
+			}
+			pe = a.peByFunc[name]
+			if pe == nil {
+				pe = &perFuncPE{fn: fn}
+				a.peByFunc[name] = pe
+			}
+			fr.pe = pe
 		}
 		pe.total++
 		if repeated {
@@ -249,20 +278,26 @@ func (a *Analysis) Observe(ev *cpu.Event, repeated bool) {
 	}
 }
 
-// classify bins the instruction and propagates tags.
+// classify bins the instruction and propagates tags, then marks the
+// written destination(s) as initialized in this activation. The
+// marking runs after binning (classifyTag's prologue test reads the
+// pre-write uninit state), which classifyTag's callees must not
+// shortcut.
 func (a *Analysis) classify(ev *cpu.Event, fr *frame) Cat {
+	cat := a.classifyTag(ev, fr)
+	if ev.Dst > 0 {
+		fr.uninit[ev.Dst] = false
+	}
+	if ev.Aux > 0 {
+		fr.uninit[ev.Aux] = false
+	}
+	return cat
+}
+
+// classifyTag is classify's binning body.
+func (a *Analysis) classifyTag(ev *cpu.Event, fr *frame) Cat {
 	in := ev.Inst
 	op := in.Op
-
-	// Mark destination as written in this activation.
-	defer func() {
-		if ev.Dst > 0 {
-			fr.uninit[ev.Dst] = false
-		}
-		if ev.Aux > 0 {
-			fr.uninit[ev.Aux] = false
-		}
-	}()
 
 	switch {
 	case op == isa.OpJR && in.Rs == isa.RegRA:
@@ -274,13 +309,15 @@ func (a *Analysis) classify(ev *cpu.Event, fr *frame) Cat {
 		if fr.uninit[ev.Src2] {
 			// Saving a not-yet-written (callee-saved or $ra)
 			// register: prologue.
-			fr.saves[ev.Addr] = true
+			if !fr.savedAt(ev.Addr) {
+				fr.saves = append(fr.saves, ev.Addr)
+			}
 			return CatPrologue
 		}
 		return catOfTag(dataTag)
 
 	case ev.IsLoad:
-		if fr.saves[ev.Addr] {
+		if fr.savedAt(ev.Addr) {
 			// Reloading a prologue-saved register: epilogue. The
 			// restored register belongs to the caller; its tag is
 			// re-established by OnReturn.
@@ -385,16 +422,40 @@ func (a *Analysis) isDataSegAddrHigh(imm uint32) bool {
 
 // trackLoad records the loaded value for Figure 6.
 func (a *Analysis) trackLoad(ev *cpu.Event) {
-	site := a.loadSites[ev.PC]
-	if site == nil {
-		site = &loadSite{values: make(map[uint32]uint64, 4)}
-		a.loadSites[ev.PC] = site
+	if ev.PC < program.TextBase {
+		return // not a text PC; unreachable for retired instructions
 	}
-	if _, seen := site.values[ev.MemVal]; !seen && len(site.values) >= maxLoadValues {
+	idx := int((ev.PC - program.TextBase) >> 2)
+	if idx >= len(a.loadSites) {
+		// A retired PC past the image's text (not reachable in
+		// practice); grow rather than lose the site.
+		grown := make([]*loadSite, idx+1)
+		copy(grown, a.loadSites)
+		a.loadSites = grown
+	}
+	site := a.loadSites[idx]
+	if site == nil {
+		site = &loadSite{values: make(map[uint32]uint32, 4)}
+		a.loadSites[idx] = site
+	}
+	v := ev.MemVal
+	if len(site.counts) > 0 && site.last == v {
+		site.counts[site.lastIx]++
+		return
+	}
+	if i, seen := site.values[v]; seen {
+		site.counts[i]++
+		site.last, site.lastIx = v, i
+		return
+	}
+	if len(site.counts) >= maxLoadValues {
 		site.full = true
 		return
 	}
-	site.values[ev.MemVal]++
+	i := uint32(len(site.counts))
+	site.values[v] = i
+	site.counts = append(site.counts, 1)
+	site.last, site.lastIx = v, i
 }
 
 // Result carries Tables 5-7.
@@ -464,8 +525,11 @@ func (a *Analysis) TopLoadValueCoverage(maxK int) []float64 {
 	covered := make([]uint64, maxK)
 	var total uint64
 	for _, site := range a.loadSites {
-		counts := make([]uint64, 0, len(site.values))
-		for _, n := range site.values {
+		if site == nil {
+			continue
+		}
+		counts := make([]uint64, 0, len(site.counts))
+		for _, n := range site.counts {
 			if n >= 2 {
 				counts = append(counts, n-1)
 			}

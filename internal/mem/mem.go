@@ -11,24 +11,60 @@ const PageSize = 1 << PageBits
 
 const pageMask = PageSize - 1
 
+// The 20-bit page number is resolved through a two-level radix table
+// (10+10 bits) instead of a map: a page lookup is two array indexes
+// with no hashing, which matters because every simulated load and
+// store resolves a page. A second-level node covers 4 MiB of address
+// space, so a typical workload touches a handful of nodes.
+const (
+	radixBits = 10
+	radixSize = 1 << radixBits
+	radixMask = radixSize - 1
+)
+
+type pageNode = [radixSize]*[PageSize]byte
+
 // Memory is a sparse paged memory. The zero value is an empty memory in
 // which every byte reads as zero. Memory is little-endian, matching the
 // MIPS little-endian configuration used by SimpleScalar.
 type Memory struct {
-	pages map[uint32]*[PageSize]byte
+	l1     [radixSize]*pageNode
+	npages int
+
+	// One-entry page cache: consecutive accesses overwhelmingly land on
+	// the same page, and pages are never freed, so the cached pointer
+	// can only go stale by pointing at a still-valid page. cpn is
+	// meaningful only while cpage != nil.
+	cpn   uint32
+	cpage *[PageSize]byte
 }
 
 // New returns an empty memory.
 func New() *Memory {
-	return &Memory{pages: make(map[uint32]*[PageSize]byte)}
+	return &Memory{}
 }
 
 func (m *Memory) page(addr uint32, create bool) *[PageSize]byte {
 	pn := addr >> PageBits
-	p := m.pages[pn]
+	if p := m.cpage; p != nil && m.cpn == pn {
+		return p
+	}
+	l2 := m.l1[pn>>radixBits]
+	if l2 == nil {
+		if !create {
+			return nil
+		}
+		l2 = new(pageNode)
+		m.l1[pn>>radixBits] = l2
+	}
+	p := l2[pn&radixMask]
 	if p == nil && create {
 		p = new([PageSize]byte)
-		m.pages[pn] = p
+		l2[pn&radixMask] = p
+		m.npages++
+	}
+	if p != nil {
+		m.cpn, m.cpage = pn, p
 	}
 	return p
 }
@@ -119,40 +155,70 @@ func (m *Memory) ReadCString(addr uint32, max int) string {
 
 // PagesAllocated returns the number of resident pages (for tests and
 // resource accounting).
-func (m *Memory) PagesAllocated() int { return len(m.pages) }
+func (m *Memory) PagesAllocated() int { return m.npages }
+
+type shadowNode = [radixSize]*[PageSize / 4]byte
 
 // Shadow is a sparse paged tag space with one byte of metadata per
 // 32-bit word of simulated memory. The dataflow analyses use it to
-// track value origins through memory.
+// track value origins through memory. Pages resolve through the same
+// two-level radix layout Memory uses.
 type Shadow struct {
-	pages map[uint32]*[PageSize / 4]byte
+	l1 [radixSize]*shadowNode
+
+	// One-entry page cache (same rationale as Memory's): tag pages are
+	// never freed, so the cached pointer cannot dangle.
+	cpn   uint32
+	cpage *[PageSize / 4]byte
 }
 
 // NewShadow returns an empty shadow space; every word's tag reads as 0.
 func NewShadow() *Shadow {
-	return &Shadow{pages: make(map[uint32]*[PageSize / 4]byte)}
+	return &Shadow{}
 }
 
 // Get returns the tag of the word containing addr.
 func (s *Shadow) Get(addr uint32) byte {
-	p := s.pages[addr>>PageBits]
+	pn := addr >> PageBits
+	if p := s.cpage; p != nil && s.cpn == pn {
+		return p[addr&pageMask>>2]
+	}
+	l2 := s.l1[pn>>radixBits]
+	if l2 == nil {
+		return 0
+	}
+	p := l2[pn&radixMask]
 	if p == nil {
 		return 0
 	}
+	s.cpn, s.cpage = pn, p
 	return p[addr&pageMask>>2]
 }
 
 // Set assigns tag to the word containing addr.
 func (s *Shadow) Set(addr uint32, tag byte) {
 	pn := addr >> PageBits
-	p := s.pages[pn]
+	if p := s.cpage; p != nil && s.cpn == pn {
+		p[addr&pageMask>>2] = tag
+		return
+	}
+	l2 := s.l1[pn>>radixBits]
+	if l2 == nil {
+		if tag == 0 {
+			return
+		}
+		l2 = new(shadowNode)
+		s.l1[pn>>radixBits] = l2
+	}
+	p := l2[pn&radixMask]
 	if p == nil {
 		if tag == 0 {
 			return
 		}
 		p = new([PageSize / 4]byte)
-		s.pages[pn] = p
+		l2[pn&radixMask] = p
 	}
+	s.cpn, s.cpage = pn, p
 	p[addr&pageMask>>2] = tag
 }
 

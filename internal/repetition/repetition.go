@@ -51,31 +51,71 @@ func hashKey(k instKey) uint32 {
 	return uint32(h)
 }
 
-// instRecord is the per-static-instruction state. keys/counts form the
-// open-addressing instance set: counts[i] is the occurrence count of
-// keys[i], with 0 marking an empty slot (a buffered instance has seen
-// at least one occurrence, so counts are >= 1).
-type instRecord struct {
-	keys   []instKey
-	counts []uint32
-	n      int // occupied slots
+// islot is one occupied-or-empty slot of a record's instance set: the
+// packed key and its occurrence count in one 20-byte unit, so a probe
+// touches one cache line instead of two parallel arrays (a buffered
+// instance has seen at least one occurrence, so count 0 = empty).
+type islot struct {
+	key   instKey
+	count uint32
+}
 
-	full     bool // buffer hit MaxInstances; new instances dropped
+// instRecord is the per-static-instruction state. The first two
+// instances live inline in the record itself — the census's core
+// finding is that most static instructions repeat over very few
+// unique instances (Figure 3), so the common case is a single 16-byte
+// compare on a line the dyn++ update already touched, with no hash
+// and no second allocation. PCs that accumulate more instances
+// overflow into the open-addressing slots set. Instances are a pure
+// set (membership and per-key counts); the two-tier layout cannot
+// change any statistic. Invariant: slots != nil implies both inline
+// entries are occupied.
+type instRecord struct {
+	// Field order is deliberate: the counters every Observe touches and
+	// the first inline slot share the record's first cache line.
 	dyn      uint64
 	repeated uint64
 	dropped  uint64 // instances not tracked because the buffer was full
+	n        int32  // occupied instances (inline + slots)
+	// last is the overflow-slot index of the most recently matched (or
+	// inserted) instance: loops that repeat one instance re-hit it with
+	// a single compare, skipping the hash. Stale values (including the
+	// zero value and indices left behind by a rehash) are harmless —
+	// the probe falls through to find on a key mismatch — because slot
+	// indices only ever point inside the table and it never shrinks.
+	last   int32
+	full   bool // buffer hit MaxInstances; new instances dropped
+	inline [2]islot
+	slots  []islot
+}
+
+// eachRepeated calls fn with the occurrence count of each buffered
+// instance that repeated at least once (count >= 2), across both
+// tiers. Result-time only; the hot path never iterates.
+func (rec *instRecord) eachRepeated(fn func(count uint32)) {
+	for j := range rec.inline {
+		if c := rec.inline[j].count; c >= 2 {
+			fn(c)
+		}
+	}
+	for i := range rec.slots {
+		if c := rec.slots[i].count; c >= 2 {
+			fn(c)
+		}
+	}
 }
 
 // find probes for k, returning its slot and whether it is occupied;
 // for a missing key the returned slot is the insertion point.
 func (rec *instRecord) find(k instKey) (int, bool) {
-	mask := uint32(len(rec.keys) - 1)
+	mask := uint32(len(rec.slots) - 1)
 	i := hashKey(k) & mask
 	for {
-		if rec.counts[i] == 0 {
+		s := &rec.slots[i]
+		if s.count == 0 {
 			return int(i), false
 		}
-		if rec.keys[i] == k {
+		if s.key == k {
 			return int(i), true
 		}
 		i = (i + 1) & mask
@@ -83,24 +123,24 @@ func (rec *instRecord) find(k instKey) (int, bool) {
 }
 
 // insert adds k with count 1 at slot (from a failed find), growing and
-// rehashing first when the table would pass 7/8 occupancy.
+// rehashing first when the table would pass 1/2 occupancy. The low
+// load factor trades memory (bounded by the instance cap) for short
+// probe chains — find runs on every overflow-tier observation, so
+// probe length is hot-path latency, not a space concern.
 func (rec *instRecord) insert(slot int, k instKey) {
-	if (rec.n+1)*8 > len(rec.keys)*7 {
-		old := rec.keys
-		oldCounts := rec.counts
-		rec.keys = make([]instKey, 2*len(old))
-		rec.counts = make([]uint32, 2*len(old))
-		for i, c := range oldCounts {
-			if c != 0 {
-				j, _ := rec.find(old[i])
-				rec.keys[j] = old[i]
-				rec.counts[j] = c
+	if int(rec.n+1)*2 > len(rec.slots) {
+		old := rec.slots
+		rec.slots = make([]islot, 2*len(old))
+		for i := range old {
+			if old[i].count != 0 {
+				j, _ := rec.find(old[i].key)
+				rec.slots[j] = old[i]
 			}
 		}
 		slot, _ = rec.find(k)
 	}
-	rec.keys[slot] = k
-	rec.counts[slot] = 1
+	rec.slots[slot] = islot{key: k, count: 1}
+	rec.last = int32(slot)
 	rec.n++
 }
 
@@ -208,30 +248,67 @@ func (t *Tracker) Observe(ev *cpu.Event) bool {
 	t.totalDyn++
 
 	k := keyOf(ev)
-	if rec.keys == nil {
-		rec.keys = make([]instKey, minInstanceSlots)
-		rec.counts = make([]uint32, minInstanceSlots)
+	// Inline tier. Entries fill in order and the overflow set is only
+	// created once both are occupied, so an empty inline entry proves
+	// the key is new (and is its insertion point).
+	for j := range rec.inline {
+		s := &rec.inline[j]
+		if s.count == 0 {
+			t.Types.ObserveClass(ev, false)
+			if int(rec.n) >= t.limit() {
+				rec.full = true
+				rec.dropped++
+				return false
+			}
+			s.key = k
+			s.count = 1
+			rec.n++
+			return false
+		}
+		if s.key == k {
+			s.count++
+			rec.repeated++
+			t.totalRepeated++
+			t.Types.ObserveClass(ev, true)
+			return true
+		}
+	}
+	// Overflow tier. Try the last-match cache before hashing.
+	if rec.slots == nil {
+		rec.slots = make([]islot, minInstanceSlots)
+	}
+	if s := &rec.slots[rec.last]; s.count != 0 && s.key == k {
+		s.count++
+		rec.repeated++
+		t.totalRepeated++
+		t.Types.ObserveClass(ev, true)
+		return true
 	}
 	slot, seen := rec.find(k)
 	if seen {
-		rec.counts[slot]++
+		rec.slots[slot].count++
+		rec.last = int32(slot)
 		rec.repeated++
 		t.totalRepeated++
 		t.Types.ObserveClass(ev, true)
 		return true
 	}
 	t.Types.ObserveClass(ev, false)
-	max := t.MaxInstances
-	if max == 0 {
-		max = DefaultMaxInstances
-	}
-	if rec.n >= max {
+	if int(rec.n) >= t.limit() {
 		rec.full = true
 		rec.dropped++
 		return false
 	}
 	rec.insert(slot, k)
 	return false
+}
+
+// limit returns the effective per-instruction instance cap.
+func (t *Tracker) limit() int {
+	if t.MaxInstances == 0 {
+		return DefaultMaxInstances
+	}
+	return t.MaxInstances
 }
 
 // Totals
@@ -289,11 +366,7 @@ func (t *Tracker) BuffersFilled() int {
 // number of repeats per such instance (Table 2 "Avg. Repeats").
 func (t *Tracker) UniqueRepeatableInstances() (count uint64, avgRepeats float64) {
 	for i := range t.recs {
-		for _, n := range t.recs[i].counts {
-			if n >= 2 {
-				count++
-			}
-		}
+		t.recs[i].eachRepeated(func(uint32) { count++ })
 	}
 	if count > 0 {
 		avgRepeats = float64(t.totalRepeated) / float64(count)
@@ -326,11 +399,7 @@ func (t *Tracker) InstanceBuckets() BucketShares {
 			continue
 		}
 		uniq := 0
-		for _, n := range rec.counts {
-			if n >= 2 {
-				uniq++
-			}
-		}
+		rec.eachRepeated(func(uint32) { uniq++ })
 		switch {
 		case uniq <= 1:
 			b.One += rec.repeated
@@ -373,12 +442,10 @@ func (t *Tracker) InstanceCoverage(targets []float64) []float64 {
 	hist := make(map[uint32]uint64)
 	var totalInstances uint64
 	for i := range t.recs {
-		for _, n := range t.recs[i].counts {
-			if n >= 2 {
-				hist[n-1]++ // n-1 repeats
-				totalInstances++
-			}
-		}
+		t.recs[i].eachRepeated(func(c uint32) {
+			hist[c-1]++ // count-1 repeats
+			totalInstances++
+		})
 	}
 	if totalInstances == 0 {
 		return make([]float64, len(targets))

@@ -28,25 +28,37 @@ const (
 // noEntry terminates the intrusive address chains.
 const noEntry = int32(-1)
 
-type entry struct {
-	valid    bool
-	isLoad   bool
+// tag is the hot half of an entry, packed 32 bytes so a whole 4-way
+// set spans exactly two cache lines. It holds everything every access
+// touches: the probe identity (pc/in1/in2), the stored result a hit
+// reads, and the lru stamp the replacement scan reads on a miss.
+// pc == 0 marks an invalid entry (0 is below the text base, so no
+// real instruction has it). Only the load-invalidation machinery
+// (address + chain links) is cold and lives in the parallel entries
+// slice.
+type tag struct {
 	pc       uint32
 	in1, in2 uint32
+	flags    uint32 // bit 0: isLoad
 	result   uint32
 	aux      uint32
-	addr     uint32 // word-aligned load address (for invalidation)
 	lru      uint64
-	// Chain links within the entry's address bucket; meaningful only
-	// while the entry is a valid load.
+}
+
+// entry is the cold half: the invalidation-chain node, meaningful
+// only while the entry is a valid load.
+type entry struct {
+	addr         uint32 // word-aligned load address
 	nextA, prevA int32
 }
 
 // Buffer is a reuse buffer.
 type Buffer struct {
-	entries []entry // nsets*assoc, contiguous
+	tags    []tag   // nsets*assoc, contiguous; probe-path identity
+	entries []entry // parallel cold halves
 	assoc   int
 	nsets   int
+	setMask int // nsets-1 when nsets is a power of two, else -1
 
 	clock uint64
 
@@ -63,8 +75,11 @@ type Buffer struct {
 }
 
 // New creates a buffer with the given total entries and associativity
-// (zero values select the paper's 8K / 4-way configuration). entries
-// must be a multiple of assoc.
+// (zero values select the paper's 8K / 4-way configuration). When
+// entries is not a multiple of assoc the capacity is rounded *up* to
+// the next multiple, never silently truncated (8192/3 is 2731 sets =
+// 8193 entries, not 8190): a geometry sweep must always get at least
+// the capacity it asked for. Entries reports the effective capacity.
 func New(entries, assoc int) *Buffer {
 	if entries == 0 {
 		entries = DefaultEntries
@@ -72,14 +87,19 @@ func New(entries, assoc int) *Buffer {
 	if assoc == 0 {
 		assoc = DefaultAssoc
 	}
-	nsets := entries / assoc
+	nsets := (entries + assoc - 1) / assoc
 	if nsets == 0 {
 		nsets = 1
 	}
 	b := &Buffer{
+		tags:    make([]tag, nsets*assoc),
 		entries: make([]entry, nsets*assoc),
 		assoc:   assoc,
 		nsets:   nsets,
+		setMask: -1,
+	}
+	if nsets&(nsets-1) == 0 {
+		b.setMask = nsets - 1
 	}
 	// One bucket per entry (rounded up to a power of two) keeps the
 	// chains short: each valid load occupies exactly one chain node.
@@ -98,6 +118,9 @@ func New(entries, assoc int) *Buffer {
 }
 
 func (b *Buffer) setIndex(pc uint32) int {
+	if b.setMask >= 0 {
+		return int(pc>>2) & b.setMask
+	}
 	return int(pc>>2) % b.nsets
 }
 
@@ -169,16 +192,16 @@ func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 		}
 	}
 
-	si := b.setIndex(ev.PC)
-	set := b.entries[si*b.assoc : si*b.assoc+b.assoc]
+	base := b.setIndex(ev.PC) * b.assoc
+	set := b.tags[base : base+b.assoc]
 	for w := range set {
-		e := &set[w]
-		if e.valid && e.pc == ev.PC && e.in1 == in1 && e.in2 == in2 {
+		tg := &set[w]
+		if tg.pc == ev.PC && tg.in1 == in1 && tg.in2 == in2 {
 			// Reuse hit: the stored result stands in for execution.
 			// (Sanity: with load invalidation in place the stored
 			// result always matches; keep the check as an invariant.)
-			if e.result == res && e.aux == aux {
-				e.lru = b.clock
+			if tg.result == res && tg.aux == aux {
+				tg.lru = b.clock
 				b.hits++
 				if repeated {
 					b.hitsRepeated++
@@ -190,8 +213,8 @@ func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 			// Result mismatch (should not happen for loads thanks to
 			// invalidation; can happen only if memory changed through
 			// an untracked path): refresh the entry.
-			e.result, e.aux = res, aux
-			e.lru = b.clock
+			tg.result, tg.aux = res, aux
+			tg.lru = b.clock
 			return false
 		}
 	}
@@ -199,7 +222,7 @@ func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 	// Miss: insert with LRU replacement.
 	victim := 0
 	for w := 1; w < len(set); w++ {
-		if !set[w].valid {
+		if set[w].pc == 0 {
 			victim = w
 			break
 		}
@@ -207,18 +230,15 @@ func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 			victim = w
 		}
 	}
-	ei := int32(si*b.assoc + victim)
-	e := &b.entries[ei]
-	if e.valid && e.isLoad {
+	ei := int32(base + victim)
+	tg := &b.tags[ei]
+	if tg.pc != 0 && tg.flags&1 != 0 {
 		b.unlinkLoad(ei)
 	}
-	*e = entry{
-		valid: true, pc: ev.PC, in1: in1, in2: in2,
-		result: res, aux: aux, lru: b.clock,
-		nextA: noEntry, prevA: noEntry,
-	}
+	*tg = tag{pc: ev.PC, in1: in1, in2: in2, result: res, aux: aux, lru: b.clock}
 	if ev.IsLoad {
-		e.isLoad = true
+		tg.flags = 1
+		e := &b.entries[ei]
 		e.addr = ev.Addr &^ 3
 		b.linkLoad(ei)
 	}
@@ -233,7 +253,7 @@ func (b *Buffer) invalidate(addr uint32) {
 	for ei != noEntry {
 		next := b.entries[ei].nextA
 		if b.entries[ei].addr == addr {
-			b.entries[ei].valid = false
+			b.tags[ei].pc = 0 // invalid: no instruction has pc 0
 			b.loadInv++
 			b.unlinkLoad(ei)
 		}
@@ -269,6 +289,16 @@ func (b *Buffer) HitPercent() float64 {
 	}
 	return 100 * float64(b.hits) / float64(b.attempts)
 }
+
+// Entries returns the buffer's effective capacity (sets × assoc, which
+// is the requested entry count rounded up to a multiple of assoc).
+func (b *Buffer) Entries() int { return len(b.entries) }
+
+// Assoc returns the buffer's associativity.
+func (b *Buffer) Assoc() int { return b.assoc }
+
+// Sets returns the buffer's set count.
+func (b *Buffer) Sets() int { return b.nsets }
 
 // Name identifies the buffer in observability output.
 func (b *Buffer) Name() string { return "reuse" }

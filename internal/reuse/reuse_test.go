@@ -160,12 +160,11 @@ func TestReuseNeverStale(t *testing.T) {
 // wouldHit checks whether ev would hit without modifying LRU state in a
 // way that affects the answer (we call it immediately before Observe).
 func wouldHit(b *Buffer, ev *cpu.Event) bool {
-	si := b.setIndex(ev.PC)
-	set := b.entries[si*b.assoc : si*b.assoc+b.assoc]
-	for w := range set {
-		e := &set[w]
-		if e.valid && e.pc == ev.PC && e.in1 == ev.Src1Val && e.in2 == ev.Src2Val &&
-			e.result == ev.DstVal {
+	base := b.setIndex(ev.PC) * b.assoc
+	for w := 0; w < b.assoc; w++ {
+		tg := &b.tags[base+w]
+		if tg.pc == ev.PC && tg.in1 == ev.Src1Val && tg.in2 == ev.Src2Val &&
+			tg.result == ev.DstVal {
 			return true
 		}
 	}

@@ -28,6 +28,7 @@ type entry struct {
 // Predictor is a tagged, direct-mapped last-value + stride predictor.
 type Predictor struct {
 	table []entry
+	mask  int // len(table)-1 when the size is a power of two, else -1
 
 	eligible      uint64
 	lastCorrect   uint64
@@ -41,7 +42,13 @@ func New(entries int) *Predictor {
 	if entries == 0 {
 		entries = DefaultEntries
 	}
-	return &Predictor{table: make([]entry, entries)}
+	p := &Predictor{table: make([]entry, entries), mask: -1}
+	if entries&(entries-1) == 0 {
+		// Power-of-two tables (the default) index with a mask instead
+		// of a per-observation integer division.
+		p.mask = entries - 1
+	}
+	return p
 }
 
 // Observe processes one retired instruction. Only instructions that
@@ -52,7 +59,10 @@ func (p *Predictor) Observe(ev *cpu.Event) {
 		return
 	}
 	p.eligible++
-	idx := int(ev.PC>>2) % len(p.table)
+	idx := int(ev.PC>>2) & p.mask
+	if p.mask < 0 {
+		idx = int(ev.PC>>2) % len(p.table)
+	}
 	e := &p.table[idx]
 	actual := ev.DstVal
 

@@ -27,9 +27,11 @@ type tnvEntry struct {
 }
 
 type site struct {
-	entries [TableSize]tnvEntry
+	// used/execs lead so the site's first cache line holds them plus
+	// the head of the entry array the match scan walks.
 	used    int
 	execs   uint64
+	entries [TableSize]tnvEntry
 }
 
 // observe records one produced value.
@@ -70,14 +72,58 @@ func (s *site) topShares(k int) uint64 {
 	return sum
 }
 
-// Profiler is the value profiler.
+// Profiler is the value profiler. Sites live in a dense table indexed
+// by (pc-base)>>2 — instruction addresses are word-aligned within the
+// contiguous text segment — replacing a map lookup per profiled
+// instruction (the same layout the repetition census uses). A site
+// with execs == 0 is an unvisited slot.
 type Profiler struct {
-	sites map[uint32]*site
+	base     uint32
+	haveBase bool
+	sites    []site
 }
 
 // New creates an empty profiler.
 func New() *Profiler {
-	return &Profiler{sites: make(map[uint32]*site)}
+	return &Profiler{}
+}
+
+// SetTextBounds pre-sizes the dense site table for a text segment of
+// `words` instructions starting at base. It is a no-op after
+// observation starts.
+func (p *Profiler) SetTextBounds(base uint32, words int) {
+	if p.haveBase || words <= 0 {
+		return
+	}
+	p.base = base
+	p.haveBase = true
+	p.sites = make([]site, words)
+}
+
+// siteFor returns the site for pc, growing (or re-basing) the table
+// when pc falls outside it; with SetTextBounds in effect neither slow
+// path runs.
+func (p *Profiler) siteFor(pc uint32) *site {
+	if !p.haveBase {
+		p.base = pc
+		p.haveBase = true
+		p.sites = make([]site, 1)
+		return &p.sites[0]
+	}
+	if pc < p.base {
+		shift := int((p.base - pc) >> 2)
+		grown := make([]site, len(p.sites)+shift)
+		copy(grown[shift:], p.sites)
+		p.sites = grown
+		p.base = pc
+	}
+	idx := int((pc - p.base) >> 2)
+	if idx >= len(p.sites) {
+		grown := make([]site, idx+1, 2*idx+1)
+		copy(grown, p.sites)
+		p.sites = grown
+	}
+	return &p.sites[idx]
 }
 
 // Observe profiles the result value of a register-writing instruction.
@@ -85,12 +131,7 @@ func (p *Profiler) Observe(ev *cpu.Event) {
 	if ev.Dst < 0 {
 		return
 	}
-	s := p.sites[ev.PC]
-	if s == nil {
-		s = &site{}
-		p.sites[ev.PC] = s
-	}
-	s.observe(ev.DstVal)
+	p.siteFor(ev.PC).observe(ev.DstVal)
 }
 
 // Result summarizes output invariance.
@@ -112,15 +153,19 @@ type Result struct {
 // Result computes the invariance summary.
 func (p *Profiler) Result() Result {
 	var r Result
-	r.Sites = len(p.sites)
 	var execs, top1, top4 uint64
 	invariant := 0
-	for _, s := range p.sites {
+	for i := range p.sites {
+		s := &p.sites[i]
+		if s.execs == 0 {
+			continue
+		}
+		r.Sites++
 		t1 := s.topShares(1)
 		execs += s.execs
 		top1 += t1
 		top4 += s.topShares(4)
-		if s.execs > 0 && float64(t1) >= 0.9*float64(s.execs) {
+		if float64(t1) >= 0.9*float64(s.execs) {
 			invariant++
 		}
 	}

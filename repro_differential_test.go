@@ -1,0 +1,51 @@
+package repro_test
+
+// Pipeline-level differential: the block-translated and single-step
+// interpreted executions must produce byte-identical canonical reports
+// for every workload — the same invariant the golden corpus pins, but
+// checked directly against each other so it holds even when the corpus
+// is being regenerated. The machine-level differential (event streams,
+// faults, final state) lives in internal/cpu/translate_test.go.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro"
+)
+
+func TestDifferentialReports(t *testing.T) {
+	ctx := context.Background()
+	translated, err := repro.RunAll(ctx, repro.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	interpCfg := repro.QuickConfig()
+	interpCfg.DisableTranslation = true
+	interpreted, err := repro.RunAll(ctx, interpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(translated) != len(interpreted) {
+		t.Fatalf("report count: translated %d, interpreted %d", len(translated), len(interpreted))
+	}
+	for i, tr := range translated {
+		in := interpreted[i]
+		if tr.Benchmark != in.Benchmark {
+			t.Fatalf("report order diverged: %s vs %s", tr.Benchmark, in.Benchmark)
+		}
+		got, err := repro.CanonicalReportJSON(tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tr.Benchmark, err)
+		}
+		want, err := repro.CanonicalReportJSON(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Benchmark, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: translated report diverged from interpreted\n%s",
+				tr.Benchmark, firstDiff(want, got))
+		}
+	}
+}
