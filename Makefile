@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race check cover bench benchsmoke differential fuzzsmoke stress repro lint examples
+.PHONY: all test vet race check cover bench benchsmoke differential fuzzsmoke crashsmoke stress repro lint examples
 
 all: check
 
@@ -8,9 +8,10 @@ all: check
 # (includes the concurrent-Progress ticker test and the resilience
 # tests), an enforced coverage floor, a quick benchmark smoke run,
 # the interpreter-vs-translator differential suite under -race,
-# a bounded fuzz pass over the panic-sensitive decoders, and the
-# extended chaos run against the overload-hardened server.
-check: test vet race cover benchsmoke differential fuzzsmoke stress
+# a bounded fuzz pass over the panic-sensitive decoders, the
+# SIGKILL/resume checkpoint loop, and the extended chaos run against
+# the overload-hardened server.
+check: test vet race cover benchsmoke differential fuzzsmoke crashsmoke stress
 
 # Enforced statement-coverage floor across the whole module. The
 # current baseline is ~81%; the floor sits a few points below so
@@ -66,6 +67,14 @@ fuzzsmoke:
 	go test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/isa
 	go test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 10s ./internal/minic
 	go test -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime 10s ./internal/resultcache
+	go test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime 10s ./internal/checkpoint
+
+# Crash/resume soak: SIGKILL a checkpointed child process mid-run and
+# resume in a fresh process, three times at staggered kill points,
+# under the race detector. Byte-equality against a straight-through
+# run is asserted on every loop.
+crashsmoke:
+	INSTREP_CRASH_LOOPS=3 go test -race -run 'TestCrashResumeAcrossProcesses' -count=1 .
 
 # Extended chaos run: 50 concurrent clients against the
 # overload-hardened server with poisoned workloads, under the race

@@ -9,6 +9,7 @@
 //	instrep run [-bench NAME] [-experiment ID] [-skip N] [-measure N]
 //	            [-instances N] [-reuse-entries N] [-reuse-assoc N]
 //	            [-parallel N] [-timeout D] [-watchdog D]
+//	            [-checkpoint-dir DIR] [-checkpoint-every N] [-resume]
 //	            [-metrics text|json] [-progress]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //	    Run the analysis pipeline and print the requested tables and
@@ -27,9 +28,18 @@
 //	    rows carry a dagger and a truncation footnote. A first ^C
 //	    cancels gracefully — tables and metrics for completed workloads
 //	    still print — and a second ^C kills the process.
+//	    -checkpoint-dir makes runs crash-resumable: complete simulation
+//	    state is snapshotted into versioned, checksummed files — every
+//	    15s of wall clock by default, or every -checkpoint-every
+//	    retired instructions — and -resume continues an interrupted
+//	    run from its snapshot, producing a report byte-identical to an
+//	    uninterrupted run.
+//	    Corrupt or foreign-version snapshots are scrubbed at startup
+//	    and the run falls back to starting fresh.
 //
 //	instrep serve [-addr HOST:PORT] [-cache-dir DIR] [-cache-entries N]
-//	              [-cache-max-bytes N] [-skip N] [-measure N]
+//	              [-cache-max-bytes N] [-checkpoint-dir DIR]
+//	              [-skip N] [-measure N]
 //	              [-request-timeout D] [-max-concurrent-sims N]
 //	              [-queue-depth N] [-breaker-threshold N]
 //	              [-breaker-cooldown D] [-retry-after D]
@@ -51,7 +61,11 @@
 //	    failed requests with the last known-good report under an
 //	    X-Instrep-Stale header. -cache-max-bytes bounds the disk cache
 //	    (LRU eviction); orphaned temp files from a crash are scrubbed
-//	    at startup. /healthz reports starting/ready/degraded/draining.
+//	    at startup. -checkpoint-dir makes simulations crash-resumable:
+//	    a daemon killed mid-simulation resumes from the last snapshot
+//	    at the next request for the same report, and checkpoint_*
+//	    counters join /metrics. /healthz reports
+//	    starting/ready/degraded/draining.
 //	    Every /v1 request is traced end to end: the response carries an
 //	    X-Instrep-Trace ID resolvable at GET /debug/traces/{id} to the
 //	    request's span tree (queue wait, simulation phases, cache
@@ -88,6 +102,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/checkpoint"
 	"repro/internal/cpu"
 	"repro/internal/minic"
 	"repro/internal/obs"
@@ -189,6 +204,9 @@ func cmdRun(ctx context.Context, args []string) error {
 	metrics := fs.String("metrics", "", "print run metrics after the tables: 'text' or 'json'")
 	progress := fs.Bool("progress", false, "render a live progress ticker on stderr")
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory: reuse reports from prior runs with the same config (\"\" = off)")
+	checkpointDir := fs.String("checkpoint-dir", "", "crash-resume checkpoint directory: snapshot complete run state at chunk boundaries so an interrupted run can continue (\"\" = off)")
+	checkpointEvery := fs.Uint64("checkpoint-every", 0, "retired instructions between checkpoints (0 = pace by wall clock, every 15s; needs -checkpoint-dir)")
+	resume := fs.Bool("resume", false, "resume interrupted runs from -checkpoint-dir snapshots instead of starting over")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit")
 	if err := fs.Parse(args); err != nil {
@@ -213,6 +231,14 @@ func cmdRun(ctx context.Context, args []string) error {
 	case "", "text", "json":
 	default:
 		return fmt.Errorf("invalid -metrics %q (valid: text, json)", *metrics)
+	}
+	if *checkpointDir == "" {
+		if *checkpointEvery > 0 {
+			return fmt.Errorf("-checkpoint-every needs -checkpoint-dir")
+		}
+		if *resume {
+			return fmt.Errorf("-resume needs -checkpoint-dir")
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -271,6 +297,26 @@ func cmdRun(ctx context.Context, args []string) error {
 			return fmt.Errorf("opening -cache-dir: %w", err)
 		}
 		runner.Cache = c
+	}
+	if *checkpointDir != "" {
+		// Open scrubs the directory: orphaned temp files and snapshots
+		// that fail validation are deleted up front, so -resume can
+		// never start from a corrupt or foreign-version snapshot.
+		store, err := checkpoint.Open(*checkpointDir)
+		if err != nil {
+			return fmt.Errorf("opening -checkpoint-dir: %w", err)
+		}
+		runner.Checkpoint = &repro.CheckpointPolicy{
+			Store:  store,
+			Every:  *checkpointEvery,
+			Resume: *resume,
+			Notify: func(ev repro.CheckpointEvent) {
+				if ev.Resumed {
+					fmt.Fprintf(os.Stderr, "instrep: %s: resumed at %d retired instructions (%s phase)\n",
+						ev.Benchmark, ev.Retired, ev.Phase)
+				}
+			},
+		}
 	}
 
 	// runErr carries a partial failure: the surviving reports —
@@ -383,6 +429,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8100", "listen address")
 	cacheDir := fs.String("cache-dir", "", "persist cached reports under this directory (\"\" = memory only)")
+	checkpointDir := fs.String("checkpoint-dir", "", "crash-resume checkpoint directory: interrupted simulations resume at the next request for the same report (\"\" = off)")
 	cacheEntries := fs.Int("cache-entries", 0, "in-memory cache capacity in reports (0 = default)")
 	skip := fs.Uint64("skip", 1_000_000, "instructions to skip before measuring")
 	measure := fs.Uint64("measure", 5_000_000, "instructions to measure (0 = to completion)")
@@ -420,6 +467,13 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return fmt.Errorf("opening -cache-dir: %w", err)
 	}
+	var ckStore *checkpoint.Store
+	if *checkpointDir != "" {
+		ckStore, err = checkpoint.Open(*checkpointDir)
+		if err != nil {
+			return fmt.Errorf("opening -checkpoint-dir: %w", err)
+		}
+	}
 	level := obs.LevelDebug
 	if *quiet {
 		level = obs.LevelError
@@ -451,6 +505,7 @@ func cmdServe(ctx context.Context, args []string) error {
 			WatchdogInterval:    *watchdog,
 		},
 		Cache:              cache,
+		Checkpoints:        ckStore,
 		RequestTimeout:     *reqTimeout,
 		MaxConcurrentSims:  *maxSims,
 		QueueDepth:         *queueDepth,

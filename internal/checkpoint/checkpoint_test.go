@@ -1,0 +1,272 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	var w Writer
+	w.U8(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xdeadbeef)
+	w.U64(0x0123456789abcdef)
+	w.I64(-42)
+	w.Int(1 << 20)
+	w.Raw([]byte{1, 2, 3})
+	w.Raw(nil)
+	w.String("hello")
+	w.Fixed([]byte{9, 8, 7, 6})
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.U32(); got != 0xdeadbeef {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 1<<20 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Raw(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Raw = %v", got)
+	}
+	if got := r.Raw(); len(got) != 0 {
+		t.Errorf("empty Raw = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Fixed(4); !bytes.Equal(got, []byte{9, 8, 7, 6}) {
+		t.Errorf("Fixed = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Errorf("clean read errored: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if r.U32(); r.Err() == nil {
+		t.Fatal("short U32 must error")
+	}
+	// Every later read stays failed and returns zero values.
+	if got := r.U64(); got != 0 || r.Err() == nil {
+		t.Error("sticky error cleared")
+	}
+}
+
+func TestReaderStrictBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	if r.Bool(); r.Err() == nil {
+		t.Error("Bool must reject bytes other than 0/1")
+	}
+}
+
+func TestReaderCountBound(t *testing.T) {
+	// A claimed element count larger than the remaining bytes could
+	// support must fail before any allocation.
+	var w Writer
+	w.U32(1 << 30)
+	r := NewReader(w.Bytes())
+	if n := r.Count(8); n != 0 || r.Err() == nil {
+		t.Errorf("Count accepted impossible length: n=%d err=%v", n, r.Err())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	key := "00ff12abcd"
+	body := []byte("snapshot body bytes")
+	data := Encode(key, body)
+	gotKey, gotBody, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key || !bytes.Equal(gotBody, body) {
+		t.Errorf("round trip: key=%q body=%q", gotKey, gotBody)
+	}
+}
+
+func TestDecodeRejectsEveryByteFlip(t *testing.T) {
+	data := Encode("abc123", []byte("payload"))
+	for i := range data {
+		mut := bytes.Clone(data)
+		mut[i] ^= 0x40
+		if _, _, err := Decode(mut); err == nil {
+			t.Errorf("flip at byte %d validated", i)
+		}
+	}
+}
+
+func TestDecodeRejectsEveryTruncation(t *testing.T) {
+	data := Encode("abc123", []byte("payload"))
+	for n := 0; n < len(data); n++ {
+		if _, _, err := Decode(data[:n]); err == nil {
+			t.Errorf("truncation to %d bytes validated", n)
+		}
+	}
+	if _, _, err := Decode(append(bytes.Clone(data), 0)); err == nil {
+		t.Error("trailing garbage validated")
+	}
+}
+
+// patchVersion rewrites the format-version field and fixes the
+// checksum so only the version check can reject the result.
+func patchVersion(data []byte, v uint32) []byte {
+	out := bytes.Clone(data)
+	binary.LittleEndian.PutUint32(out[4:], v)
+	sum := sha256.Sum256(out[:len(out)-sha256.Size])
+	copy(out[len(out)-sha256.Size:], sum[:])
+	return out
+}
+
+func TestDecodeVersionMismatch(t *testing.T) {
+	data := patchVersion(Encode("abc123", []byte("payload")), FormatVersion+1)
+	if _, _, err := Decode(data); !errors.Is(err, ErrVersion) {
+		t.Errorf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestStoreWriteLoadRemove(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "deadbeef"
+	if err := s.Write(key, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	body, ok := s.Load(key)
+	if !ok || string(body) != "state" {
+		t.Fatalf("Load = %q, %v", body, ok)
+	}
+	if got := s.Keys(); len(got) != 1 || got[0] != key {
+		t.Errorf("Keys = %v", got)
+	}
+	// Overwrite replaces atomically.
+	if err := s.Write(key, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+	if body, _ := s.Load(key); string(body) != "newer" {
+		t.Errorf("after overwrite Load = %q", body)
+	}
+	s.Remove(key)
+	if _, ok := s.Load(key); ok {
+		t.Error("Load found a removed snapshot")
+	}
+	if s.Stats.Removed.Value() != 1 {
+		t.Errorf("Removed = %d", s.Stats.Removed.Value())
+	}
+	s.Remove(key) // double remove must not double count
+	if s.Stats.Removed.Value() != 1 {
+		t.Errorf("double Remove counted twice")
+	}
+}
+
+func TestStoreRejectsBadKeys(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "UPPER", "has/slash", "..", "xyz", "0g"} {
+		if err := s.Write(key, []byte("x")); err == nil {
+			t.Errorf("Write accepted key %q", key)
+		}
+		if _, ok := s.Load(key); ok {
+			t.Errorf("Load accepted key %q", key)
+		}
+	}
+}
+
+func TestOpenScrubsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("aaaa", []byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("bbbb.ckpt.tmp", []byte("orphaned temp"))
+	write("cccc.ckpt", []byte("garbage, not a snapshot"))
+	write("dddd.ckpt", patchVersion(Encode("dddd", []byte("old")), FormatVersion+7))
+	write("eeee.ckpt", Encode("ffff", []byte("misfiled"))) // key != filename
+	write("notes.txt", []byte("unrelated file, left alone"))
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Keys(); len(got) != 1 || got[0] != "aaaa" {
+		t.Errorf("surviving keys = %v, want [aaaa]", got)
+	}
+	if body, ok := s2.Load("aaaa"); !ok || string(body) != "good" {
+		t.Errorf("valid snapshot lost in scrub: %q %v", body, ok)
+	}
+	if n := s2.Stats.Scrubbed.Value(); n != 1 {
+		t.Errorf("Scrubbed = %d, want 1", n)
+	}
+	if n := s2.Stats.Corrupt.Value(); n != 2 { // garbage + misfiled
+		t.Errorf("Corrupt = %d, want 2", n)
+	}
+	if n := s2.Stats.VersionMismatch.Value(); n != 1 {
+		t.Errorf("VersionMismatch = %d, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Error("scrub touched an unrelated file")
+	}
+}
+
+func TestLoadDropsCorruptedFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("abcd", []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file in place after the (clean) Open validation.
+	path := filepath.Join(dir, "abcd.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("abcd"); ok {
+		t.Fatal("Load validated a corrupted snapshot")
+	}
+	if s.Stats.Corrupt.Value() != 1 {
+		t.Errorf("Corrupt = %d, want 1", s.Stats.Corrupt.Value())
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupted snapshot not deleted")
+	}
+}

@@ -1,0 +1,33 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode fuzzes the snapshot envelope decoder with
+// arbitrary bytes: it must never panic, and anything it accepts must
+// be a canonically encoded snapshot — re-encoding the decoded (key,
+// body) reproduces the input byte for byte, so no malformed or
+// tampered input can validate (the checksum makes forging one
+// computationally infeasible for the fuzzer).
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := Encode("abc123", []byte("snapshot body"))
+	f.Add([]byte{})
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte("ICKP"))
+	f.Add([]byte("not a snapshot at all"))
+	corrupt := bytes.Clone(valid)
+	corrupt[9] ^= 0x10
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, body, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(Encode(key, body), data) {
+			t.Fatalf("accepted non-canonical input: key=%q len(body)=%d", key, len(body))
+		}
+	})
+}

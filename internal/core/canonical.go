@@ -28,8 +28,9 @@ const MeasurementVersion = 1
 // defaults resolved to the concrete sizes they select. Two Configs
 // with equal MeasurementKeys produce byte-identical canonical reports;
 // fields that only shape the run's execution (Parallel, Timeout,
-// WatchdogInterval, ObserverSampleEvery, DisableTranslation, Progress,
-// Span) are excluded,
+// WatchdogInterval, ObserverSampleEvery, DisableTranslation,
+// Checkpoint — a resumed run reproduces the uninterrupted run's bytes
+// exactly — Progress, Span) are excluded,
 // and fault injection is handled by refusing to cache (see
 // resultcache.Cacheable).
 func (c Config) MeasurementKey() string {
@@ -62,12 +63,13 @@ func (c Config) MeasurementKey() string {
 }
 
 // CanonicalReport returns a shallow copy of r with the per-run
-// observability document (wall times, retire rates — the only
-// run-to-run-varying fields) removed, leaving exactly the
+// observability documents (wall times, retire rates, checkpoint ages
+// — the only run-to-run-varying fields) removed, leaving exactly the
 // deterministic measured content.
 func CanonicalReport(r *Report) *Report {
 	cp := *r
 	cp.Metrics = nil
+	cp.Checkpoint = nil
 	return &cp
 }
 

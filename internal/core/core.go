@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cpu"
 	"repro/internal/faultinject"
 	"repro/internal/funcanal"
@@ -90,6 +91,14 @@ type Config struct {
 	// each fault point (nil = none); see internal/faultinject. Test
 	// and harness use only.
 	Faults *faultinject.Plan
+
+	// Checkpoint enables crash-resumable runs (nil = off): snapshots
+	// of the complete simulation state — machine, every observer,
+	// phase bookkeeping — written at chunk boundaries per the policy
+	// and resumed at startup when the policy asks. Deliberately absent
+	// from MeasurementKey: a resumed run produces a canonical report
+	// byte-identical to an uninterrupted one. See DESIGN.md §16.
+	Checkpoint *CheckpointPolicy
 
 	// Span, when set, is the enclosing run span (e.g. opened around
 	// compilation by the caller); Run adds its phase children to it,
@@ -479,6 +488,11 @@ type Report struct {
 	Truncated       bool   `json:",omitempty"`
 	TruncatedReason string `json:",omitempty"`
 
+	// Checkpoint summarizes resumable state on truncated runs: the
+	// retire count and age of the newest snapshot a resume would pick
+	// up (nil on clean runs and when no checkpoint policy was active).
+	Checkpoint *CheckpointStatus `json:",omitempty"`
+
 	// Table 1.
 	DynTotal        uint64
 	DynRepeatedPct  float64
@@ -616,11 +630,12 @@ func (p *Pipeline) Collect(im *program.Image, name string) *Report {
 const progressChunk = 1 << 18
 
 // runPhase executes up to max instructions (0 = to completion) in
-// chunks, checking cancellation and publishing watchdog progress at
-// every chunk boundary and reporting through cb when non-nil. On
-// cancellation it returns the context's cause (the watchdog, timeout,
-// or caller-supplied cancellation error).
-func runPhase(ctx context.Context, st *runState, m *cpu.Machine, max uint64, name, phase string, cb func(Progress)) (uint64, error) {
+// chunks, checking cancellation, publishing watchdog progress, and
+// offering ck a snapshot opportunity at every chunk boundary,
+// reporting through cb when non-nil. On cancellation it returns the
+// context's cause (the watchdog, timeout, or caller-supplied
+// cancellation error).
+func runPhase(ctx context.Context, st *runState, ck *ckState, m *cpu.Machine, max uint64, name, phase string, cb func(Progress)) (uint64, error) {
 	st.setPhase(phase)
 	var done uint64
 	var err error
@@ -637,6 +652,13 @@ func runPhase(ctx context.Context, st *runState, m *cpu.Machine, max uint64, nam
 		n, err = m.Run(chunk)
 		done += n
 		st.publish(m.Count, m.PC)
+		if err == nil && !m.Halted {
+			// Snapshot only consistent state: never after a fault
+			// (which may have cut an instruction short) and never once
+			// the program completed (the snapshot is removed on a
+			// clean finish anyway).
+			ck.atBoundary(phase, m.Count, done)
+		}
 		if cb != nil {
 			cb(Progress{Benchmark: name, Phase: phase, Done: done, Total: max, Retired: m.Count})
 		}
@@ -684,15 +706,62 @@ func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg 
 	}
 
 	load := root.StartChild("load")
-	m := cpu.New(im, input)
-	m.NoTranslate = cfg.DisableTranslation
-	m.Hook = cfg.Faults.StepHook(ctx, name)
-	p := NewPipeline(im, cfg)
-	m.Attach(p)
-	if o := cfg.Faults.Observer(name); o != nil {
-		m.Attach(o)
+	build := func() (*cpu.Machine, *Pipeline) {
+		m := cpu.New(im, input)
+		m.NoTranslate = cfg.DisableTranslation
+		m.Hook = cfg.Faults.StepHook(ctx, name)
+		p := NewPipeline(im, cfg)
+		m.Attach(p)
+		if o := cfg.Faults.Observer(name); o != nil {
+			m.Attach(o)
+		}
+		return m, p
+	}
+	m, p := build()
+
+	// Resume before any instruction runs: restore machine and pipeline
+	// from the newest snapshot under the policy's key. A snapshot that
+	// fails restore-time validation is counted, deleted, and ignored —
+	// the freshly built state is discarded (restore may have partially
+	// mutated it) and the run starts over.
+	var ck *ckState
+	var resume *resumeState
+	if cp := cfg.Checkpoint; cp.enabled() {
+		ck = &ckState{policy: cp, name: name, span: root, m: m, p: p, lastAt: time.Now()}
+		if cp.Resume {
+			if body, ok := cp.Store.Load(cp.Key); ok {
+				sp := root.StartChild("checkpoint.restore")
+				rs, rerr := restoreBody(body, ck)
+				if rerr == nil && !resumableInto(rs, cfg) {
+					rerr = checkpoint.ErrMalformed
+				}
+				if rerr != nil {
+					sp.SetAttr("error", rerr.Error())
+					cp.Store.RejectResume(cp.Key)
+					m, p = build()
+					ck.m, ck.p = m, p
+				} else {
+					sp.SetAttr("retired", rs.retired)
+					sp.SetAttr("phase", rs.phase)
+					resume = &rs
+					ck.baseSkipped, ck.baseMeasured = rs.skipped, rs.measured
+					ck.lastRetired = rs.retired
+					cp.Store.Stats.Resumes.Inc()
+					if cp.Notify != nil {
+						cp.Notify(CheckpointEvent{
+							Benchmark: name, Resumed: true,
+							Retired: rs.retired, Phase: rs.phase,
+						})
+					}
+				}
+				sp.End()
+			}
+		}
 	}
 	st := newRunState(name)
+	if resume != nil {
+		st.publish(m.Count, m.PC)
+	}
 	st.traceID = obs.TraceIDFrom(ctx)
 	if cfg.WatchdogInterval > 0 {
 		// Fine-grained retire checkpoints so a slow chunk is not
@@ -703,9 +772,15 @@ func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg 
 	if cfg.Runs != nil {
 		defer cfg.Runs.remove(cfg.Runs.add(st))
 	}
+	if ck != nil {
+		ck.st = st
+	}
 	load.End()
 
 	var skipped, measured uint64
+	if resume != nil {
+		skipped, measured = resume.skipped, resume.measured
+	}
 	var measure *obs.Span
 
 	// finish assembles the final — possibly partial — report: on a
@@ -733,6 +808,7 @@ func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg 
 			r.Truncated = true
 			r.TruncatedReason = TruncationReason(runErr)
 			recordTruncation(health, r.TruncatedReason)
+			r.Checkpoint = ck.status()
 		}
 		return r
 	}
@@ -748,27 +824,58 @@ func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg 
 		}
 	}()
 
-	if cfg.SkipInstructions > 0 {
+	if remaining := cfg.SkipInstructions - skipped; cfg.SkipInstructions > 0 &&
+		(resume == nil || resume.phase == "skip") && remaining > 0 {
 		// Warmup: the pipeline propagates dataflow state (so tags
 		// from initialization-time input reads survive) but counts
-		// nothing.
+		// nothing. A resumed run finishes the remaining budget only —
+		// max=0 would mean run-to-completion, hence the guard.
 		skip := root.StartChild("skip")
-		var serr error
-		skipped, serr = runPhase(ctx, st, m, cfg.SkipInstructions, name, "skip", cfg.Progress)
+		done, serr := runPhase(ctx, st, ck, m, remaining, name, "skip", cfg.Progress)
+		skipped += done
 		skip.End()
 		if serr != nil {
 			return finish(serr), fmt.Errorf("core: warmup: %w", serr)
 		}
 	}
+	if ck != nil {
+		ck.baseSkipped = skipped
+	}
 
 	p.SetCounting(true)
 	measure = root.StartChild("measure")
-	var merr error
-	measured, merr = runPhase(ctx, st, m, cfg.MeasureInstructions, name, "measure", cfg.Progress)
-	if merr != nil {
-		return finish(merr), fmt.Errorf("core: measure: %w", merr)
+	measureMax := cfg.MeasureInstructions
+	if cfg.MeasureInstructions > 0 {
+		measureMax = cfg.MeasureInstructions - measured
+	}
+	if measureMax > 0 || cfg.MeasureInstructions == 0 {
+		done, merr := runPhase(ctx, st, ck, m, measureMax, name, "measure", cfg.Progress)
+		measured += done
+		if merr != nil {
+			return finish(merr), fmt.Errorf("core: measure: %w", merr)
+		}
+	}
+	if ck != nil {
+		// A completed run can't be "resumed": drop its snapshot.
+		ck.policy.Store.Remove(ck.policy.Key)
 	}
 	return finish(nil), nil
+}
+
+// resumableInto checks a restored snapshot's phase bookkeeping against
+// the config it is resuming under: the checkpoint key already pins the
+// measurement config, so a mismatch here means a forged or misfiled
+// snapshot and rejects the resume.
+func resumableInto(rs resumeState, cfg Config) bool {
+	if rs.phase == "skip" {
+		return cfg.SkipInstructions > 0 && rs.skipped <= cfg.SkipInstructions && rs.measured == 0
+	}
+	if rs.skipped != cfg.SkipInstructions {
+		// Measure-phase snapshots only exist after the whole skip
+		// budget ran.
+		return false
+	}
+	return cfg.MeasureInstructions == 0 || rs.measured <= cfg.MeasureInstructions
 }
 
 // safeFinish runs finish under its own recover: after a mid-update

@@ -39,11 +39,21 @@ type WatchdogError struct {
 	Retired   uint64
 	PC        uint32
 	Stall     time.Duration
+
+	// Last-checkpoint diagnostics, filled when the run wrote at least
+	// one snapshot before wedging: a resume would restart there.
+	LastCheckpointRetired uint64
+	LastCheckpointAge     time.Duration
 }
 
 func (e *WatchdogError) Error() string {
-	return fmt.Sprintf("%s: watchdog: no retire progress for %v in %s phase (retired=%d, pc=0x%x)",
+	s := fmt.Sprintf("%s: watchdog: no retire progress for %v in %s phase (retired=%d, pc=0x%x)",
 		e.Benchmark, e.Stall.Round(time.Millisecond), e.Phase, e.Retired, e.PC)
+	if e.LastCheckpointAge > 0 || e.LastCheckpointRetired > 0 {
+		s += fmt.Sprintf("; last checkpoint %v ago at retired=%d",
+			e.LastCheckpointAge.Round(time.Millisecond), e.LastCheckpointRetired)
+	}
+	return s
 }
 
 // PanicError is a panic recovered from a workload run (simulator,
@@ -128,6 +138,17 @@ type runState struct {
 	// count and wall clock at the last setPhase.
 	phaseStartNS atomic.Int64 // UnixNano of phase start
 	phaseBase    atomic.Uint64
+	// Last snapshot written (retire count and UnixNano), published by
+	// the checkpoint writer so watchdog diagnostics can say how much a
+	// resume would recover. Zero until the first write.
+	ckRetired atomic.Uint64
+	ckAtNS    atomic.Int64
+}
+
+// publishCheckpoint records a completed snapshot write.
+func (st *runState) publishCheckpoint(retired uint64) {
+	st.ckRetired.Store(retired)
+	st.ckAtNS.Store(time.Now().UnixNano())
 }
 
 func newRunState(benchmark string) *runState {
@@ -202,13 +223,18 @@ func watch(ctx context.Context, cancel context.CancelCauseFunc, st *runState, in
 					continue
 				}
 				if stall := time.Since(lastChange); stall >= interval {
-					cancel(&WatchdogError{
+					we := &WatchdogError{
 						Benchmark: st.benchmark,
 						Phase:     st.phaseName(),
 						Retired:   cur,
 						PC:        st.pc.Load(),
 						Stall:     stall,
-					})
+					}
+					if at := st.ckAtNS.Load(); at != 0 {
+						we.LastCheckpointRetired = st.ckRetired.Load()
+						we.LastCheckpointAge = time.Since(time.Unix(0, at))
+					}
+					cancel(we)
 					return
 				}
 			}

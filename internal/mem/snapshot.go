@@ -1,0 +1,117 @@
+package mem
+
+import "repro/internal/checkpoint"
+
+// maxPageNumber bounds a serialized page number: the address space is
+// 32 bits, pages are PageBits wide.
+const maxPageNumber = 1 << (32 - PageBits)
+
+// SnapshotTo writes every allocated page in page-number order: a page
+// count, then (page number, PageSize raw bytes) per page. All-zero
+// pages are kept — allocation state is part of the machine state, and
+// keeping it makes a resumed machine's snapshot byte-identical to the
+// uninterrupted one's.
+func (m *Memory) SnapshotTo(w *checkpoint.Writer) {
+	w.U32(uint32(m.npages))
+	for i, l2 := range m.l1 {
+		if l2 == nil {
+			continue
+		}
+		for j, p := range l2 {
+			if p == nil {
+				continue
+			}
+			w.U32(uint32(i)<<radixBits | uint32(j))
+			w.Fixed(p[:])
+		}
+	}
+}
+
+// RestoreFrom replaces the memory's contents with the snapshot. Page
+// numbers must be strictly increasing and in range (the canonical form
+// admits exactly one encoding per state). The one-entry page cache is
+// left empty — it is a derived cache, repopulated on first access.
+func (m *Memory) RestoreFrom(r *checkpoint.Reader) error {
+	*m = Memory{}
+	n := r.Count(4 + PageSize)
+	last := int64(-1)
+	for i := 0; i < n; i++ {
+		pn := r.U32()
+		data := r.Fixed(PageSize)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if int64(pn) <= last || pn >= maxPageNumber {
+			return checkpoint.ErrMalformed
+		}
+		last = int64(pn)
+		l2 := m.l1[pn>>radixBits]
+		if l2 == nil {
+			l2 = new(pageNode)
+			m.l1[pn>>radixBits] = l2
+		}
+		p := new([PageSize]byte)
+		copy(p[:], data)
+		l2[pn&radixMask] = p
+		m.npages++
+	}
+	return r.Err()
+}
+
+// SnapshotTo writes every allocated tag page in page-number order,
+// same layout as Memory's (tag pages are PageSize/4 bytes: one tag
+// byte per word).
+func (s *Shadow) SnapshotTo(w *checkpoint.Writer) {
+	count := 0
+	for _, l2 := range s.l1 {
+		if l2 == nil {
+			continue
+		}
+		for _, p := range l2 {
+			if p != nil {
+				count++
+			}
+		}
+	}
+	w.U32(uint32(count))
+	for i, l2 := range s.l1 {
+		if l2 == nil {
+			continue
+		}
+		for j, p := range l2 {
+			if p == nil {
+				continue
+			}
+			w.U32(uint32(i)<<radixBits | uint32(j))
+			w.Fixed(p[:])
+		}
+	}
+}
+
+// RestoreFrom replaces the shadow space's contents with the snapshot,
+// leaving the page cache empty (derived state).
+func (s *Shadow) RestoreFrom(r *checkpoint.Reader) error {
+	*s = Shadow{}
+	n := r.Count(4 + PageSize/4)
+	last := int64(-1)
+	for i := 0; i < n; i++ {
+		pn := r.U32()
+		data := r.Fixed(PageSize / 4)
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if int64(pn) <= last || pn >= maxPageNumber {
+			return checkpoint.ErrMalformed
+		}
+		last = int64(pn)
+		l2 := s.l1[pn>>radixBits]
+		if l2 == nil {
+			l2 = new(shadowNode)
+			s.l1[pn>>radixBits] = l2
+		}
+		p := new([PageSize / 4]byte)
+		copy(p[:], data)
+		l2[pn&radixMask] = p
+	}
+	return r.Err()
+}

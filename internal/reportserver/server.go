@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/checkpoint"
 	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/resultcache"
@@ -103,6 +104,13 @@ type Config struct {
 
 	// Cache is the result cache (nil = a fresh memory-only cache).
 	Cache *resultcache.Cache
+
+	// Checkpoints, when set, makes every simulation crash-resumable:
+	// snapshots land in the store keyed by result-cache fingerprint,
+	// interrupted runs resume at the next request for the same key,
+	// and the store's counters join /metrics under checkpoint_. The
+	// CLI wires `serve -checkpoint-dir` here.
+	Checkpoints *checkpoint.Store
 
 	// RequestTimeout bounds each request including any simulation it
 	// triggers (0 = DefaultRequestTimeout, negative = none).
@@ -253,6 +261,9 @@ func New(cfg Config) *Server {
 		s.reg.GaugeFunc("server_breakers_open", s.breakers.OpenCount)
 	}
 	s.runner = &repro.Runner{Cache: cfg.Cache, Gate: s.gate, Breakers: s.breakers, Run: cfg.Run}
+	if cfg.Checkpoints != nil {
+		s.runner.Checkpoint = &repro.CheckpointPolicy{Store: cfg.Checkpoints, Resume: true}
+	}
 	for _, name := range repro.Workloads() {
 		s.names[name] = true
 	}
@@ -691,6 +702,7 @@ type metricsDoc struct {
 	Gauges       []obs.NamedValue     `json:"gauges"`
 	Latency      []obs.NamedHistogram `json:"latency"`
 	Cache        []obs.NamedValue     `json:"cache"`
+	Checkpoints  []obs.NamedValue     `json:"checkpoints,omitempty"`
 	Health       []obs.NamedValue     `json:"health"`
 	OpenBreakers []string             `json:"open_breakers,omitempty"`
 	Workloads    int                  `json:"workloads"`
@@ -715,10 +727,16 @@ func wantsPrometheus(r *http.Request) bool {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if wantsPrometheus(r) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.reg.WritePrometheus(w,
-			obs.ExtraSection{Prefix: "cache_", Gauge: true, Values: s.cfg.Cache.StatValues()},
-			obs.ExtraSection{Prefix: "health_", Values: s.reg.Health().Values()},
-		)
+		extras := []obs.ExtraSection{
+			{Prefix: "cache_", Gauge: true, Values: s.cfg.Cache.StatValues()},
+			{Prefix: "health_", Values: s.reg.Health().Values()},
+		}
+		if s.cfg.Checkpoints != nil {
+			extras = append(extras, obs.ExtraSection{
+				Prefix: "checkpoint_", Gauge: true, Values: s.cfg.Checkpoints.StatValues(),
+			})
+		}
+		s.reg.WritePrometheus(w, extras...)
 		return
 	}
 	doc := metricsDoc{
@@ -729,6 +747,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Cache:     s.cfg.Cache.StatValues(),
 		Health:    s.reg.Health().Values(),
 		Workloads: len(s.names),
+	}
+	if s.cfg.Checkpoints != nil {
+		doc.Checkpoints = s.cfg.Checkpoints.StatValues()
 	}
 	if s.breakers != nil {
 		doc.OpenBreakers = s.breakers.Open()

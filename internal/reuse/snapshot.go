@@ -1,0 +1,98 @@
+package reuse
+
+import "repro/internal/checkpoint"
+
+// SnapshotTo writes the buffer's complete state: the clock and hit
+// counters, then a raw dump of every tag, every invalidation-chain
+// node, and the chain heads. The dump preserves exact slot positions,
+// LRU stamps, and chain order, so a restored buffer makes byte-for-
+// byte the same replacement and invalidation decisions as the
+// original. Geometry (assoc, sets, bucket count) is configuration:
+// the caller rebuilds it with New before restoring, and the encoded
+// lengths cross-check it.
+func (b *Buffer) SnapshotTo(w *checkpoint.Writer) {
+	w.U64(b.clock)
+	w.U64(b.attempts)
+	w.U64(b.hits)
+	w.U64(b.hitsRepeated)
+	w.U64(b.hitsNonRepeated)
+	w.U64(b.loadInv)
+	w.U32(uint32(len(b.tags)))
+	for i := range b.tags {
+		tg := &b.tags[i]
+		w.U32(tg.pc)
+		w.U32(tg.in1)
+		w.U32(tg.in2)
+		w.U32(tg.flags)
+		w.U32(tg.result)
+		w.U32(tg.aux)
+		w.U64(tg.lru)
+	}
+	for i := range b.entries {
+		e := &b.entries[i]
+		w.U32(e.addr)
+		w.U32(uint32(e.nextA))
+		w.U32(uint32(e.prevA))
+	}
+	w.U32(uint32(len(b.addrHead)))
+	for _, h := range b.addrHead {
+		w.U32(uint32(h))
+	}
+}
+
+// RestoreFrom loads a snapshot into a buffer constructed with the
+// same geometry, validating that the encoded lengths match and that
+// every chain link is either noEntry or a valid entry index.
+func (b *Buffer) RestoreFrom(r *checkpoint.Reader) error {
+	b.clock = r.U64()
+	b.attempts = r.U64()
+	b.hits = r.U64()
+	b.hitsRepeated = r.U64()
+	b.hitsNonRepeated = r.U64()
+	b.loadInv = r.U64()
+	n := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(b.tags) {
+		return checkpoint.ErrMalformed
+	}
+	for i := range b.tags {
+		tg := &b.tags[i]
+		tg.pc = r.U32()
+		tg.in1 = r.U32()
+		tg.in2 = r.U32()
+		tg.flags = r.U32()
+		tg.result = r.U32()
+		tg.aux = r.U32()
+		tg.lru = r.U64()
+	}
+	for i := range b.entries {
+		e := &b.entries[i]
+		e.addr = r.U32()
+		e.nextA = int32(r.U32())
+		e.prevA = int32(r.U32())
+		if !b.validLink(e.nextA) || !b.validLink(e.prevA) {
+			return checkpoint.ErrMalformed
+		}
+	}
+	nb := int(r.U32())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if nb != len(b.addrHead) {
+		return checkpoint.ErrMalformed
+	}
+	for i := range b.addrHead {
+		b.addrHead[i] = int32(r.U32())
+		if !b.validLink(b.addrHead[i]) {
+			return checkpoint.ErrMalformed
+		}
+	}
+	return r.Err()
+}
+
+// validLink reports whether i is noEntry or a valid entry index.
+func (b *Buffer) validLink(i int32) bool {
+	return i == noEntry || (i >= 0 && int(i) < len(b.entries))
+}

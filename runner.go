@@ -58,10 +58,27 @@ type Runner struct {
 	// open.
 	Breakers *overload.BreakerSet
 
+	// Checkpoint, when set (with a Store), threads crash-resumable
+	// checkpointing through every eligible run: the policy is copied
+	// per workload with Key set to the run's result-cache fingerprint,
+	// so a snapshot can only resume a byte-identical (workload,
+	// config, version) run. Runs with fault injection configured are
+	// never checkpointed (same eligibility rule as the cache), and a
+	// Config that already carries its own policy wins.
+	Checkpoint *core.CheckpointPolicy
+
 	// Run computes one workload on a cache miss (nil = RunWorkload).
 	// Injectable for tests that need to count or fake simulations.
 	Run func(ctx context.Context, name string, cfg Config) (*Report, error)
 }
+
+// CheckpointEvent is one resume or snapshot-write notification (see
+// core.CheckpointPolicy.Notify).
+type CheckpointEvent = core.CheckpointEvent
+
+// CheckpointPolicy configures crash-resumable runs (Config.Checkpoint
+// or Runner.Checkpoint); see the field documentation in internal/core.
+type CheckpointPolicy = core.CheckpointPolicy
 
 // runOne resolves the compute function.
 func (rn *Runner) runOne() func(context.Context, string, Config) (*Report, error) {
@@ -123,7 +140,8 @@ func (rn *Runner) admitted(run func(context.Context, string, Config) (*Report, e
 // only to the computation itself — cached reports are always served.
 func (rn *Runner) RunWorkload(ctx context.Context, name string, cfg Config) (*Report, error) {
 	run := rn.admitted(rn.runOne())
-	if rn == nil || rn.Cache == nil || !resultcache.Cacheable(cfg) {
+	checkpointing := rn != nil && rn.Checkpoint != nil && rn.Checkpoint.Store != nil && cfg.Checkpoint == nil
+	if rn == nil || (rn.Cache == nil && !checkpointing) || !resultcache.Cacheable(cfg) {
 		return run(ctx, name, cfg)
 	}
 	w, ok := workloads.ByName(name)
@@ -131,6 +149,14 @@ func (rn *Runner) RunWorkload(ctx context.Context, name string, cfg Config) (*Re
 		return nil, fmt.Errorf("repro: unknown workload %q (have %v)", name, workloads.Names())
 	}
 	key := resultcache.Fingerprint(name, w.Source, cfg)
+	if checkpointing {
+		policy := *rn.Checkpoint
+		policy.Key = key
+		cfg.Checkpoint = &policy
+	}
+	if rn.Cache == nil {
+		return run(ctx, name, cfg)
+	}
 	return rn.Cache.GetOrCompute(ctx, key, func(ctx context.Context) (*Report, error) {
 		return run(ctx, name, cfg)
 	})
