@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race check cover bench benchsmoke differential fuzzsmoke crashsmoke stress repro lint examples
+.PHONY: all test vet race check cover bench benchsmoke differential fuzzsmoke crashsmoke stress sweepsmoke repro lint examples
 
 all: check
 
@@ -9,14 +9,15 @@ all: check
 # tests), an enforced coverage floor, a quick benchmark smoke run,
 # the interpreter-vs-translator differential suite under -race,
 # a bounded fuzz pass over the panic-sensitive decoders, the
-# SIGKILL/resume checkpoint loop, and the extended chaos run against
-# the overload-hardened server.
-check: test vet race cover benchsmoke differential fuzzsmoke crashsmoke stress
+# SIGKILL/resume checkpoint loop, the extended chaos run against
+# the overload-hardened server, and a tiny end-to-end design-space
+# sweep through the CLI.
+check: test vet race cover benchsmoke differential fuzzsmoke crashsmoke stress sweepsmoke
 
 # Enforced statement-coverage floor across the whole module. The
-# current baseline is ~81%; the floor sits a few points below so
+# current baseline is ~84%; the floor sits a few points below so
 # honest refactors don't trip it while untested subsystems do.
-COVER_FLOOR := 75
+COVER_FLOOR := 78
 
 cover:
 	go test -count=1 -coverprofile=cover.out -coverpkg=./... ./... > /dev/null
@@ -68,6 +69,7 @@ fuzzsmoke:
 	go test -run '^$$' -fuzz '^FuzzCompile$$' -fuzztime 10s ./internal/minic
 	go test -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime 10s ./internal/resultcache
 	go test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime 10s ./internal/checkpoint
+	go test -run '^$$' -fuzz '^FuzzSweepSpec$$' -fuzztime 10s ./internal/sweep
 
 # Crash/resume soak: SIGKILL a checkpointed child process mid-run and
 # resume in a fresh process, three times at staggered kill points,
@@ -82,6 +84,13 @@ crashsmoke:
 # test runs briefly in `race`; this soaks it.
 stress:
 	INSTREP_STRESS=30s go test -race -run 'TestChaosOverloadedServer' -count=1 .
+
+# End-to-end smoke of the design-space sweep CLI: a tiny grid through
+# `instrep sweep`, exercising spec expansion, cell execution, and the
+# comparative CSV artifact without any test harness in the way.
+sweepsmoke:
+	go run ./cmd/instrep sweep -entries 64,256 -assoc 1,4 -policy lru,fifo \
+		-bench lzw -skip 1000 -measure 20000 > /dev/null
 
 # Regenerate every table and figure of the paper.
 repro:

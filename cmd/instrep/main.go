@@ -76,6 +76,27 @@
 //	    appends one JSON line per request ("-" = stderr).
 //	    ^C shuts down gracefully, canceling in-flight simulations.
 //
+//	instrep sweep [-spec FILE | -entries LIST -assoc LIST -policy LIST
+//	              [-bench LIST] [-skip N] [-measure N] [-instances N]
+//	              [-input-variant N]]
+//	              [-parallel N] [-timeout D] [-watchdog D]
+//	              [-cache-dir DIR] [-checkpoint-dir DIR]
+//	              [-checkpoint-every N] [-resume]
+//	              [-csv FILE] [-json FILE] [-progress] [-dry-run]
+//	    Run a reuse-buffer design-space sweep: the cross product of the
+//	    axis lists (buffer entries, associativity, replacement policy
+//	    lru/fifo/random, workloads) expands into one simulation cell per
+//	    point, cells execute through the same result cache and
+//	    checkpoint machinery as run/serve, and the merged comparative
+//	    artifact — per-cell and cross-workload-mean hit rates — renders
+//	    as canonical CSV (stdout by default) and/or JSON. The artifact
+//	    is deterministic: repeats and any -parallel produce identical
+//	    bytes, and with -cache-dir a re-run of the same sweep simulates
+//	    nothing. A JSON -spec file expresses the same axes (plus a
+//	    multi-window axis) declaratively. Failed cells don't abort the
+//	    sweep: surviving cells render, failed rows carry the error, and
+//	    the exit status is nonzero. -dry-run prints the expanded grid.
+//
 //	instrep exec [-input FILE] [-max N] PROGRAM.c
 //	    Compile a MiniC program and execute it on the simulator,
 //	    echoing its output (a development aid for writing workloads).
@@ -134,6 +155,8 @@ func main() {
 		err = cmdRun(ctx, os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "sweep":
+		err = cmdSweep(ctx, os.Args[2:])
 	case "exec":
 		err = cmdExec(os.Args[2:])
 	case "asm":
@@ -159,6 +182,7 @@ commands:
   list    list benchmark workloads
   run     run the repetition analyses and print tables/figures
   serve   serve reports over HTTP with a content-addressed result cache
+  sweep   sweep the reuse-buffer design space and emit comparative CSV/JSON
   exec    compile and run a MiniC program
   asm     compile a MiniC program to assembly
   disasm  disassemble a compiled MiniC program or workload`)

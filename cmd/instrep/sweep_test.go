@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) ([]byte, error) {
+	t.Helper()
+	old := os.Stdout
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = wp
+	fnErr := fn()
+	wp.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, fnErr
+}
+
+func TestSweepDryRun(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return cmdSweep(context.Background(), []string{
+			"-dry-run", "-entries", "64,256", "-assoc", "1,4",
+			"-policy", "lru,fifo", "-bench", "lzw", "-skip", "10", "-measure", "100"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("dry run printed %d cells, want 8:\n%s", len(lines), out)
+	}
+	if lines[0] != "s10-m100-e64-a1-lru/lzw" {
+		t.Errorf("first cell %q", lines[0])
+	}
+}
+
+func TestSweepArtifactFilesAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates in -short mode")
+	}
+	dir := t.TempDir()
+	args := func(tag string) []string {
+		return []string{
+			"-entries", "64,256", "-assoc", "1", "-policy", "lru,random",
+			"-bench", "lzw,scrip", "-skip", "1000", "-measure", "20000",
+			"-csv", filepath.Join(dir, tag+".csv"),
+			"-json", filepath.Join(dir, tag+".json"),
+		}
+	}
+	out, err := captureStdout(t, func() error {
+		return cmdSweep(context.Background(), append(args("a"), "-parallel", "1"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("file-directed sweep wrote %d bytes to stdout", len(out))
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdSweep(context.Background(), append(args("b"), "-parallel", "4"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".csv", ".json"} {
+		a, err := os.ReadFile(filepath.Join(dir, "a"+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "b"+ext))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s artifacts differ across -parallel 1 vs 4", ext)
+		}
+		if len(a) == 0 {
+			t.Errorf("empty %s artifact", ext)
+		}
+	}
+	csv, _ := os.ReadFile(filepath.Join(dir, "a.csv"))
+	// 2 entries × 1 assoc × 2 policies × 2 workloads = 8 cells + 4 means.
+	if got := bytes.Count(csv, []byte("\n")); got != 1+8+4 {
+		t.Errorf("CSV has %d lines, want 13:\n%s", got, csv)
+	}
+}
+
+func TestSweepSpecFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates in -short mode")
+	}
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(
+		`{"entries":[64],"assoc":[1,2],"policies":["fifo"],"workloads":["lzw"],"skip":1000,"measure":20000}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureStdout(t, func() error {
+		return cmdSweep(context.Background(), []string{"-spec", spec})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "cell,lzw,64,2,fifo,1000,20000,") {
+		t.Errorf("spec-file sweep output missing expected cell:\n%s", out)
+	}
+}
+
+func TestSweepFlagErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"spec plus axis flag", []string{"-spec", "x.json", "-entries", "64"}, "exclusive"},
+		{"positional arg", []string{"extra"}, "positional"},
+		{"bad entries", []string{"-entries", "64,zebra"}, `invalid -entries value "zebra"`},
+		{"empty assoc", []string{"-assoc", ","}, "-assoc is empty"},
+		{"bad policy", []string{"-policy", "mru", "-dry-run"}, "unknown replacement policy"},
+		{"bad workload", []string{"-bench", "nope", "-dry-run"}, "unknown workload"},
+		{"resume without dir", []string{"-resume"}, "-resume needs -checkpoint-dir"},
+		{"every without dir", []string{"-checkpoint-every", "5"}, "-checkpoint-every needs -checkpoint-dir"},
+		{"missing spec file", []string{"-spec", "/nonexistent/spec.json"}, "reading -spec"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := cmdSweep(context.Background(), c.args)
+			if err == nil {
+				t.Fatalf("cmdSweep(%v) succeeded", c.args)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q, want substring %q", err, c.wantErr)
+			}
+		})
+	}
+}

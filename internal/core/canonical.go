@@ -55,9 +55,9 @@ func (c Config) MeasurementKey() string {
 		variant = 1
 	}
 	return fmt.Sprintf(
-		"skip=%d|measure=%d|instances=%d|reuse=%d/%d|vpred=%d|variant=%d|taint=%t|local=%t|func=%t|reusebuf=%t|vpredon=%t|vprof=%t",
+		"skip=%d|measure=%d|instances=%d|reuse=%d/%d/%s|vpred=%d|variant=%d|taint=%t|local=%t|func=%t|reusebuf=%t|vpredon=%t|vprof=%t",
 		c.SkipInstructions, c.MeasureInstructions, instances,
-		reuseEntries, reuseAssoc, vpredEntries, variant,
+		reuseEntries, reuseAssoc, c.ReusePolicy, vpredEntries, variant,
 		!c.DisableTaint, !c.DisableLocal, !c.DisableFunc,
 		!c.DisableReuse, !c.DisableVPred, !c.DisableVProf)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/reuse"
 )
 
 func TestMeasurementKeyNormalizesDefaults(t *testing.T) {
@@ -45,6 +46,8 @@ func TestMeasurementKeyCoversMeasurementFields(t *testing.T) {
 		func(c *Config) { c.MaxInstances = 7 },
 		func(c *Config) { c.ReuseEntries = 16 },
 		func(c *Config) { c.ReuseAssoc = 2 },
+		func(c *Config) { c.ReusePolicy = reuse.FIFO },
+		func(c *Config) { c.ReusePolicy = reuse.Random },
 		func(c *Config) { c.VPredEntries = 64 },
 		func(c *Config) { c.InputVariant = 2 },
 		func(c *Config) { c.DisableTaint = true },

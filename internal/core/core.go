@@ -40,6 +40,10 @@ type Config struct {
 	// 8K, 4-way).
 	ReuseEntries int
 	ReuseAssoc   int
+	// ReusePolicy selects the reuse buffer's replacement policy (the
+	// zero value is reuse.LRU, the paper's; see internal/reuse). The
+	// sweep engine varies it as a measurement axis.
+	ReusePolicy reuse.Policy
 	// VPredEntries sizes the value-predictor tables (0 = 8192).
 	VPredEntries int
 	// InputVariant selects the workload input data set (0 or 1 = the
@@ -307,7 +311,7 @@ func NewPipeline(im *program.Image, cfg Config) *Pipeline {
 		})
 	}
 	if !cfg.DisableReuse {
-		p.Reuse = reuse.New(cfg.ReuseEntries, cfg.ReuseAssoc)
+		p.Reuse = reuse.NewPolicy(cfg.ReuseEntries, cfg.ReuseAssoc, cfg.ReusePolicy)
 		add(p.Reuse.Name(), func(b *batch) {
 			if !p.counting {
 				return
@@ -683,6 +687,11 @@ func runPhase(ctx context.Context, st *runState, ck *ckState, m *cpu.Machine, ma
 func Run(ctx context.Context, im *program.Image, input []byte, name string, cfg Config) (rep *Report, err error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if !cfg.ReusePolicy.Valid() {
+		// Reject rather than silently fall back: a bogus policy would
+		// otherwise measure LRU under a key claiming something else.
+		return nil, fmt.Errorf("core: invalid reuse replacement policy %v", cfg.ReusePolicy)
 	}
 	root := cfg.Span
 	if root == nil {

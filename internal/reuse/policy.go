@@ -1,0 +1,86 @@
+package reuse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy selects the buffer's replacement policy — the axis the
+// design-space sweep varies alongside geometry. The zero value is LRU,
+// the paper's (implicit) policy, so existing Configs and snapshots of
+// pre-axis code keep their behavior without saying anything.
+type Policy uint8
+
+const (
+	// LRU evicts the least-recently-used way: every hit refreshes the
+	// entry's stamp. This is the pre-axis behavior of the buffer.
+	LRU Policy = iota
+	// FIFO evicts the oldest-inserted way: hits do not refresh the
+	// stamp, so residency is decided purely by insertion order.
+	FIFO
+	// Random evicts a seeded-pseudorandom way (invalid ways are still
+	// preferred). The generator is seeded deterministically from the
+	// buffer geometry, so runs — and resumed runs, which snapshot the
+	// generator state — are exactly reproducible.
+	Random
+
+	numPolicies // sentinel; keep last
+)
+
+// policyNames are the canonical spellings used by flags, sweep specs,
+// and the measurement key.
+var policyNames = [numPolicies]string{"lru", "fifo", "random"}
+
+// String returns the canonical lower-case policy name.
+func (p Policy) String() string {
+	if p.Valid() {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// Valid reports whether p is one of the defined policies.
+func (p Policy) Valid() bool { return p < numPolicies }
+
+// ParsePolicy resolves a policy name (case-insensitive; "" selects
+// LRU, matching the zero Config).
+func ParsePolicy(s string) (Policy, error) {
+	if s == "" {
+		return LRU, nil
+	}
+	for p, name := range policyNames {
+		if strings.EqualFold(s, name) {
+			return Policy(p), nil
+		}
+	}
+	return 0, fmt.Errorf("reuse: unknown replacement policy %q (valid: %s)",
+		s, strings.Join(PolicyNames(), ", "))
+}
+
+// PolicyNames lists the valid policy names in declaration order.
+func PolicyNames() []string {
+	out := make([]string, numPolicies)
+	copy(out, policyNames[:])
+	return out
+}
+
+// rngSeed derives the Random policy's deterministic seed from the
+// buffer geometry. Mixing the geometry in keeps two differently-sized
+// buffers in one sweep from walking the same victim sequence; the
+// constant keeps the state nonzero (xorshift's absorbing state).
+func rngSeed(entries, assoc int) uint64 {
+	return 0x9E3779B97F4A7C15 ^ uint64(entries)<<24 ^ uint64(assoc)
+}
+
+// nextRand advances the buffer's xorshift64* state and returns the
+// next value. Only the Random policy consumes it, so the stream — and
+// therefore the victim sequence — is a pure function of the observed
+// event stream.
+func (b *Buffer) nextRand() uint64 {
+	x := b.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	b.rng = x
+	return x * 0x2545F4914F6CDD1D
+}

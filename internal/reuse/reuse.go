@@ -59,8 +59,10 @@ type Buffer struct {
 	assoc   int
 	nsets   int
 	setMask int // nsets-1 when nsets is a power of two, else -1
+	policy  Policy
 
 	clock uint64
+	rng   uint64 // Random-policy xorshift state (seeded, deterministic)
 
 	// addrHead[bucket] heads the chain of valid load entries whose
 	// word address hashes to bucket; len(addrHead) is a power of two.
@@ -75,17 +77,29 @@ type Buffer struct {
 }
 
 // New creates a buffer with the given total entries and associativity
-// (zero values select the paper's 8K / 4-way configuration). When
-// entries is not a multiple of assoc the capacity is rounded *up* to
-// the next multiple, never silently truncated (8192/3 is 2731 sets =
-// 8193 entries, not 8190): a geometry sweep must always get at least
-// the capacity it asked for. Entries reports the effective capacity.
+// (zero values select the paper's 8K / 4-way configuration) and the
+// paper's LRU replacement. When entries is not a multiple of assoc the
+// capacity is rounded *up* to the next multiple, never silently
+// truncated (8192/3 is 2731 sets = 8193 entries, not 8190): a geometry
+// sweep must always get at least the capacity it asked for. Entries
+// reports the effective capacity.
 func New(entries, assoc int) *Buffer {
+	return NewPolicy(entries, assoc, LRU)
+}
+
+// NewPolicy is New with an explicit replacement policy (the sweep's
+// policy axis). An invalid policy falls back to LRU; callers that
+// accept policy input should validate with ParsePolicy/Policy.Valid
+// first.
+func NewPolicy(entries, assoc int, policy Policy) *Buffer {
 	if entries == 0 {
 		entries = DefaultEntries
 	}
 	if assoc == 0 {
 		assoc = DefaultAssoc
+	}
+	if !policy.Valid() {
+		policy = LRU
 	}
 	nsets := (entries + assoc - 1) / assoc
 	if nsets == 0 {
@@ -97,6 +111,8 @@ func New(entries, assoc int) *Buffer {
 		assoc:   assoc,
 		nsets:   nsets,
 		setMask: -1,
+		policy:  policy,
+		rng:     rngSeed(nsets*assoc, assoc),
 	}
 	if nsets&(nsets-1) == 0 {
 		b.setMask = nsets - 1
@@ -200,8 +216,13 @@ func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 			// Reuse hit: the stored result stands in for execution.
 			// (Sanity: with load invalidation in place the stored
 			// result always matches; keep the check as an invariant.)
+			// Only LRU refreshes the stamp on a touch; FIFO residency
+			// is decided purely by insertion order, and Random ignores
+			// stamps entirely.
 			if tg.result == res && tg.aux == aux {
-				tg.lru = b.clock
+				if b.policy == LRU {
+					tg.lru = b.clock
+				}
 				b.hits++
 				if repeated {
 					b.hitsRepeated++
@@ -214,20 +235,38 @@ func (b *Buffer) Observe(ev *cpu.Event, repeated bool) bool {
 			// invalidation; can happen only if memory changed through
 			// an untracked path): refresh the entry.
 			tg.result, tg.aux = res, aux
-			tg.lru = b.clock
+			if b.policy == LRU {
+				tg.lru = b.clock
+			}
 			return false
 		}
 	}
 
-	// Miss: insert with LRU replacement.
+	// Miss: insert, choosing the victim way by the replacement policy.
+	// Invalid ways are always filled first; LRU and FIFO then share the
+	// min-stamp scan (LRU stamps on touch, FIFO only on insertion) and
+	// Random draws from the seeded generator.
 	victim := 0
-	for w := 1; w < len(set); w++ {
-		if set[w].pc == 0 {
-			victim = w
-			break
+	if b.policy == Random {
+		victim = -1
+		for w := range set {
+			if set[w].pc == 0 {
+				victim = w
+				break
+			}
 		}
-		if set[w].lru < set[victim].lru {
-			victim = w
+		if victim < 0 {
+			victim = int(b.nextRand() % uint64(len(set)))
+		}
+	} else {
+		for w := 1; w < len(set); w++ {
+			if set[w].pc == 0 {
+				victim = w
+				break
+			}
+			if set[w].lru < set[victim].lru {
+				victim = w
+			}
 		}
 	}
 	ei := int32(base + victim)
@@ -296,6 +335,9 @@ func (b *Buffer) Entries() int { return len(b.entries) }
 
 // Assoc returns the buffer's associativity.
 func (b *Buffer) Assoc() int { return b.assoc }
+
+// Policy returns the buffer's replacement policy.
+func (b *Buffer) Policy() Policy { return b.policy }
 
 // Sets returns the buffer's set count.
 func (b *Buffer) Sets() int { return b.nsets }

@@ -2,15 +2,18 @@ package reuse
 
 import "repro/internal/checkpoint"
 
-// SnapshotTo writes the buffer's complete state: the clock and hit
-// counters, then a raw dump of every tag, every invalidation-chain
-// node, and the chain heads. The dump preserves exact slot positions,
-// LRU stamps, and chain order, so a restored buffer makes byte-for-
-// byte the same replacement and invalidation decisions as the
-// original. Geometry (assoc, sets, bucket count) is configuration:
-// the caller rebuilds it with New before restoring, and the encoded
-// lengths cross-check it.
+// SnapshotTo writes the buffer's complete state: the replacement
+// policy and its generator state, the clock and hit counters, then a
+// raw dump of every tag, every invalidation-chain node, and the chain
+// heads. The dump preserves exact slot positions, LRU stamps, chain
+// order, and the Random policy's xorshift state, so a restored buffer
+// makes byte-for-byte the same replacement and invalidation decisions
+// as the original. Geometry (assoc, sets, bucket count) and policy are
+// configuration: the caller rebuilds them with NewPolicy before
+// restoring, and the encoded values cross-check them.
 func (b *Buffer) SnapshotTo(w *checkpoint.Writer) {
+	w.U8(uint8(b.policy))
+	w.U64(b.rng)
 	w.U64(b.clock)
 	w.U64(b.attempts)
 	w.U64(b.hits)
@@ -41,9 +44,18 @@ func (b *Buffer) SnapshotTo(w *checkpoint.Writer) {
 }
 
 // RestoreFrom loads a snapshot into a buffer constructed with the
-// same geometry, validating that the encoded lengths match and that
-// every chain link is either noEntry or a valid entry index.
+// same geometry and policy, validating that the encoded policy and
+// lengths match and that every chain link is either noEntry or a valid
+// entry index.
 func (b *Buffer) RestoreFrom(r *checkpoint.Reader) error {
+	pol := Policy(r.U8())
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if pol != b.policy {
+		return checkpoint.ErrMalformed
+	}
+	b.rng = r.U64()
 	b.clock = r.U64()
 	b.attempts = r.U64()
 	b.hits = r.U64()

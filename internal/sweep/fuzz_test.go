@@ -1,0 +1,66 @@
+package sweep
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSweepSpec holds the spec parser's contracts under arbitrary
+// input: never panic; accepted specs expand to a non-empty grid within
+// the cell cap; and acceptance round-trips — a normalized spec
+// re-marshals, re-parses, and re-expands to the identical cell list.
+// Rejections (duplicate axis values, empty axes, unknown fields,
+// malformed JSON) must come back as errors, never as silently
+// defaulted grids.
+func FuzzSweepSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"skip": 100, "measure": 2000}`))
+	f.Add([]byte(`{"entries":[1024,8192,65536],"assoc":[1,4,16],"policies":["lru","fifo","random"]}`))
+	f.Add([]byte(`{"windows":[{"skip":1,"measure":2},{"skip":3,"measure":4}],"workloads":["lzw"]}`))
+	f.Add([]byte(`{"entries":[]}`))
+	f.Add([]byte(`{"entries":[64,64]}`))
+	f.Add([]byte(`{"policies":["mru"]}`))
+	f.Add([]byte(`{"workloads":["nope"]}`))
+	f.Add([]byte(`{"entries":[-1],"assoc":[0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseSpec(data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("error with non-nil spec: %v", err)
+			}
+			return
+		}
+		cells, err := Expand(s)
+		if err != nil {
+			t.Fatalf("accepted spec failed to expand: %v", err)
+		}
+		if len(cells) == 0 || len(cells) > MaxCells {
+			t.Fatalf("accepted spec expanded to %d cells", len(cells))
+		}
+		// Round trip: normalize → marshal → parse → expand must
+		// reproduce the grid exactly.
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("normalized spec does not marshal: %v", err)
+		}
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("normalized spec rejected on re-parse: %v\n%s", err, out)
+		}
+		cells2, err := Expand(s2)
+		if err != nil {
+			t.Fatalf("round-tripped spec failed to expand: %v", err)
+		}
+		if len(cells) != len(cells2) {
+			t.Fatalf("round trip changed grid size: %d vs %d", len(cells), len(cells2))
+		}
+		for i := range cells {
+			if cells[i].ID() != cells2[i].ID() {
+				t.Fatalf("round trip changed cell %d: %q vs %q", i, cells[i].ID(), cells2[i].ID())
+			}
+			if cells[i].Config.MeasurementKey() != cells2[i].Config.MeasurementKey() {
+				t.Fatalf("round trip changed cell %d measurement key", i)
+			}
+		}
+	})
+}
