@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all test vet race check cover bench benchsmoke differential fuzzsmoke crashsmoke stress sweepsmoke repro lint examples
+.PHONY: all test vet race check cover bench benchsmoke differential fuzzsmoke crashsmoke jobsmoke stress sweepsmoke repro lint examples
 
 all: check
 
@@ -9,10 +9,10 @@ all: check
 # tests), an enforced coverage floor, a quick benchmark smoke run,
 # the interpreter-vs-translator differential suite under -race,
 # a bounded fuzz pass over the panic-sensitive decoders, the
-# SIGKILL/resume checkpoint loop, the extended chaos run against
-# the overload-hardened server, and a tiny end-to-end design-space
-# sweep through the CLI.
-check: test vet race cover benchsmoke differential fuzzsmoke crashsmoke stress sweepsmoke
+# SIGKILL/resume checkpoint loop, the durable-job crash/restart
+# chaos test, the extended chaos run against the overload-hardened
+# server, and a tiny end-to-end design-space sweep through the CLI.
+check: test vet race cover benchsmoke differential fuzzsmoke crashsmoke jobsmoke stress sweepsmoke
 
 # Enforced statement-coverage floor across the whole module. The
 # current baseline is ~84%; the floor sits a few points below so
@@ -70,6 +70,7 @@ fuzzsmoke:
 	go test -run '^$$' -fuzz '^FuzzFingerprint$$' -fuzztime 10s ./internal/resultcache
 	go test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime 10s ./internal/checkpoint
 	go test -run '^$$' -fuzz '^FuzzSweepSpec$$' -fuzztime 10s ./internal/sweep
+	go test -run '^$$' -fuzz '^FuzzJournalScan$$' -fuzztime 10s ./internal/jobs
 
 # Crash/resume soak: SIGKILL a checkpointed child process mid-run and
 # resume in a fresh process, three times at staggered kill points,
@@ -77,6 +78,13 @@ fuzzsmoke:
 # run is asserted on every loop.
 crashsmoke:
 	INSTREP_CRASH_LOOPS=3 go test -race -run 'TestCrashResumeAcrossProcesses' -count=1 .
+
+# Durable-job chaos: SIGKILL a serve daemon mid-job, restart it over
+# the same journal/checkpoint directories, and require the recovered
+# job to resume mid-simulation (not restart) and finish with a report
+# byte-identical to a straight-through run, under the race detector.
+jobsmoke:
+	go test -race -run 'TestJobCrashResumeAcrossProcesses' -count=1 .
 
 # Extended chaos run: 50 concurrent clients against the
 # overload-hardened server with poisoned workloads, under the race

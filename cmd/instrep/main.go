@@ -74,7 +74,20 @@
 //	    always kept) and /debug/runs lists in-flight simulations with
 //	    phase, retired count, and live retire rate. -access-log FILE
 //	    appends one JSON line per request ("-" = stderr).
-//	    ^C shuts down gracefully, canceling in-flight simulations.
+//	    -job-dir enables the durable async job tier (POST /v1/jobs,
+//	    GET /v1/jobs/{id}[/report], DELETE /v1/jobs/{id}, /debug/jobs):
+//	    submissions are journaled to disk, deduplicated by result-cache
+//	    fingerprint, executed under the admission gate with -job-retries
+//	    transient retries (exponential backoff; compile errors never
+//	    retry) and an optional per-attempt -job-deadline, and survive
+//	    kill -9: on restart the journal replays, interrupted jobs
+//	    re-enqueue, and — with -checkpoint-dir — resume from their last
+//	    snapshot, producing reports byte-identical to uninterrupted
+//	    runs (-job-checkpoint-every N paces job snapshots by retire
+//	    count instead of wall clock).
+//	    ^C or SIGTERM shuts down gracefully: in-flight simulations are
+//	    canceled and running jobs are journaled as interrupted for the
+//	    next process to finish.
 //
 //	instrep sweep [-spec FILE | -entries LIST -assoc LIST -policy LIST
 //	              [-bench LIST] [-skip N] [-measure N] [-instances N]
@@ -97,6 +110,20 @@
 //	    sweep: surviving cells render, failed rows carry the error, and
 //	    the exit status is nonzero. -dry-run prints the expanded grid.
 //
+//	instrep job submit [-addr URL] [-bench NAME] [-skip N] [-measure N]
+//	                   [-instances N] [-reuse-entries N] [-reuse-assoc N]
+//	                   [-reuse-policy P] [-input-variant N] [-wait]
+//	instrep job status [-addr URL] ID
+//	instrep job fetch [-addr URL] [-wait] ID
+//	    Client for a serve daemon's async job tier (-job-dir). submit
+//	    posts a measurement spec (fields left unset default to the
+//	    server's own run configuration) and prints the job document —
+//	    resubmitting an identical measurement returns the existing job;
+//	    -wait polls until the job is terminal. status prints one job
+//	    document. fetch prints a done job's canonical report JSON;
+//	    -wait polls (honoring the server's Retry-After pacing) until
+//	    the report is ready.
+//
 //	instrep exec [-input FILE] [-max N] PROGRAM.c
 //	    Compile a MiniC program and execute it on the simulator,
 //	    echoing its output (a development aid for writing workloads).
@@ -115,7 +142,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -138,10 +164,12 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	// First ^C cancels the run gracefully (partial tables and metrics
-	// still print); once the context is canceled, stop() restores the
-	// default handler so a second ^C kills the process immediately.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// First ^C (or a container runtime's SIGTERM) cancels the run
+	// gracefully (partial tables and metrics still print; serve drains
+	// in-flight work and journals jobs as interrupted); once the
+	// context is canceled, stop() restores the default handler so a
+	// second signal kills the process immediately.
+	ctx, stop := notifyContext(context.Background())
 	defer stop()
 	go func() {
 		<-ctx.Done()
@@ -157,6 +185,8 @@ func main() {
 		err = cmdServe(ctx, os.Args[2:])
 	case "sweep":
 		err = cmdSweep(ctx, os.Args[2:])
+	case "job":
+		err = cmdJob(ctx, os.Args[2:])
 	case "exec":
 		err = cmdExec(os.Args[2:])
 	case "asm":
@@ -183,6 +213,7 @@ commands:
   run     run the repetition analyses and print tables/figures
   serve   serve reports over HTTP with a content-addressed result cache
   sweep   sweep the reuse-buffer design space and emit comparative CSV/JSON
+  job     submit/poll/fetch async measurement jobs on a serve daemon
   exec    compile and run a MiniC program
   asm     compile a MiniC program to assembly
   disasm  disassemble a compiled MiniC program or workload`)
@@ -476,11 +507,22 @@ func cmdServe(ctx context.Context, args []string) error {
 	traceSlow := fs.Duration("trace-slow", 0, "pin traces of requests at least this slow to the always-keep class (0 = default 1s, negative = never)")
 	accessLog := fs.String("access-log", "", "append one JSON line per request to this file (\"-\" = stderr, \"\" = off)")
 	quiet := fs.Bool("quiet", false, "suppress request logging")
+	jobDir := fs.String("job-dir", "", "durable async job journal directory: enables POST /v1/jobs, crash-safe across restarts (\"\" = off; pair with -checkpoint-dir so interrupted jobs resume mid-simulation)")
+	jobRetries := fs.Int("job-retries", 0, "transient-failure retries per job (0 = default 3, negative = none)")
+	jobDeadline := fs.Duration("job-deadline", 0, "per-attempt wall-clock limit for async jobs (0 = none)")
+	jobWorkers := fs.Int("job-workers", 0, "concurrent async job executors (0 = default 2; simulations still share the admission gate)")
+	jobCkptEvery := fs.Uint64("job-checkpoint-every", 0, "retired instructions between job snapshots (0 = wall-clock pacing; needs -job-dir and -checkpoint-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("serve takes no positional arguments")
+	}
+	if *jobDir == "" && (*jobRetries != 0 || *jobDeadline != 0 || *jobWorkers != 0 || *jobCkptEvery != 0) {
+		return fmt.Errorf("-job-retries/-job-deadline/-job-workers/-job-checkpoint-every need -job-dir")
+	}
+	if *jobCkptEvery != 0 && *checkpointDir == "" {
+		return fmt.Errorf("-job-checkpoint-every needs -checkpoint-dir")
 	}
 
 	cache, err := resultcache.NewWith(resultcache.Options{
@@ -542,7 +584,18 @@ func cmdServe(ctx context.Context, args []string) error {
 		Log:                log,
 		AccessLog:          access,
 	})
-	log.Info("serving reports", "addr", *addr, "cache_dir", *cacheDir)
+	if *jobDir != "" {
+		if err := srv.OpenJobs(reportserver.JobsConfig{
+			Dir:             *jobDir,
+			Retries:         *jobRetries,
+			Deadline:        *jobDeadline,
+			Workers:         *jobWorkers,
+			CheckpointEvery: *jobCkptEvery,
+		}); err != nil {
+			return fmt.Errorf("opening -job-dir: %w", err)
+		}
+	}
+	log.Info("serving reports", "addr", *addr, "cache_dir", *cacheDir, "job_dir", *jobDir)
 	return srv.ListenAndServe(ctx, *addr)
 }
 

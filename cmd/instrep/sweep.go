@@ -15,10 +15,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/resultcache"
 	"repro/internal/reuse"
 	"repro/internal/sweep"
@@ -92,6 +94,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 		}
 		runner.Cache = c
 	}
+	var cellsResumed atomic.Int64
 	if *checkpointDir != "" {
 		store, err := checkpoint.Open(*checkpointDir)
 		if err != nil {
@@ -101,6 +104,7 @@ func cmdSweep(ctx context.Context, args []string) error {
 			Store:  store,
 			Every:  *checkpointEvery,
 			Resume: *resume,
+			Notify: sweepResumeNotify(&cellsResumed),
 		}
 	}
 
@@ -131,6 +135,11 @@ func cmdSweep(ctx context.Context, args []string) error {
 	res, runErr := eng.Execute(ctx, sp)
 	if res == nil {
 		return runErr
+	}
+	if *resume {
+		resumed := cellsResumed.Load()
+		fmt.Fprintf(os.Stderr, "instrep: %d cells resumed from checkpoints, %d started fresh\n",
+			resumed, int64(len(cells))-resumed)
 	}
 	if runErr != nil {
 		// Fail-soft: the surviving cells still render below (failed
@@ -200,6 +209,20 @@ func sweepSpec(fs *flag.FlagSet, specFile, entries, assoc, policy, bench string,
 		sp.Workloads = splitList(bench)
 	}
 	return sp, nil
+}
+
+// sweepResumeNotify builds the checkpoint Notify for a sweep: each
+// cell restored from a snapshot bumps the local tally (the post-sweep
+// stderr line) and the sweep_cells_resumed counter, which lands in
+// obs.Default next to the engine's other sweep_* metrics. Snapshot
+// writes pass through uncounted.
+func sweepResumeNotify(resumed *atomic.Int64) func(repro.CheckpointEvent) {
+	return func(ev repro.CheckpointEvent) {
+		if ev.Resumed {
+			resumed.Add(1)
+			obs.Default.Counter("sweep_cells_resumed").Inc()
+		}
+	}
 }
 
 // splitList splits a comma list, trimming blanks ("a, b" = ["a","b"]).

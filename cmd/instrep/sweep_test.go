@@ -6,6 +6,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"repro"
+	"repro/internal/checkpoint"
+	"repro/internal/obs"
+	"repro/internal/sweep"
 	"strings"
 	"testing"
 )
@@ -145,5 +149,78 @@ func TestSweepFlagErrors(t *testing.T) {
 				t.Errorf("error %q, want substring %q", err, c.wantErr)
 			}
 		})
+	}
+}
+
+// TestSweepResumeReportsRestoredCells pins the -resume accounting: a
+// cell interrupted mid-simulation leaves a snapshot; re-sweeping the
+// same grid with -resume restores it, logs "N cells resumed from
+// checkpoints", and bumps the sweep_cells_resumed counter.
+func TestSweepResumeReportsRestoredCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates in -short mode")
+	}
+	ckptDir := t.TempDir()
+
+	// Interrupt one cell run deterministically: cancel on the first
+	// snapshot write. The config comes from sweep.Expand so the
+	// fingerprint matches what the sweep below computes.
+	sp := &sweep.Spec{
+		Entries: []int{64}, Assoc: []int{1}, Policies: []string{"lru"},
+		Workloads: []string{"lzw"}, Skip: 1000, Measure: 600000, InputVariant: 1,
+	}
+	cells, err := sweep.Expand(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := checkpoint.Open(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runner := &repro.Runner{Checkpoint: &repro.CheckpointPolicy{
+		Store: store,
+		Every: 100000,
+		Notify: func(ev repro.CheckpointEvent) {
+			if !ev.Resumed {
+				cancel()
+			}
+		},
+	}}
+	runner.RunWorkload(ctx, cells[0].Workload, cells[0].Config) // truncated on purpose
+	if keys := store.Keys(); len(keys) != 1 {
+		t.Fatalf("interrupted run left %d snapshots, want 1", len(keys))
+	}
+
+	before := obs.Default.Counter("sweep_cells_resumed").Value()
+	var stderr bytes.Buffer
+	oldStderr := os.Stderr
+	rp, wp, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = wp
+	_, sweepErr := captureStdout(t, func() error {
+		return cmdSweep(context.Background(), []string{
+			"-entries", "64", "-assoc", "1", "-policy", "lru", "-bench", "lzw",
+			"-skip", "1000", "-measure", "600000",
+			"-checkpoint-dir", ckptDir, "-resume"})
+	})
+	wp.Close()
+	os.Stderr = oldStderr
+	io.Copy(&stderr, rp)
+	if sweepErr != nil {
+		t.Fatalf("resumed sweep failed: %v\nstderr: %s", sweepErr, stderr.String())
+	}
+	if got := obs.Default.Counter("sweep_cells_resumed").Value() - before; got != 1 {
+		t.Errorf("sweep_cells_resumed advanced by %d, want 1", got)
+	}
+	if !strings.Contains(stderr.String(), "1 cells resumed from checkpoints, 0 started fresh") {
+		t.Errorf("resume log line missing:\n%s", stderr.String())
+	}
+	// The finished cell's snapshot is gone: nothing to resume twice.
+	if keys := store.Keys(); len(keys) != 0 {
+		t.Errorf("completed cell left snapshots behind: %v", keys)
 	}
 }

@@ -212,6 +212,7 @@ func TestOpenScrubsBadFiles(t *testing.T) {
 		}
 	}
 	write("bbbb.ckpt.tmp", []byte("orphaned temp"))
+	write("stray123.tmp", []byte("CreateTemp orphan without the .ckpt extension"))
 	write("cccc.ckpt", []byte("garbage, not a snapshot"))
 	write("dddd.ckpt", patchVersion(Encode("dddd", []byte("old")), FormatVersion+7))
 	write("eeee.ckpt", Encode("ffff", []byte("misfiled"))) // key != filename
@@ -227,8 +228,11 @@ func TestOpenScrubsBadFiles(t *testing.T) {
 	if body, ok := s2.Load("aaaa"); !ok || string(body) != "good" {
 		t.Errorf("valid snapshot lost in scrub: %q %v", body, ok)
 	}
-	if n := s2.Stats.Scrubbed.Value(); n != 1 {
-		t.Errorf("Scrubbed = %d, want 1", n)
+	if n := s2.Stats.Scrubbed.Value(); n != 2 { // .ckpt.tmp + bare .tmp
+		t.Errorf("Scrubbed = %d, want 2", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "stray123.tmp")); !os.IsNotExist(err) {
+		t.Error("bare *.tmp orphan survived the scrub")
 	}
 	if n := s2.Stats.Corrupt.Value(); n != 2 { // garbage + misfiled
 		t.Errorf("Corrupt = %d, want 2", n)

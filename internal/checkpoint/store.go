@@ -64,7 +64,11 @@ func Open(dir string) (*Store, error) {
 	for _, ent := range ents {
 		name := ent.Name()
 		switch {
-		case strings.HasSuffix(name, fileExt+tmpSuffix):
+		case strings.HasSuffix(name, tmpSuffix):
+			// Any *.tmp is an in-progress write that never reached its
+			// rename — ours are fileExt+tmpSuffix, but a SIGKILL can
+			// also strand os.CreateTemp names that lost the extension,
+			// so the whole suffix class is garbage by convention.
 			if os.Remove(filepath.Join(dir, name)) == nil {
 				s.Stats.Scrubbed.Inc()
 			}

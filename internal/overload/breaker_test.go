@@ -8,6 +8,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -211,5 +213,69 @@ func TestBreakerDeadlineCountsAsFailure(t *testing.T) {
 	s.Record("odb", fmt.Errorf("run: %w", context.DeadlineExceeded))
 	if err := s.Allow("odb"); err == nil {
 		t.Fatal("deadline failures did not open the breaker")
+	}
+}
+
+// TestBreakerHalfOpenConcurrentProbes pins the half-open admission
+// contract under contention: when the cooldown elapses and a stampede
+// of callers races Allow, exactly one becomes the probe and everyone
+// else is rejected fast. When that probe fails, the breaker re-opens
+// for a fresh cooldown without admitting any of the stragglers — a
+// failed probe burns one simulation slot, never one per waiter.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	clock := newTestClock()
+	s := NewBreakerSet(2, time.Minute, clock.Now)
+	openBreaker(t, s, "lzw", 2)
+	clock.Advance(time.Minute)
+
+	const racers = 32
+	probe := func() int {
+		var (
+			start    = make(chan struct{})
+			wg       sync.WaitGroup
+			admitted atomic.Int64
+		)
+		for i := 0; i < racers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if s.Allow("lzw") == nil {
+					admitted.Add(1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		return int(admitted.Load())
+	}
+
+	if got := probe(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+
+	// Probe fails: straight back to open with a fresh cooldown. None of
+	// the waiters slip through, even just before the cooldown edge.
+	s.Record("lzw", errSim)
+	if got := probe(); got != 0 {
+		t.Fatalf("failed probe left %d slots open during cooldown, want 0", got)
+	}
+	clock.Advance(time.Minute - time.Nanosecond)
+	if got := probe(); got != 0 {
+		t.Fatalf("%d probes admitted before the fresh cooldown elapsed, want 0", got)
+	}
+
+	// Fresh cooldown over: again exactly one probe, and its success
+	// closes the breaker for everyone.
+	clock.Advance(time.Nanosecond)
+	if got := probe(); got != 1 {
+		t.Fatalf("re-probe admitted %d, want exactly 1", got)
+	}
+	s.Record("lzw", nil)
+	if err := s.Allow("lzw"); err != nil {
+		t.Fatalf("breaker still open after successful probe: %v", err)
+	}
+	if s.OpenCount() != 0 {
+		t.Errorf("OpenCount = %d after recovery", s.OpenCount())
 	}
 }

@@ -1,0 +1,370 @@
+package reportserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/jobs"
+	"repro/internal/minic"
+)
+
+// newJobsServer builds a ready server with the job tier attached.
+func newJobsServer(t *testing.T, cfg Config, jc JobsConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	if jc.Dir == "" {
+		jc.Dir = t.TempDir()
+	}
+	if jc.Backoff == 0 {
+		jc.Backoff = time.Millisecond
+	}
+	s := New(cfg)
+	if err := s.OpenJobs(jc); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.jobs.Drain)
+	s.MarkReady()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func doJSON(t *testing.T, method, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, data
+}
+
+// waitReady polls /healthz until the server answers 200.
+func waitReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became ready: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// pollJob polls the status endpoint until the job reaches want.
+func pollJob(t *testing.T, base, id string, want jobs.State) jobs.Doc {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, _, body := doJSON(t, http.MethodGet, base+"/v1/jobs/"+id, "")
+		if code != http.StatusOK {
+			t.Fatalf("job status: code=%d body=%q", code, body)
+		}
+		var doc jobs.Doc
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.State == want {
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id[:12], doc.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestJobLifecycleOverHTTP walks the whole async path: submit (202 +
+// Location), duplicate submit (200, same job), poll to done, fetch the
+// report, and confirm the bytes match the synchronous endpoint for the
+// same measurement.
+func TestJobLifecycleOverHTTP(t *testing.T) {
+	var sims atomic.Int64
+	cfg := Config{
+		RunConfig: repro.Config{SkipInstructions: 50, MeasureInstructions: 500},
+		Run:       fakeRun(&sims, 0),
+	}
+	_, ts := newJobsServer(t, cfg, JobsConfig{})
+
+	code, hdr, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"workload":"lzw"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%q", code, body)
+	}
+	var doc jobs.Doc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if loc := hdr.Get("Location"); loc != "/v1/jobs/"+doc.ID {
+		t.Errorf("Location = %q, want /v1/jobs/%s", loc, doc.ID)
+	}
+	// The spec was defaulted from the server's RunConfig.
+	if doc.Spec.Skip != 50 || doc.Spec.Measure != 500 {
+		t.Errorf("spec window = %d/%d, want the RunConfig defaults 50/500", doc.Spec.Skip, doc.Spec.Measure)
+	}
+
+	// An identical resubmit is the same job, answered 200.
+	code, _, body = doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"workload":"lzw"}`)
+	var dup jobs.Doc
+	json.Unmarshal(body, &dup)
+	if code != http.StatusOK || dup.ID != doc.ID {
+		t.Errorf("duplicate submit: code=%d id=%s, want 200/%s", code, dup.ID, doc.ID)
+	}
+
+	pollJob(t, ts.URL, doc.ID, jobs.StateDone)
+	code, _, jobReport := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+doc.ID+"/report", "")
+	if code != http.StatusOK {
+		t.Fatalf("job report: code=%d body=%q", code, jobReport)
+	}
+	code, syncReport := get(t, ts.URL+"/v1/report/lzw")
+	if code != http.StatusOK {
+		t.Fatalf("sync report: code=%d", code)
+	}
+	if !bytes.Equal(jobReport, syncReport) {
+		t.Errorf("async report differs from sync report:\n%s\n%s", jobReport, syncReport)
+	}
+}
+
+// TestJobReportPending pins the not-ready contract: 202 + Retry-After +
+// the status doc, for both the report and status endpoints.
+func TestJobReportPending(t *testing.T) {
+	release := make(chan struct{})
+	run := func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		select {
+		case <-release:
+			return &repro.Report{Benchmark: name}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	_, ts := newJobsServer(t, Config{Run: run}, JobsConfig{})
+	defer close(release)
+
+	code, _, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"workload":"lzw","measure":1000}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%q", code, body)
+	}
+	var doc jobs.Doc
+	json.Unmarshal(body, &doc)
+
+	code, hdr, body := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+doc.ID+"/report", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("pending report: code=%d body=%q", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("pending report carries no Retry-After")
+	}
+	var pending jobs.Doc
+	if err := json.Unmarshal(body, &pending); err != nil || pending.State.Terminal() {
+		t.Errorf("pending report body = %q (err %v), want a live status doc", body, err)
+	}
+	code, hdr, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+doc.ID, "")
+	if code != http.StatusOK || hdr.Get("Retry-After") == "" {
+		t.Errorf("live status: code=%d retry-after=%q, want 200 with pacing", code, hdr.Get("Retry-After"))
+	}
+}
+
+// TestJobErrors pins the failure-mode statuses: bad spec 400, unknown
+// job 404, failed job report 500, canceled job report 410, cancel of a
+// terminal job 409.
+func TestJobErrors(t *testing.T) {
+	run := func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		return nil, &minic.Error{Line: 1, Msg: "boom"}
+	}
+	_, ts := newJobsServer(t, Config{Run: run}, JobsConfig{})
+
+	if code, _, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"workload":"nope"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown workload: code=%d body=%q", code, body)
+	}
+	if code, _, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{bad json`); code != http.StatusBadRequest {
+		t.Errorf("bad json: code=%d", code)
+	}
+	if code, _, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/feedc0de", ""); code != http.StatusNotFound {
+		t.Errorf("unknown job status: code=%d", code)
+	}
+	if code, _, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/feedc0de", ""); code != http.StatusNotFound {
+		t.Errorf("unknown job cancel: code=%d", code)
+	}
+
+	// A compile error fails permanently (no retries burned).
+	code, _, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"workload":"lzw"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%q", code, body)
+	}
+	var doc jobs.Doc
+	json.Unmarshal(body, &doc)
+	failed := pollJob(t, ts.URL, doc.ID, jobs.StateFailed)
+	if failed.Retries != 0 || !strings.Contains(failed.Error, "boom") {
+		t.Errorf("failed doc = %+v, want 0 retries and the compile error", failed)
+	}
+	if code, _, body := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+doc.ID+"/report", ""); code != http.StatusInternalServerError || !strings.Contains(string(body), "boom") {
+		t.Errorf("failed report: code=%d body=%q", code, body)
+	}
+	if code, _, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+doc.ID, ""); code != http.StatusConflict {
+		t.Errorf("cancel terminal: code=%d", code)
+	}
+}
+
+// TestJobCancelOverHTTP cancels a running job and pins the 410 report.
+func TestJobCancelOverHTTP(t *testing.T) {
+	started := make(chan struct{}, 1)
+	run := func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	_, ts := newJobsServer(t, Config{Run: run}, JobsConfig{})
+
+	code, _, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"workload":"lzw"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%q", code, body)
+	}
+	var doc jobs.Doc
+	json.Unmarshal(body, &doc)
+	<-started
+	if code, _, _ := doJSON(t, http.MethodDelete, ts.URL+"/v1/jobs/"+doc.ID, ""); code != http.StatusOK {
+		t.Errorf("cancel running: code=%d", code)
+	}
+	pollJob(t, ts.URL, doc.ID, jobs.StateCanceled)
+	if code, _, _ := doJSON(t, http.MethodGet, ts.URL+"/v1/jobs/"+doc.ID+"/report", ""); code != http.StatusGone {
+		t.Errorf("canceled report: code=%d", code)
+	}
+}
+
+// TestJobsObservability pins /debug/jobs, the job_ sections of
+// /healthz and /metrics (JSON and Prometheus), and that none of them
+// exist without the job tier.
+func TestJobsObservability(t *testing.T) {
+	var sims atomic.Int64
+	s, ts := newJobsServer(t, Config{Run: fakeRun(&sims, 0)}, JobsConfig{})
+
+	code, _, body := doJSON(t, http.MethodPost, ts.URL+"/v1/jobs", `{"workload":"lzw"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%q", code, body)
+	}
+	var doc jobs.Doc
+	json.Unmarshal(body, &doc)
+	pollJob(t, ts.URL, doc.ID, jobs.StateDone)
+
+	code, body = get(t, ts.URL+"/debug/jobs")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/jobs: code=%d", code)
+	}
+	var debug jobsDebugDoc
+	if err := json.Unmarshal(body, &debug); err != nil {
+		t.Fatal(err)
+	}
+	if debug.Count != 1 || len(debug.Jobs) != 1 || debug.Jobs[0].State != jobs.StateDone {
+		t.Errorf("/debug/jobs = %+v", debug)
+	}
+
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(body), `"jobs_queued"`) {
+		t.Errorf("/healthz without job gauges: code=%d body=%q", code, body)
+	}
+	_, body = get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), `"jobs"`) {
+		t.Errorf("/metrics JSON missing jobs section")
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics?format=prometheus", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(prom), "instrep_job_done 1") {
+		t.Errorf("prometheus exposition missing instrep_job_done:\n%s", prom)
+	}
+	_ = s
+
+	// A server without OpenJobs has no job routes at all.
+	plain := New(Config{Run: fakeRun(&sims, 0)})
+	plain.MarkReady()
+	pts := httptest.NewServer(plain.Handler())
+	defer pts.Close()
+	if code, _, _ := doJSON(t, http.MethodPost, pts.URL+"/v1/jobs", `{"workload":"lzw"}`); code != http.StatusNotFound {
+		t.Errorf("jobless server answered /v1/jobs with %d", code)
+	}
+}
+
+// TestServeDrainsJobs pins graceful shutdown: canceling the serve
+// context drains the manager, journaling the in-flight job as
+// interrupted, and a second server over the same directories recovers
+// and finishes it.
+func TestServeDrainsJobs(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 1)
+	blockRun := func(ctx context.Context, name string, cfg repro.Config) (*repro.Report, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	s := New(Config{Run: blockRun})
+	if err := s.OpenJobs(JobsConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- s.Serve(ctx, l) }()
+	base := "http://" + l.Addr().String()
+	waitReady(t, base)
+
+	code, _, body := doJSON(t, http.MethodPost, base+"/v1/jobs", `{"workload":"lzw"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d body=%q", code, body)
+	}
+	var doc jobs.Doc
+	json.Unmarshal(body, &doc)
+	<-started
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+
+	// Second life: recovery re-enqueues, a working runner finishes.
+	var sims atomic.Int64
+	s2 := New(Config{Run: fakeRun(&sims, 0)})
+	if err := s2.OpenJobs(JobsConfig{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s2.jobs.Drain)
+	s2.MarkReady()
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	got := pollJob(t, ts.URL, doc.ID, jobs.StateDone)
+	if got.ID != doc.ID {
+		t.Errorf("recovered job id = %s, want %s", got.ID, doc.ID)
+	}
+}

@@ -20,6 +20,12 @@
 //	GET /v1/report/{workload}  canonical report JSON for one workload
 //	GET /v1/tables/{workload}  rendered tables ("all" = every workload;
 //	                           ?experiment=table1,fig4 selects a subset)
+//	POST /v1/jobs              submit an async measurement job (with
+//	                           OpenJobs; idempotent by fingerprint)
+//	GET /v1/jobs/{id}          job state, retries, resumes, checkpoint
+//	GET /v1/jobs/{id}/report   a done job's canonical report bytes
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET /debug/jobs            every journaled job plus job_* counters
 //	GET /healthz               readiness state machine (JSON)
 //	GET /metrics               server/cache/overload/health counters and
 //	                           request latency histograms (JSON by
@@ -53,6 +59,7 @@ import (
 
 	"repro"
 	"repro/internal/checkpoint"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/overload"
 	"repro/internal/resultcache"
@@ -180,6 +187,7 @@ type Server struct {
 	traces    *obs.TraceStore
 	runs      *repro.RunRegistry
 	slowTrace time.Duration
+	jobs      *jobs.Manager // async job tier (nil until OpenJobs)
 
 	state atomic.Int32 // one of the state* constants
 
@@ -309,6 +317,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/traces", s.instrument("traces", false, s.handleTraces))
 	mux.HandleFunc("GET /debug/traces/{id}", s.instrument("trace", false, s.handleTrace))
 	mux.HandleFunc("GET /debug/runs", s.instrument("runs", false, s.handleRuns))
+	if s.jobs != nil {
+		s.jobRoutes(mux)
+	}
 	return mux
 }
 
@@ -344,6 +355,12 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		defer cancel()
 		err := srv.Shutdown(shctx)
 		<-errc // always http.ErrServerClosed after Shutdown
+		if s.jobs != nil {
+			// Graceful drain of the job tier: in-flight jobs are
+			// aborted and journaled as interrupted so the next process
+			// resumes them from their last checkpoint.
+			s.jobs.Drain()
+		}
 		if s.log != nil {
 			s.log.Info("server stopped", "cause", context.Cause(ctx))
 		}
@@ -519,6 +536,8 @@ type healthDoc struct {
 	OpenBreakers []string `json:"open_breakers,omitempty"`
 	QueueDepth   int64    `json:"queue_depth"`
 	SimsInflight int64    `json:"sims_inflight"`
+	JobsQueued   *int64   `json:"jobs_queued,omitempty"`  // job tier only
+	JobsRunning  *int64   `json:"jobs_running,omitempty"` // job tier only
 }
 
 // handleHealthz serves the readiness state machine: 200 while the
@@ -534,6 +553,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.gate != nil {
 		doc.QueueDepth = s.gate.Queued()
 		doc.SimsInflight = s.gate.InFlight()
+	}
+	if s.jobs != nil {
+		var queued, running int64
+		for _, v := range s.jobs.StatValues() {
+			switch v.Name {
+			case "queued":
+				queued = v.Value
+			case "running":
+				running = v.Value
+			}
+		}
+		doc.JobsQueued = &queued
+		doc.JobsRunning = &running
 	}
 	if doc.State == "starting" || doc.State == "draining" {
 		w.Header().Set("Content-Type", "application/json")
@@ -703,6 +735,7 @@ type metricsDoc struct {
 	Latency      []obs.NamedHistogram `json:"latency"`
 	Cache        []obs.NamedValue     `json:"cache"`
 	Checkpoints  []obs.NamedValue     `json:"checkpoints,omitempty"`
+	Jobs         []obs.NamedValue     `json:"jobs,omitempty"`
 	Health       []obs.NamedValue     `json:"health"`
 	OpenBreakers []string             `json:"open_breakers,omitempty"`
 	Workloads    int                  `json:"workloads"`
@@ -736,6 +769,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				Prefix: "checkpoint_", Gauge: true, Values: s.cfg.Checkpoints.StatValues(),
 			})
 		}
+		if s.jobs != nil {
+			extras = append(extras, obs.ExtraSection{
+				Prefix: "job_", Gauge: true, Values: s.jobs.StatValues(),
+			})
+		}
 		s.reg.WritePrometheus(w, extras...)
 		return
 	}
@@ -750,6 +788,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Checkpoints != nil {
 		doc.Checkpoints = s.cfg.Checkpoints.StatValues()
+	}
+	if s.jobs != nil {
+		doc.Jobs = s.jobs.StatValues()
 	}
 	if s.breakers != nil {
 		doc.OpenBreakers = s.breakers.Open()

@@ -82,8 +82,12 @@ func (c *Cache) initDisk() error {
 		name := e.Name()
 		path := filepath.Join(c.dir, name)
 		switch {
-		case strings.HasPrefix(name, tmpPrefix) && strings.HasSuffix(name, tmpSuffix):
+		case strings.HasPrefix(name, tmpPrefix) && strings.HasSuffix(name, tmpSuffix),
+			strings.HasSuffix(name, ".tmp"):
 			// A crash between CreateTemp and Rename orphaned this file.
+			// Our own pattern is tmp-*.partial, but generic *.tmp names
+			// (other tools' atomic-write convention in a shared dir)
+			// are the same in-progress garbage and scrub identically.
 			os.Remove(path)
 			c.Stats.TmpOrphans.Inc()
 		case strings.HasSuffix(name, ".json"):

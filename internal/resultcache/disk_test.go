@@ -60,6 +60,7 @@ func TestStartupScrub(t *testing.T) {
 		"cccc.json":        append(valid, '\n', '\n'),     // trailing garbage: deleted
 		"tmp-123.partial":  []byte("half-written"),        // crash orphan: deleted
 		"tmp-zzzz.partial": nil,                           // empty crash orphan: deleted
+		"stray.tmp":        []byte("foreign temp write"),  // generic *.tmp orphan: deleted
 		"README":           []byte("not a cache entry"),   // foreign file: left alone
 	}
 	for name, data := range writes {
@@ -72,8 +73,8 @@ func TestStartupScrub(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := c.Stats.TmpOrphans.Value(); got != 2 {
-		t.Errorf("TmpOrphans = %d, want 2", got)
+	if got := c.Stats.TmpOrphans.Value(); got != 3 {
+		t.Errorf("TmpOrphans = %d, want 3", got)
 	}
 	if got := c.Stats.Corrupt.Value(); got != 2 {
 		t.Errorf("Corrupt = %d, want 2", got)

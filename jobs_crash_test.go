@@ -1,0 +1,213 @@
+package repro_test
+
+// Cross-process chaos acceptance for the durable job tier (DESIGN.md
+// §18): a serve daemon is SIGKILLed mid-job — no drain, no journal
+// flush beyond the last fsync — then restarted over the same journal
+// and checkpoint directories. The restarted daemon must replay the
+// journal, re-enqueue the interrupted job, resume it from its last
+// snapshot (at least one resume recorded), and serve a report
+// byte-identical to a straight-through run.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/checkpoint"
+	"repro/internal/jobs"
+	"repro/internal/reportserver"
+	"repro/internal/resultcache"
+)
+
+// jobsHelperMain is the SIGKILL target: a serve daemon with the job
+// tier enabled and all durable state under dir. It writes its listen
+// address to dir/addr once the listener is up and serves until killed.
+func jobsHelperMain(dir string) {
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "jobs helper:", err)
+		os.Exit(1)
+	}
+	cache, err := resultcache.NewWith(resultcache.Options{Dir: filepath.Join(dir, "cache")})
+	if err != nil {
+		fail(err)
+	}
+	store, err := checkpoint.Open(filepath.Join(dir, "ckpt"))
+	if err != nil {
+		fail(err)
+	}
+	cfg := crashWindow()
+	cfg.DisableTranslation = true // slow path: the parent's kill lands mid-run
+	srv := reportserver.New(reportserver.Config{
+		RunConfig:   cfg,
+		Cache:       cache,
+		Checkpoints: store,
+	})
+	if err := srv.OpenJobs(reportserver.JobsConfig{
+		Dir:             filepath.Join(dir, "jobs"),
+		CheckpointEvery: crashEvery,
+		Backoff:         10 * time.Millisecond,
+	}); err != nil {
+		fail(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	// Temp file + rename so the parent never reads a torn address.
+	tmp := filepath.Join(dir, "addr.partial")
+	if err := os.WriteFile(tmp, []byte("http://"+l.Addr().String()), 0o644); err != nil {
+		fail(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addr")); err != nil {
+		fail(err)
+	}
+	if err := srv.Serve(context.Background(), l); err != nil {
+		fail(err)
+	}
+	os.Exit(0)
+}
+
+// TestJobCrashResumeAcrossProcesses is the job tier's durability
+// acceptance (the `make jobsmoke` target).
+func TestJobCrashResumeAcrossProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills server processes in -short mode")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	straight, err := repro.RunWorkload(context.Background(), crashWorkload, crashWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := repro.CanonicalReportJSON(straight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	var stderr bytes.Buffer
+	startHelper := func() *exec.Cmd {
+		t.Helper()
+		os.Remove(addrFile) // each process writes its own port
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "INSTREP_JOBS_HELPER_DIR="+dir)
+		cmd.Stderr = &stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	waitAddr := func() string {
+		t.Helper()
+		deadline := time.Now().Add(time.Minute)
+		for {
+			if data, err := os.ReadFile(addrFile); err == nil {
+				return string(data)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("helper never published its address; stderr:\n%s", stderr.String())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	cmd := startHelper()
+	base := waitAddr()
+
+	// Submit the daemon's own serving configuration for the crash
+	// workload; the job ID is the result-cache fingerprint, which is
+	// also the checkpoint key.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"`+crashWorkload+`"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc jobs.Doc
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d, decode err %v", resp.StatusCode, err)
+	}
+
+	// Kill the daemon the moment the job's first snapshot lands, so
+	// the interruption is guaranteed to be mid-simulation.
+	ckptPath := filepath.Join(dir, "ckpt", doc.ID+".ckpt")
+	deadline := time.Now().Add(time.Minute)
+	for {
+		if _, err := os.Stat(ckptPath); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("no job snapshot appeared; helper stderr:\n%s", stderr.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cmd.Process.Kill() // SIGKILL: no drain, no deferred cleanup
+	cmd.Wait()
+
+	// A fresh daemon over the same directories replays the journal and
+	// finishes the job without being asked.
+	cmd2 := startHelper()
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	}()
+	base2 := waitAddr()
+
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		resp, err := http.Get(base2 + "/v1/jobs/" + doc.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("status: HTTP %d, decode err %v; stderr:\n%s",
+				resp.StatusCode, err, stderr.String())
+		}
+		if doc.State == jobs.StateDone {
+			break
+		}
+		if doc.State.Terminal() {
+			t.Fatalf("recovered job finished %s (%s), want done", doc.State, doc.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job stuck in %s; stderr:\n%s", doc.State, stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if doc.Resumes < 1 {
+		t.Errorf("Resumes = %d, want >= 1 (job restarted from scratch, not from its snapshot)", doc.Resumes)
+	}
+
+	resp, err = http.Get(base2 + "/v1/jobs/" + doc.ID + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: HTTP %d, err %v", resp.StatusCode, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("post-crash job report diverged from the straight-through run\n%s",
+			firstDiff(want, got))
+	}
+}

@@ -35,6 +35,10 @@ func TestMain(m *testing.M) {
 		crashHelperMain(dir)
 		return
 	}
+	if dir := os.Getenv("INSTREP_JOBS_HELPER_DIR"); dir != "" {
+		jobsHelperMain(dir)
+		return
+	}
 	os.Exit(m.Run())
 }
 
